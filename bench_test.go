@@ -1,0 +1,102 @@
+package mtat_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, each regenerating the experiment through the public API at
+// the reduced "quick" configuration (1/16-scale memory, Redis focus).
+// Benchmarks share one suite so that trained MTAT agents and cached runs
+// are reused, exactly as cmd/mtatbench does.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Component micro-benchmarks at the bottom cover the hot paths the
+// experiments exercise (queue ticks, policy ticks, SAC updates).
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"github.com/tieredmem/mtat"
+)
+
+// benchSuite lazily builds the shared quick-configuration suite.
+var benchSuite = sync.OnceValues(func() (*mtat.ExperimentSuite, error) {
+	cfg := mtat.QuickExperiments()
+	cfg.OutDir = "" // no artifacts from benchmarks
+	return mtat.NewExperimentSuite(cfg)
+})
+
+// benchExperiment runs one paper experiment b.N times against the shared
+// suite. The first run of the RL-backed experiments includes agent
+// training; later runs reuse the cached agents.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	suite, err := benchSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp, ok := mtat.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(suite, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)     { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)     { benchExperiment(b, "table2") }
+func BenchmarkFig1(b *testing.B)       { benchExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)       { benchExperiment(b, "fig2") }
+func BenchmarkFig5(b *testing.B)       { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)       { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)       { benchExperiment(b, "fig9") }
+func BenchmarkTable3(b *testing.B)     { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)     { benchExperiment(b, "table4") }
+func BenchmarkOverhead(b *testing.B)   { benchExperiment(b, "overhead") }
+func BenchmarkAblation(b *testing.B)   { benchExperiment(b, "ablation") }
+func BenchmarkSurge(b *testing.B)      { benchExperiment(b, "surge") }
+func BenchmarkExtended(b *testing.B)   { benchExperiment(b, "extended") }
+func BenchmarkMonitoring(b *testing.B) { benchExperiment(b, "monitoring") }
+
+// BenchmarkScenarioTickMEMTIS measures the end-to-end cost of one
+// simulated second (10 ticks) of the §5.1 co-location under MEMTIS.
+func BenchmarkScenarioTickMEMTIS(b *testing.B) {
+	scn, err := mtat.NewScenario(mtat.ScenarioOpts{
+		LC: "redis", Scale: 16, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scn.DurationSeconds = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mtat.Run(scn, mtat.NewMEMTIS()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioTickTPP measures the same second under TPP.
+func BenchmarkScenarioTickTPP(b *testing.B) {
+	scn, err := mtat.NewScenario(mtat.ScenarioOpts{
+		LC: "redis", Scale: 16, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scn.DurationSeconds = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mtat.Run(scn, mtat.NewTPP()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command mtatbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mtatbench [-exp id[,id...]] [-scale N] [-episodes N] [-out dir] [-quick] [-v]
+//
+// Without -exp, every experiment runs in paper order. -quick selects the
+// reduced configuration (1/16-scale memory, Redis only, shallower
+// searches) used by the benchmark suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/tieredmem/mtat/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mtatbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expIDs   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		scale    = flag.Int("scale", 0, "memory scale divisor (default per mode)")
+		episodes = flag.Int("episodes", 0, "MTAT pre-training episodes (default per mode)")
+		outDir   = flag.String("out", "results", "directory for CSV artifacts ('' disables)")
+		quick    = flag.Bool("quick", false, "use the reduced quick configuration")
+		verbose  = flag.Bool("v", false, "log progress (training, probing)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *episodes > 0 {
+		cfg.Episodes = *episodes
+	}
+	cfg.OutDir = *outDir
+
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		suite.SetLogWriter(os.Stderr)
+	}
+
+	if *expIDs == "" {
+		return experiments.RunAll(suite, os.Stdout)
+	}
+	for _, id := range strings.Split(*expIDs, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		if err := e.Run(suite, os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+// Command mtatsim runs one co-location scenario under a chosen policy and
+// reports latency, allocation, and fairness outcomes.
+//
+// Usage:
+//
+//	mtatsim -lc redis -policy memtis
+//	mtatsim -lc redis -policy mtat-full -agent redis-full.json
+//	mtatsim -lc memcached -policy mtat-full -episodes 60 -load 0.8 -csv run.csv
+//
+// Policies: fmem-all, smem-all, memtis, tpp, mtat-full, mtat-lconly. For
+// MTAT policies, either pass pre-trained weights via -agent (see
+// mtattrain) or let mtatsim train in-process with -episodes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/tieredmem/mtat"
+	"github.com/tieredmem/mtat/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mtatsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		lcName    = flag.String("lc", "redis", "latency-critical workload (redis, memcached, mongodb, silo)")
+		beNames   = flag.String("bes", "sssp,bfs,pr,xsbench", "comma-separated best-effort workloads")
+		polName   = flag.String("policy", "memtis", "policy: fmem-all, smem-all, memtis, tpp, mtat-full, mtat-lconly")
+		loadSpec  = flag.Float64("load", 0, "constant load fraction; 0 uses the Figure 7 ramp")
+		duration  = flag.Float64("duration", 0, "run length in seconds (0 = load pattern length)")
+		scale     = flag.Int("scale", 1, "memory scale divisor")
+		seed      = flag.Int64("seed", 1, "random seed")
+		episodes  = flag.Int("episodes", 60, "in-process MTAT training episodes when -agent is not given")
+		agentPath = flag.String("agent", "", "pre-trained MTAT agent weights (from mtattrain)")
+		csvPath   = flag.String("csv", "", "write the run's time series to this CSV file")
+		timeline  = flag.Bool("timeline", true, "print a 20 s-resolution timeline")
+	)
+	flag.Parse()
+
+	opts := mtat.ScenarioOpts{
+		LC:    *lcName,
+		BEs:   splitList(*beNames),
+		Scale: *scale,
+		Seed:  *seed,
+	}
+	if *loadSpec > 0 {
+		dur := *duration
+		if dur == 0 {
+			dur = 120
+		}
+		load, err := mtat.ConstantLoad(*loadSpec, dur)
+		if err != nil {
+			return err
+		}
+		opts.Load = load
+	}
+	scn, err := mtat.NewScenario(opts)
+	if err != nil {
+		return err
+	}
+	if *duration > 0 {
+		scn.DurationSeconds = *duration
+	}
+
+	pol, err := buildPolicy(*polName, scn, *agentPath, *episodes)
+	if err != nil {
+		return err
+	}
+
+	res, err := mtat.Run(scn, pol)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("policy: %s | LC: %s (SLO %.0f ms) | BEs: %s\n",
+		res.Policy, *lcName, scn.LC.SLOSeconds*1000, *beNames)
+	fmt.Printf("SLO met: %v | violation rate: %.2f%% | max P99: %.2f ms | mean P99: %.2f ms\n",
+		res.SLOMet, res.LCViolationRate*100, res.LCMaxP99*1000, res.LCMeanP99*1000)
+	fmt.Printf("BE fairness: %.3f | BE throughput: %.4g work/s | migrated: %d MiB\n",
+		res.BEFairness, res.BEThroughput, res.MigratedBytes>>20)
+	for _, be := range res.BEs {
+		fmt.Printf("  %-10s NP %.3f  throughput %.4g  avg FMem pages %.0f\n",
+			be.Name, be.NP, be.Throughput, be.AvgFMemPages)
+	}
+
+	if *timeline {
+		fmt.Printf("\n%-8s %10s %12s %12s\n", "time(s)", "load KRPS", "P99 (ms)", "LC FMem")
+		for t := 0.0; t < res.Scenario.DurationSeconds; t += 20 {
+			fmt.Printf("%-8.0f %10.1f %12.2f %12.3f\n",
+				t, res.LCLoadKRPS.At(t), res.LCP99.At(t)*1000, res.LCFMemRatio.At(t))
+		}
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		set := stats.NewSeriesSet()
+		loadS := set.Get("load_krps")
+		p99S := set.Get("p99_ms")
+		fmemS := set.Get("lc_fmem_ratio")
+		for i, t := range res.Time.Times {
+			loadS.Append(t, res.LCLoadKRPS.Values[i])
+			p99S.Append(t, res.LCP99.Values[i]*1000)
+			fmemS.Append(t, res.LCFMemRatio.Values[i])
+		}
+		if err := set.WriteCSV(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+	return nil
+}
+
+// buildPolicy constructs the requested policy, training or loading MTAT
+// agents as needed.
+func buildPolicy(name string, scn mtat.Scenario, agentPath string, episodes int) (mtat.Policy, error) {
+	switch name {
+	case "fmem-all":
+		return mtat.NewFMemAll(), nil
+	case "smem-all":
+		return mtat.NewSMemAll(), nil
+	case "memtis":
+		return mtat.NewMEMTIS(), nil
+	case "tpp":
+		return mtat.NewTPP(), nil
+	case "mtat-full", "mtat-lconly":
+		variant := mtat.VariantFull
+		if name == "mtat-lconly" {
+			variant = mtat.VariantLCOnly
+		}
+		cfg, err := mtat.MTATConfigFor(scn)
+		if err != nil {
+			return nil, err
+		}
+		m, err := mtat.NewMTAT(variant, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if agentPath != "" {
+			weights, err := os.ReadFile(agentPath)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.LoadAgent(weights); err != nil {
+				return nil, err
+			}
+			m.SetEvalMode(true)
+		} else {
+			fmt.Fprintf(os.Stderr, "training %s for %d episodes (pass -agent to skip)...\n",
+				m.Name(), episodes)
+			trainScn := scn
+			trainScn.Load = mtat.Fig7Load()
+			trainScn.DurationSeconds = 0
+			trainScn.TickSeconds = 0.25
+			if err := mtat.Pretrain(m, trainScn, episodes); err != nil {
+				return nil, err
+			}
+		}
+		m.ResetEpisode()
+		return m, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}

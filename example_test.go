@@ -1,0 +1,55 @@
+package mtat_test
+
+import (
+	"fmt"
+
+	"github.com/tieredmem/mtat"
+)
+
+// ExampleRun drives a short constant-load co-location under the FMEM_ALL
+// static baseline and reports SLO compliance.
+func ExampleRun() {
+	load, err := mtat.ConstantLoad(0.5, 20)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	scn, err := mtat.NewScenario(mtat.ScenarioOpts{
+		LC:    "redis",
+		BEs:   []string{"sssp"},
+		Load:  load,
+		Scale: 32,
+		Seed:  1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := mtat.Run(scn, mtat.NewFMemAll())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("policy=%s sloMet=%v\n", res.Policy, res.SLOMet)
+	// Output: policy=FMEM_ALL sloMet=true
+}
+
+// ExampleNewScenario shows the Table 1 characteristics carried by a
+// scenario's LC profile.
+func ExampleNewScenario() {
+	scn, err := mtat.NewScenario(mtat.ScenarioOpts{LC: "memcached", Scale: 16})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: SLO %.0f ms, max load %.0f KRPS, %d serving threads\n",
+		scn.LC.Name, scn.LC.SLOSeconds*1000, scn.LC.MaxLoadRPS/1000, scn.LC.Servers)
+	// Output: memcached: SLO 20 ms, max load 1220 KRPS, 8 serving threads
+}
+
+// ExampleExperimentByID looks up a paper experiment from the registry.
+func ExampleExperimentByID() {
+	exp, ok := mtat.ExperimentByID("table4")
+	fmt.Println(ok, exp.Title)
+	// Output: true Table 4: SLO violation rates
+}

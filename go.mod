@@ -1,0 +1,3 @@
+module github.com/tieredmem/mtat
+
+go 1.22

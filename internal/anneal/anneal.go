@@ -1,0 +1,146 @@
+// Package anneal implements the simulated-annealing search PP-M uses to
+// partition the FMem remaining after the LC reservation among best-effort
+// workloads (§3.2.2, Algorithm 2). Allocations are integer page-unit
+// vectors; each move shifts one unit between two randomly chosen
+// workloads, worse moves are accepted with probability exp(ΔP/T), and the
+// temperature decays geometrically.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Objective scores an allocation vector; higher is better. For MTAT this
+// is the fairness objective: the minimum normalized performance NP_i.
+type Objective func(alloc []int) float64
+
+// Config controls the annealing schedule.
+type Config struct {
+	// InitialTemp is T0.
+	InitialTemp float64
+	// Decay is the per-iteration temperature factor gamma in (0, 1).
+	Decay float64
+	// MinTemp stops the search once T falls below it.
+	MinTemp float64
+	// MaxIters bounds the number of iterations.
+	MaxIters int
+	// Seed seeds the search's randomness.
+	Seed int64
+}
+
+// DefaultConfig returns a schedule that converges well within one
+// partitioning interval for up to ~10 workloads and ~100 units.
+func DefaultConfig() Config {
+	return Config{
+		InitialTemp: 1.0,
+		Decay:       0.995,
+		MinTemp:     1e-4,
+		MaxIters:    4000,
+		Seed:        1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.InitialTemp <= 0 {
+		return fmt.Errorf("anneal: InitialTemp must be > 0, got %g", c.InitialTemp)
+	}
+	if c.Decay <= 0 || c.Decay >= 1 {
+		return fmt.Errorf("anneal: Decay must be in (0,1), got %g", c.Decay)
+	}
+	if c.MinTemp <= 0 {
+		return fmt.Errorf("anneal: MinTemp must be > 0, got %g", c.MinTemp)
+	}
+	if c.MaxIters <= 0 {
+		return fmt.Errorf("anneal: MaxIters must be > 0, got %d", c.MaxIters)
+	}
+	return nil
+}
+
+// Result reports the best allocation found and its score.
+type Result struct {
+	Alloc []int
+	Score float64
+	Iters int
+}
+
+// Search distributes total units across n workloads maximizing obj,
+// starting from an even split (Algorithm 2's initialization). The returned
+// allocation always sums to total and has no negative entries.
+func Search(cfg Config, n, total int, obj Objective) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if n <= 0 {
+		return Result{}, fmt.Errorf("anneal: need at least one workload, got %d", n)
+	}
+	if total < 0 {
+		return Result{}, fmt.Errorf("anneal: total units must be >= 0, got %d", total)
+	}
+	if obj == nil {
+		return Result{}, fmt.Errorf("anneal: objective must not be nil")
+	}
+
+	cur := evenSplit(n, total)
+	if n == 1 || total == 0 {
+		// Nothing to search.
+		return Result{Alloc: cur, Score: obj(cur)}, nil
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	curScore := obj(cur)
+	best := append([]int(nil), cur...)
+	bestScore := curScore
+	temp := cfg.InitialTemp
+
+	iter := 0
+	for ; iter < cfg.MaxIters && temp > cfg.MinTemp; iter++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		delta := 1
+		if rng.Intn(2) == 0 {
+			delta = -1
+		}
+		// Shift delta units from j to i; skip infeasible moves.
+		if cur[i]+delta < 0 || cur[j]-delta < 0 {
+			temp *= cfg.Decay
+			continue
+		}
+		cur[i] += delta
+		cur[j] -= delta
+		newScore := obj(cur)
+		dP := newScore - curScore
+		if dP > 0 || rng.Float64() < math.Exp(dP/temp) {
+			curScore = newScore
+			if curScore > bestScore {
+				bestScore = curScore
+				copy(best, cur)
+			}
+		} else {
+			// Revert.
+			cur[i] -= delta
+			cur[j] += delta
+		}
+		temp *= cfg.Decay
+	}
+	return Result{Alloc: best, Score: bestScore, Iters: iter}, nil
+}
+
+// evenSplit divides total into n near-equal non-negative parts.
+func evenSplit(n, total int) []int {
+	out := make([]int, n)
+	base := total / n
+	rem := total % n
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	base := DefaultConfig()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero temp", func(c *Config) { c.InitialTemp = 0 }},
+		{"decay 1", func(c *Config) { c.Decay = 1 }},
+		{"decay 0", func(c *Config) { c.Decay = 0 }},
+		{"zero min temp", func(c *Config) { c.MinTemp = 0 }},
+		{"zero iters", func(c *Config) { c.MaxIters = 0 }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			c := base
+			m.mut(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	obj := func([]int) float64 { return 0 }
+	if _, err := Search(DefaultConfig(), 0, 10, obj); err == nil {
+		t.Error("zero workloads accepted")
+	}
+	if _, err := Search(DefaultConfig(), 2, -1, obj); err == nil {
+		t.Error("negative total accepted")
+	}
+	if _, err := Search(DefaultConfig(), 2, 10, nil); err == nil {
+		t.Error("nil objective accepted")
+	}
+}
+
+func TestEvenSplit(t *testing.T) {
+	cases := []struct {
+		n, total int
+		want     []int
+	}{
+		{1, 5, []int{5}},
+		{2, 5, []int{3, 2}},
+		{3, 9, []int{3, 3, 3}},
+		{4, 2, []int{1, 1, 0, 0}},
+		{3, 0, []int{0, 0, 0}},
+	}
+	for _, tc := range cases {
+		got := evenSplit(tc.n, tc.total)
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("evenSplit(%d, %d) = %v, want %v", tc.n, tc.total, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestSearchTrivialCases(t *testing.T) {
+	obj := func(a []int) float64 { return -math.Abs(float64(a[0] - 3)) }
+	res, err := Search(DefaultConfig(), 1, 7, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alloc[0] != 7 {
+		t.Errorf("single-workload alloc = %v, want [7]", res.Alloc)
+	}
+	res, err = Search(DefaultConfig(), 3, 0, func([]int) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alloc[0]+res.Alloc[1]+res.Alloc[2] != 0 {
+		t.Errorf("zero-total alloc = %v", res.Alloc)
+	}
+}
+
+// TestSearchFindsFairAllocation is a miniature of the MTAT use case: two
+// workloads where one benefits twice as much per unit; maximizing min
+// normalized performance should give the less efficient workload about
+// two-thirds of the units.
+func TestSearchFindsFairAllocation(t *testing.T) {
+	total := 30
+	obj := func(a []int) float64 {
+		npA := 2 * float64(a[0]) / float64(total) // efficient workload
+		npB := float64(a[1]) / float64(total) * 4 // even more efficient
+		np1 := math.Min(npA, 1)
+		np2 := math.Min(npB, 1)
+		return math.Min(np1, np2)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxIters = 8000
+	cfg.Decay = 0.999
+	res, err := Search(cfg, 2, total, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum equalizes 2*a0 = 4*a1 with a0+a1=30 -> a0=20, a1=10
+	// (score 4/3 clipped... actually min(2*20/30, 4*10/30)=min(1.33,1.33)
+	// clamped to 1 each; any a0 in [15,20] scores 1). Check score reached.
+	if res.Score < 0.99 {
+		t.Errorf("annealing score = %g alloc %v, want ~1", res.Score, res.Alloc)
+	}
+	if got := res.Alloc[0] + res.Alloc[1]; got != total {
+		t.Errorf("allocation sum = %d, want %d", got, total)
+	}
+}
+
+// TestSearchBeatsEvenSplit: with a strongly asymmetric objective the
+// search must strictly improve on the even-split starting point.
+func TestSearchBeatsEvenSplit(t *testing.T) {
+	total := 40
+	n := 4
+	// Workload 0 needs 25 units to reach NP=1; others need 5 each.
+	needs := []float64{25, 5, 5, 5}
+	obj := func(a []int) float64 {
+		worst := math.Inf(1)
+		for i, need := range needs {
+			np := float64(a[i]) / need
+			if np > 1 {
+				np = 1
+			}
+			if np < worst {
+				worst = np
+			}
+		}
+		return worst
+	}
+	start := evenSplit(n, total)
+	startScore := obj(start)
+	cfg := DefaultConfig()
+	cfg.MaxIters = 10000
+	cfg.Decay = 0.9995
+	res, err := Search(cfg, n, total, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score <= startScore {
+		t.Errorf("search score %g did not beat even split %g (alloc %v)",
+			res.Score, startScore, res.Alloc)
+	}
+	if res.Score < 0.95 {
+		t.Errorf("search score %g, want ~1 (alloc %v)", res.Score, res.Alloc)
+	}
+}
+
+// Property: allocations always sum to total and stay non-negative, for
+// arbitrary (even adversarial random) objectives.
+func TestSearchInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		total := rng.Intn(50)
+		objRng := rand.New(rand.NewSource(seed + 1))
+		obj := func(a []int) float64 { return objRng.Float64() }
+		cfg := DefaultConfig()
+		cfg.MaxIters = 500
+		cfg.Seed = seed
+		res, err := Search(cfg, n, total, obj)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, v := range res.Alloc {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchDeterminism(t *testing.T) {
+	obj := func(a []int) float64 {
+		return -math.Abs(float64(a[0]) - 7)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 42
+	r1, err := Search(cfg, 3, 20, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Search(cfg, 3, 20, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Alloc {
+		if r1.Alloc[i] != r2.Alloc[i] {
+			t.Fatalf("same-seed searches differ: %v vs %v", r1.Alloc, r2.Alloc)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+)
+
+// BenchmarkSearch measures one full PP-M BE-partitioning search: 4
+// workloads, 32 one-GiB units, the default schedule.
+func BenchmarkSearch(b *testing.B) {
+	needs := []float64{25, 5, 10, 15}
+	obj := func(a []int) float64 {
+		worst := math.Inf(1)
+		for i, need := range needs {
+			np := float64(a[i]) / need
+			if np > 1 {
+				np = 1
+			}
+			if np < worst {
+				worst = np
+			}
+		}
+		return worst
+	}
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Search(cfg, 4, 32, obj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package cgroupfs provides an in-memory stand-in for the cgroup file
+// interface through which the paper's two daemons communicate (§4): the
+// kernel-space PP-E publishes per-workload memory statistics as files, and
+// the user-space PP-M reads them and writes the partitioning policy back.
+// Mirroring that narrow, file-shaped interface keeps the PP-M/PP-E split
+// honest — neither component touches the other's internal state.
+package cgroupfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is a flat, hierarchical-path key-value store with file semantics.
+// It is safe for concurrent use.
+type FS struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+	// gen counts writes, letting pollers detect changes cheaply.
+	gen map[string]uint64
+}
+
+// New returns an empty filesystem.
+func New() *FS {
+	return &FS{
+		files: make(map[string][]byte),
+		gen:   make(map[string]uint64),
+	}
+}
+
+// Clean canonicalizes a path: no leading/trailing slashes, no empty
+// segments.
+func Clean(path string) string {
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return strings.Join(out, "/")
+}
+
+// WriteFile stores data at path, creating or replacing the file. The data
+// slice is copied.
+func (fs *FS) WriteFile(path string, data []byte) error {
+	p := Clean(path)
+	if p == "" {
+		return fmt.Errorf("cgroupfs: empty path")
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[p] = cp
+	fs.gen[p]++
+	return nil
+}
+
+// WriteString is WriteFile for string payloads.
+func (fs *FS) WriteString(path, data string) error {
+	return fs.WriteFile(path, []byte(data))
+}
+
+// ReadFile returns a copy of the file contents at path.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	p := Clean(path)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	data, ok := fs.files[p]
+	if !ok {
+		return nil, &NotFoundError{Path: p}
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// ReadString is ReadFile returning a string.
+func (fs *FS) ReadString(path string) (string, error) {
+	b, err := fs.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Generation returns the write generation of path (0 if absent). A change
+// in generation means the file was rewritten since the last observation.
+func (fs *FS) Generation(path string) uint64 {
+	p := Clean(path)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.gen[p]
+}
+
+// Remove deletes the file at path. Removing a missing file is an error.
+func (fs *FS) Remove(path string) error {
+	p := Clean(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[p]; !ok {
+		return &NotFoundError{Path: p}
+	}
+	delete(fs.files, p)
+	fs.gen[p]++
+	return nil
+}
+
+// List returns the sorted paths under dir (direct and nested children).
+// An empty dir lists everything.
+func (fs *FS) List(dir string) []string {
+	d := Clean(dir)
+	prefix := d
+	if prefix != "" {
+		prefix += "/"
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for p := range fs.files {
+		if d == "" || strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NotFoundError reports a missing file.
+type NotFoundError struct {
+	Path string
+}
+
+// Error implements error.
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("cgroupfs: %s: no such file", e.Path)
+}

@@ -1,0 +1,152 @@
+package cgroupfs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestClean(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"/a/b/", "a/b"},
+		{"a//b", "a/b"},
+		{"", ""},
+		{"///", ""},
+		{"a", "a"},
+	}
+	for _, tc := range cases {
+		if got := Clean(tc.in); got != tc.want {
+			t.Errorf("Clean(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New()
+	if err := fs.WriteString("/mtat/redis/memory.stat", "fmem 42"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadString("mtat/redis/memory.stat") // path variants unify
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "fmem 42" {
+		t.Errorf("read %q, want %q", got, "fmem 42")
+	}
+}
+
+func TestWriteEmptyPath(t *testing.T) {
+	fs := New()
+	if err := fs.WriteString("///", "x"); err == nil {
+		t.Error("empty path accepted")
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := New()
+	_, err := fs.ReadFile("nope")
+	var nf *NotFoundError
+	if !errors.As(err, &nf) {
+		t.Fatalf("err = %v, want NotFoundError", err)
+	}
+	if nf.Path != "nope" {
+		t.Errorf("NotFoundError.Path = %q, want %q", nf.Path, "nope")
+	}
+}
+
+func TestDataIsCopied(t *testing.T) {
+	fs := New()
+	data := []byte("abc")
+	if err := fs.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X'
+	got, _ := fs.ReadFile("f")
+	if string(got) != "abc" {
+		t.Error("WriteFile aliased caller buffer")
+	}
+	got[0] = 'Y'
+	again, _ := fs.ReadString("f")
+	if again != "abc" {
+		t.Error("ReadFile returned aliased internal buffer")
+	}
+}
+
+func TestGeneration(t *testing.T) {
+	fs := New()
+	if g := fs.Generation("f"); g != 0 {
+		t.Errorf("generation of missing file = %d, want 0", g)
+	}
+	_ = fs.WriteString("f", "1")
+	g1 := fs.Generation("f")
+	_ = fs.WriteString("f", "2")
+	g2 := fs.Generation("f")
+	if g2 <= g1 || g1 == 0 {
+		t.Errorf("generations not increasing: %d then %d", g1, g2)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New()
+	_ = fs.WriteString("a/b", "x")
+	if err := fs.Remove("a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("a/b"); err == nil {
+		t.Error("file readable after Remove")
+	}
+	if err := fs.Remove("a/b"); err == nil {
+		t.Error("double Remove succeeded")
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := New()
+	_ = fs.WriteString("mtat/redis/stat", "1")
+	_ = fs.WriteString("mtat/sssp/stat", "2")
+	_ = fs.WriteString("other/x", "3")
+	got := fs.List("mtat")
+	want := []string{"mtat/redis/stat", "mtat/sssp/stat"}
+	if len(got) != len(want) {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("List[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if all := fs.List(""); len(all) != 3 {
+		t.Errorf("List(\"\") returned %d files, want 3", len(all))
+	}
+	// Prefix must be segment-aligned: "mt" matches nothing.
+	if got := fs.List("mt"); len(got) != 0 {
+		t.Errorf("List(\"mt\") = %v, want empty", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	fs := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			path := "w/" + string(rune('a'+n))
+			for j := 0; j < 100; j++ {
+				if err := fs.WriteString(path, "v"); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := fs.ReadString(path); err != nil {
+					t.Error(err)
+					return
+				}
+				fs.List("w")
+				fs.Generation(path)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,31 @@
+package cgroupfs
+
+import "testing"
+
+// FuzzPaths ensures path cleaning and file operations never panic and
+// that a write under any accepted path reads back identically.
+func FuzzPaths(f *testing.F) {
+	f.Add("a/b/c", "data")
+	f.Add("///", "")
+	f.Add("mtat/0/memory.stat", "fmem_pages 1")
+	f.Add("..", "x")
+	f.Fuzz(func(t *testing.T, path, data string) {
+		fs := New()
+		if err := fs.WriteString(path, data); err != nil {
+			return // rejected paths are fine
+		}
+		got, err := fs.ReadString(path)
+		if err != nil {
+			t.Fatalf("written file unreadable: %v", err)
+		}
+		if got != data {
+			t.Fatalf("read %q, wrote %q", got, data)
+		}
+		if fs.Generation(path) == 0 {
+			t.Fatal("written file has zero generation")
+		}
+		if err := fs.Remove(path); err != nil {
+			t.Fatalf("remove: %v", err)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/mem"
+	"github.com/tieredmem/mtat/internal/pebs"
+	"github.com/tieredmem/mtat/internal/policy"
+	"github.com/tieredmem/mtat/internal/workload"
+)
+
+// benchRig builds the paper-scale co-location (≈45k pages) for measuring
+// PP-E's per-tick cost.
+func benchRig(b *testing.B) (*policy.Context, *mem.System) {
+	b.Helper()
+	sys, err := mem.NewSystem(mem.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lc, err := workload.NewLC(sys, workload.RedisConfig(), mem.TierFMem, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bes []*workload.BE
+	for _, cfg := range workload.BEConfigs(4) {
+		be, err := workload.NewBE(sys, cfg, mem.TierSMem)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bes = append(bes, be)
+	}
+	sampler, err := pebs.NewSampler(sys, 1e-4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &policy.Context{
+		Sys: sys, Sampler: sampler, DT: 0.1, LC: lc, BEs: bes,
+		BEResults: make([]workload.BETickResult, len(bes)),
+	}, sys
+}
+
+// BenchmarkPPETick measures one enforcement tick at paper scale: stat
+// accumulation, publication, and partition refinement over ~45k pages.
+func BenchmarkPPETick(b *testing.B) {
+	ctx, sys := benchRig(b)
+	m, err := New(VariantFull, DefaultPPMConfig(0.020, 80000*30))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Init(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.BeginTick(100 * time.Millisecond)
+		ctx.Now = float64(i) * 0.1
+		if err := m.PPE().Tick(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPPMDecide measures one partition decision: RL inference plus
+// the annealing search over four BE profiles.
+func BenchmarkPPMDecide(b *testing.B) {
+	ctx, _ := benchRig(b)
+	m, err := New(VariantFull, DefaultPPMConfig(0.020, 80000*30))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Init(ctx); err != nil {
+		b.Fatal(err)
+	}
+	// Publish stats once so Decide has input.
+	ctx.Sys.BeginTick(100 * time.Millisecond)
+	if err := m.PPE().Tick(ctx); err != nil {
+		b.Fatal(err)
+	}
+	m.SetEvalMode(true) // inference-only cost, no training rounds
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.PPM().Decide(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tieredmem/mtat/internal/mem"
+)
+
+// FuzzDecodeStat ensures the stat-file parser never panics and that every
+// successfully decoded stat re-encodes to something it can decode again.
+func FuzzDecodeStat(f *testing.F) {
+	f.Add("fmem_pages 1\ntotal_pages 2\n")
+	f.Add((workloadStat{FMemPages: 3, P99: 0.01}).encode())
+	f.Add("")
+	f.Add("fmem_pages -9\nsmem_acc 18446744073709551615")
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := decodeStat(data)
+		if err != nil {
+			return
+		}
+		if _, err := decodeStat(s.encode()); err != nil {
+			t.Fatalf("re-decode of encoded stat failed: %v", err)
+		}
+	})
+}
+
+// FuzzDecodePolicy ensures the policy-file parser never panics and that
+// accepted policies contain no negative partitions.
+func FuzzDecodePolicy(f *testing.F) {
+	f.Add("0 100\n1 0\n")
+	f.Add(encodePolicy(map[mem.WorkloadID]int{0: 5, 3: 7}))
+	f.Add("")
+	f.Add("9999999999999999999 1")
+	f.Fuzz(func(t *testing.T, data string) {
+		targets, err := decodePolicy(data)
+		if err != nil {
+			return
+		}
+		for id, pages := range targets {
+			if pages < 0 {
+				t.Fatalf("accepted negative partition %d for %d", pages, id)
+			}
+		}
+		// Round-trip.
+		if _, err := decodePolicy(encodePolicy(targets)); err != nil {
+			t.Fatalf("re-decode of encoded policy failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/tieredmem/mtat/internal/cgroupfs"
+	"github.com/tieredmem/mtat/internal/mem"
+	"github.com/tieredmem/mtat/internal/policy"
+	"github.com/tieredmem/mtat/internal/profile"
+)
+
+// Variant selects which MTAT flavor runs (§5's two configurations).
+type Variant int
+
+// MTAT variants.
+const (
+	// VariantFull partitions FMem for the LC workload and every BE
+	// workload ("MTAT (Full)").
+	VariantFull Variant = iota + 1
+	// VariantLCOnly partitions FMem only for the LC workload; BE
+	// workloads compete for the remainder by hotness ("MTAT (LC Only)").
+	VariantLCOnly
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case VariantFull:
+		return "MTAT (Full)"
+	case VariantLCOnly:
+		return "MTAT (LC Only)"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// MTAT is the full framework: a PP-M and a PP-E communicating through a
+// cgroup-style filesystem, packaged as a policy.Policy for the simulator.
+type MTAT struct {
+	variant Variant
+	cfg     PPMConfig
+	fs      *cgroupfs.FS
+	ppm     *PPM
+	ppe     *PPE
+
+	lastDecision float64
+	initialized  bool
+}
+
+var _ policy.Policy = (*MTAT)(nil)
+
+// New returns an MTAT policy of the given variant. cfg.SharedBE is
+// overridden to match the variant.
+func New(variant Variant, cfg PPMConfig) (*MTAT, error) {
+	if variant != VariantFull && variant != VariantLCOnly {
+		return nil, fmt.Errorf("core: invalid variant %d", int(variant))
+	}
+	cfg.SharedBE = variant == VariantLCOnly
+	fs := cgroupfs.New()
+	ppm, err := NewPPM(cfg, fs)
+	if err != nil {
+		return nil, err
+	}
+	return &MTAT{
+		variant: variant,
+		cfg:     cfg,
+		fs:      fs,
+		ppm:     ppm,
+		ppe:     NewPPE(fs, cfg.SharedBE),
+	}, nil
+}
+
+// Name implements policy.Policy.
+func (m *MTAT) Name() string { return m.variant.String() }
+
+// PPM exposes the policy maker (pre-training, overhead accounting).
+func (m *MTAT) PPM() *PPM { return m.ppm }
+
+// PPE exposes the enforcer (tests, diagnostics).
+func (m *MTAT) PPE() *PPE { return m.ppe }
+
+// FS exposes the cgroup interface (tests, diagnostics).
+func (m *MTAT) FS() *cgroupfs.FS { return m.fs }
+
+// SetEvalMode freezes training and switches the agent to deterministic
+// actions (used for measured runs after pre-training).
+func (m *MTAT) SetEvalMode(eval bool) { m.ppm.SetEvalMode(eval) }
+
+// SaveAgent serializes the trained RL agent's weights.
+func (m *MTAT) SaveAgent() ([]byte, error) { return m.ppm.Agent().MarshalJSON() }
+
+// LoadAgent restores RL agent weights saved by SaveAgent. The PPM
+// configuration (and hence network architecture) must match.
+func (m *MTAT) LoadAgent(data []byte) error { return m.ppm.Agent().LoadWeights(data) }
+
+// ResetEpisode prepares the policy for a fresh run of the same scenario:
+// enforcement state and interval clocks reset, RL weights are kept.
+func (m *MTAT) ResetEpisode() {
+	m.ppm.ResetEpisode()
+	m.lastDecision = 0
+	m.initialized = false
+}
+
+// Init implements policy.Policy: it profiles the BE workloads offline
+// (§4), binds PP-M to the topology, and seeds PP-E.
+func (m *MTAT) Init(ctx *policy.Context) error {
+	if err := m.ppe.Init(ctx); err != nil {
+		return err
+	}
+	sys := ctx.Sys
+	var profiles []profile.BEProfile
+	beIDs := make([]mem.WorkloadID, 0, len(ctx.BEs))
+	for _, be := range ctx.BEs {
+		beIDs = append(beIDs, be.ID())
+		if !m.cfg.SharedBE {
+			p, err := profile.Measure(be, sys.TotalPages(be.ID()), m.cfg.BEUnitPages)
+			if err != nil {
+				return err
+			}
+			profiles = append(profiles, p)
+		}
+	}
+	lcID := mem.WorkloadID(0)
+	hasLC := ctx.LC != nil
+	if hasLC {
+		lcID = ctx.LC.ID()
+	}
+	// Action bound (Eq. 1): at most M/(2t) bytes may move in one
+	// interval, where M is the migration bandwidth and t the interval.
+	maxDeltaBytes := float64(sys.Config().MigrationBandwidth) * m.cfg.IntervalSeconds / 2
+	maxDeltaPages := int(maxDeltaBytes / float64(sys.Config().PageSize))
+	if maxDeltaPages < 1 {
+		maxDeltaPages = 1
+	}
+	if err := m.ppm.Bind(lcID, hasLC, beIDs, profiles, sys.FMemCapacityPages(), maxDeltaPages); err != nil {
+		return err
+	}
+	m.lastDecision = 0
+	m.initialized = true
+	return nil
+}
+
+// Tick implements policy.Policy: PP-E enforces every tick; PP-M decides on
+// interval boundaries; access counts age at each decision (§3.3.2).
+func (m *MTAT) Tick(ctx *policy.Context) error {
+	if !m.initialized {
+		return fmt.Errorf("core: MTAT.Tick before Init")
+	}
+	if err := m.ppe.Tick(ctx); err != nil {
+		return err
+	}
+	if ctx.Now-m.lastDecision >= m.cfg.IntervalSeconds {
+		if err := m.ppm.Decide(); err != nil {
+			return err
+		}
+		m.ppe.ResetInterval()
+		ctx.Sys.AgeHotness()
+		m.lastDecision = ctx.Now
+	}
+	return nil
+}
+
+// LCStall implements policy.Policy. MTAT's migrations run on BE cores off
+// the request path (§4), so it imposes no LC stall.
+func (m *MTAT) LCStall() float64 { return 0 }

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tieredmem/mtat/internal/mem"
+)
+
+func testMTATConfig() PPMConfig {
+	cfg := DefaultPPMConfig(0.020, 80000*30)
+	cfg.BEUnitPages = 4
+	cfg.Anneal.MaxIters = 500
+	return cfg
+}
+
+func TestVariantString(t *testing.T) {
+	if VariantFull.String() != "MTAT (Full)" {
+		t.Errorf("VariantFull = %q", VariantFull.String())
+	}
+	if VariantLCOnly.String() != "MTAT (LC Only)" {
+		t.Errorf("VariantLCOnly = %q", VariantLCOnly.String())
+	}
+	if got := Variant(9).String(); got != "Variant(9)" {
+		t.Errorf("invalid variant = %q", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Variant(0), testMTATConfig()); err == nil {
+		t.Error("invalid variant accepted")
+	}
+	bad := testMTATConfig()
+	bad.SLOSeconds = 0
+	if _, err := New(VariantFull, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestVariantForcesSharedBE(t *testing.T) {
+	cfg := testMTATConfig()
+	cfg.SharedBE = false
+	m, err := New(VariantLCOnly, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "MTAT (LC Only)" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	// The LC Only variant must not require BE profiles: Init on a rig
+	// succeeds without profiling.
+	rig := newCoreRig(t, mem.TierFMem)
+	if err := m.Init(rig.ctx); err != nil {
+		t.Fatalf("LC Only Init: %v", err)
+	}
+}
+
+func TestMTATTickBeforeInit(t *testing.T) {
+	m, err := New(VariantFull, testMTATConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := newCoreRig(t, mem.TierFMem)
+	rig.ctx.Now = 0
+	if err := m.Tick(rig.ctx); err == nil {
+		t.Error("Tick before Init succeeded")
+	}
+}
+
+func TestMTATEndToEndTicks(t *testing.T) {
+	m, err := New(VariantFull, testMTATConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := newCoreRig(t, mem.TierFMem)
+	if err := m.Init(rig.ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Drive ~8 simulated seconds: at least two PP-M decisions happen and
+	// the policy file appears on the cgroup interface.
+	for i := 0; i < 80; i++ {
+		rig.tickPolicy(t, m)
+	}
+	if got := m.PPM().Decisions(); got < 2 {
+		t.Errorf("decisions = %d, want >= 2", got)
+	}
+	if _, err := m.FS().ReadString(policyPath); err != nil {
+		t.Errorf("policy file missing after decisions: %v", err)
+	}
+	// Partition invariant: targets never oversubscribe FMem.
+	total := 0
+	for _, pages := range m.PPE().Targets() {
+		if pages < 0 {
+			t.Errorf("negative partition target %d", pages)
+		}
+		total += pages
+	}
+	if total > rig.sys.FMemCapacityPages() {
+		t.Errorf("targets oversubscribe FMem: %d > %d", total, rig.sys.FMemCapacityPages())
+	}
+	// Stats files exist for every workload.
+	files := m.FS().List("mtat")
+	var statFiles int
+	for _, f := range files {
+		if strings.HasSuffix(f, "memory.stat") {
+			statFiles++
+		}
+	}
+	if statFiles != 3 {
+		t.Errorf("stat files = %d, want 3 (LC + 2 BEs)", statFiles)
+	}
+}
+
+func TestMTATAgentRoundTrip(t *testing.T) {
+	m, err := New(VariantFull, testMTATConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.SaveAgent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(VariantFull, testMTATConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.LoadAgent(data); err != nil {
+		t.Fatalf("LoadAgent: %v", err)
+	}
+	if err := m2.LoadAgent([]byte("not json")); err == nil {
+		t.Error("malformed agent accepted")
+	}
+}
+
+func TestMTATResetEpisode(t *testing.T) {
+	m, err := New(VariantFull, testMTATConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := newCoreRig(t, mem.TierFMem)
+	if err := m.Init(rig.ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		rig.tickPolicy(t, m)
+	}
+	m.ResetEpisode()
+	// After reset, Tick requires a fresh Init.
+	if err := m.Tick(rig.ctx); err == nil {
+		t.Error("Tick after ResetEpisode without Init succeeded")
+	}
+	if err := m.Init(rig.ctx); err != nil {
+		t.Fatal(err)
+	}
+	rig.tickPolicy(t, m)
+}
+
+// tickPolicy advances the rig one step under the MTAT policy (the coreRig
+// helper drives PP-E directly; this one goes through policy.Policy).
+func (r *coreRig) tickPolicy(t *testing.T, m *MTAT) {
+	t.Helper()
+	r.sys.BeginTick(100_000_000) // 100 ms in nanoseconds
+	r.sampler.BeginTick()
+	lcRes, err := r.lc.Tick(0.5, 0.1, m.LCStall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sampler.RecordAccesses(r.lc.ID(), r.lc.Dist(), lcRes.Accesses)
+	for i, be := range r.bes {
+		res, err := be.Tick(0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.sampler.RecordAccesses(be.ID(), be.Dist(), res.Accesses)
+		r.ctx.BEResults[i] = res
+	}
+	r.ctx.LCResult = lcRes
+	r.ctx.Now = r.now
+	if err := m.Tick(r.ctx); err != nil {
+		t.Fatal(err)
+	}
+	r.now += 0.1
+}

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/tieredmem/mtat/internal/cgroupfs"
+	"github.com/tieredmem/mtat/internal/hist"
+	"github.com/tieredmem/mtat/internal/mem"
+	"github.com/tieredmem/mtat/internal/policy"
+)
+
+// PPE is the Partition Policy Enforcer (§3.3, the paper's kernel-space
+// daemon). Each tick it (1) accumulates and publishes per-workload memory
+// statistics over the cgroup interface, (2) advances any pending partition
+// adjustment with LC-first, bandwidth-sliced page exchanges (Algorithm 3),
+// and (3) refines each settled partition so its hottest pages are
+// FMem-resident (Figure 4b), never crossing partition boundaries.
+type PPE struct {
+	fs   *cgroupfs.FS
+	lcID mem.WorkloadID
+	// hasLC marks whether an LC workload participates.
+	hasLC bool
+	ids   []mem.WorkloadID // all managed workloads, LC first if present
+
+	// targets are the current partition sizes in pages.
+	targets map[mem.WorkloadID]int
+	// sharedBE marks workloads managed as one shared hotness pool rather
+	// than a dedicated partition (the MTAT (LC Only) variant).
+	sharedBE bool
+
+	// interval accumulation for published stats
+	acc map[mem.WorkloadID]*workloadStat
+
+	policyGen uint64 // last observed policy file generation
+
+	h       hist.Histogram
+	builder hist.Builder
+	promote []mem.PageID
+	demote  []mem.PageID
+	bePool  []mem.WorkloadID
+}
+
+// NewPPE returns an enforcer communicating over fs. sharedBE selects the
+// MTAT (LC Only) variant where BE workloads compete for leftover FMem via
+// global hotness instead of dedicated partitions.
+func NewPPE(fs *cgroupfs.FS, sharedBE bool) *PPE {
+	return &PPE{
+		fs:       fs,
+		sharedBE: sharedBE,
+		targets:  make(map[mem.WorkloadID]int),
+		acc:      make(map[mem.WorkloadID]*workloadStat),
+	}
+}
+
+// Init captures the workload set and seeds initial targets from current
+// residency so enforcement starts from a no-op.
+func (e *PPE) Init(ctx *policy.Context) error {
+	e.ids = e.ids[:0]
+	e.bePool = e.bePool[:0]
+	e.hasLC = ctx.LC != nil
+	if e.hasLC {
+		e.lcID = ctx.LC.ID()
+		e.ids = append(e.ids, e.lcID)
+	}
+	for _, be := range ctx.BEs {
+		e.ids = append(e.ids, be.ID())
+		e.bePool = append(e.bePool, be.ID())
+	}
+	if len(e.ids) == 0 {
+		return fmt.Errorf("core: PPE needs at least one workload")
+	}
+	clear(e.targets)
+	for _, id := range e.ids {
+		e.targets[id] = ctx.Sys.FMemPages(id)
+		e.acc[id] = &workloadStat{}
+	}
+	e.policyGen = e.fs.Generation(policyPath)
+	return nil
+}
+
+// ResetInterval clears the per-interval stat accumulators (PP-M calls the
+// turn of an interval; the controller invokes this after a decision).
+func (e *PPE) ResetInterval() {
+	for _, s := range e.acc {
+		*s = workloadStat{}
+	}
+}
+
+// Targets returns the current partition targets (live map; callers must
+// not mutate).
+func (e *PPE) Targets() map[mem.WorkloadID]int { return e.targets }
+
+// Tick runs one enforcement step.
+func (e *PPE) Tick(ctx *policy.Context) error {
+	e.accumulate(ctx)
+	if err := e.publish(); err != nil {
+		return err
+	}
+	e.pollPolicy()
+	e.enforce(ctx)
+	return nil
+}
+
+// accumulate folds this tick's measurements into the interval accumulators.
+func (e *PPE) accumulate(ctx *policy.Context) {
+	sys := ctx.Sys
+	for _, id := range e.ids {
+		s := e.acc[id]
+		s.FMemPages = sys.FMemPages(id)
+		s.TotalPages = sys.TotalPages(id)
+		s.FMemAcc += ctx.Sampler.TickFMemAccesses(id)
+		s.SMemAcc += ctx.Sampler.TickSMemAccesses(id)
+	}
+	if e.hasLC {
+		s := e.acc[e.lcID]
+		s.Accesses += ctx.LCResult.Accesses
+		if p := ctx.LCResult.P99; p > s.P99 {
+			s.P99 = p
+		}
+		s.Violations += ctx.LCResult.ViolationFrac * ctx.LCResult.Completed
+		s.Requests += ctx.LCResult.Completed
+	}
+	for i, be := range ctx.BEs {
+		if i < len(ctx.BEResults) {
+			e.acc[be.ID()].Accesses += ctx.BEResults[i].Accesses
+		}
+	}
+}
+
+// publish writes the accumulated stats to the cgroup interface.
+func (e *PPE) publish() error {
+	for _, id := range e.ids {
+		if err := e.fs.WriteString(statPath(id), e.acc[id].encode()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pollPolicy applies a new partition policy if PP-M wrote one.
+func (e *PPE) pollPolicy() {
+	gen := e.fs.Generation(policyPath)
+	if gen == e.policyGen {
+		return
+	}
+	e.policyGen = gen
+	data, err := e.fs.ReadString(policyPath)
+	if err != nil {
+		return // file raced away; keep current targets
+	}
+	targets, err := decodePolicy(data)
+	if err != nil {
+		return // malformed policy; keep current targets
+	}
+	for id, pages := range targets {
+		if _, ok := e.targets[id]; ok {
+			e.targets[id] = pages
+		}
+	}
+}
+
+// enforce advances toward the targets (Algorithm 3) and refines settled
+// partitions (Figure 4b), all within this tick's migration budget.
+func (e *PPE) enforce(ctx *policy.Context) {
+	sys := ctx.Sys
+	pmax := sys.MigrationBudgetPages()
+	if pmax == 0 {
+		return
+	}
+
+	// Deltas between desired and current allocations.
+	deltaLC := 0
+	if e.hasLC {
+		deltaLC = e.targets[e.lcID] - sys.FMemPages(e.lcID)
+	}
+	var promoteSet, demoteSet []beDelta
+	var promoteSum, demoteSum int
+	if !e.sharedBE {
+		for _, id := range e.bePool {
+			d := e.targets[id] - sys.FMemPages(id)
+			if d > 0 {
+				promoteSet = append(promoteSet, beDelta{id, d})
+				promoteSum += d
+			} else if d < 0 {
+				demoteSet = append(demoteSet, beDelta{id, -d})
+				demoteSum += -d
+			}
+		}
+	}
+
+	// Slice allocation (Algorithm 3): LC movement takes the slice first,
+	// counter-movement is distributed proportionally across the BE set.
+	e.promote = e.promote[:0]
+	e.demote = e.demote[:0]
+	switch {
+	case deltaLC > 0:
+		mLC := min(deltaLC, pmax)
+		e.appendHottestSMem(sys, e.lcID, mLC)
+		// LC promotion displaces BE pages: take demotions from the
+		// demote set proportionally; if the demote set cannot cover it,
+		// pull the coldest pages from every BE (shared or not).
+		need := mLC - sys.FMemFreePages()
+		if need > 0 {
+			if demoteSum > 0 {
+				e.appendProportionalDemotes(sys, demoteSet, demoteSum, need)
+			} else {
+				e.appendColdestFMemOf(sys, e.bePool, need)
+			}
+		}
+	case deltaLC < 0:
+		mLC := min(-deltaLC, pmax)
+		e.appendColdestFMemOf(sys, []mem.WorkloadID{e.lcID}, mLC)
+		if promoteSum > 0 {
+			e.appendProportionalPromotes(sys, promoteSet, promoteSum, mLC)
+		}
+	}
+	if deltaLC == 0 && !e.sharedBE && (promoteSum > 0 || demoteSum > 0) {
+		// Pure BE rebalancing: pair promotions and demotions
+		// proportionally to their demands (Algorithm 3's else branch).
+		p := min(pmax, max(promoteSum, demoteSum))
+		e.appendProportionalPromotes(sys, promoteSet, promoteSum, min(p, promoteSum))
+		e.appendProportionalDemotes(sys, demoteSet, demoteSum, min(p, demoteSum))
+	}
+	if len(e.promote) > 0 || len(e.demote) > 0 {
+		sys.Exchange(e.promote, e.demote)
+		return // adjustment continues next tick; defer refinement
+	}
+
+	// Refinement (Figure 4b): partitions are settled; keep each
+	// workload's hottest pages resident within its own partition.
+	if e.hasLC {
+		e.refineWorkload(sys, e.lcID, e.targets[e.lcID])
+	}
+	if e.sharedBE {
+		// MTAT (LC Only): BEs share the remaining capacity by global
+		// hotness, like MEMTIS but fenced off from the LC partition.
+		remaining := sys.FMemCapacityPages()
+		if e.hasLC {
+			remaining -= sys.FMemPages(e.lcID)
+		}
+		e.refinePool(sys, e.bePool, remaining)
+		return
+	}
+	for _, id := range e.bePool {
+		e.refineWorkload(sys, id, e.targets[id])
+	}
+}
+
+// refineWorkload keeps the hottest `target` pages of one workload resident.
+func (e *PPE) refineWorkload(sys *mem.System, id mem.WorkloadID, target int) {
+	_, _, unified := e.builder.Build(sys, id)
+	hot, cold := unified.HotSplit(target)
+	e.promote = e.promote[:0]
+	for _, pid := range hot {
+		if sys.Page(pid).Tier == mem.TierSMem {
+			e.promote = append(e.promote, pid)
+		}
+	}
+	e.demote = e.demote[:0]
+	for i := len(cold) - 1; i >= 0; i-- {
+		if sys.Page(cold[i]).Tier == mem.TierFMem {
+			e.demote = append(e.demote, cold[i])
+		}
+	}
+	sys.Exchange(e.promote, e.demote)
+}
+
+// refinePool keeps the globally hottest `capacity` pages of a workload set
+// resident (the shared-BE variant).
+func (e *PPE) refinePool(sys *mem.System, ids []mem.WorkloadID, capacity int) {
+	e.h.Reset()
+	for _, id := range ids {
+		for _, pid := range sys.WorkloadPages(id) {
+			e.h.Add(pid, sys.Page(pid).Hotness)
+		}
+	}
+	hot, cold := e.h.HotSplit(capacity)
+	e.promote = e.promote[:0]
+	for _, pid := range hot {
+		if sys.Page(pid).Tier == mem.TierSMem {
+			e.promote = append(e.promote, pid)
+		}
+	}
+	e.demote = e.demote[:0]
+	for i := len(cold) - 1; i >= 0; i-- {
+		if sys.Page(cold[i]).Tier == mem.TierFMem {
+			e.demote = append(e.demote, cold[i])
+		}
+	}
+	sys.Exchange(e.promote, e.demote)
+}
+
+// appendHottestSMem appends up to n of id's hottest SMem pages to promote.
+func (e *PPE) appendHottestSMem(sys *mem.System, id mem.WorkloadID, n int) {
+	_, smem, _ := e.builder.Build(sys, id)
+	e.promote = smem.Hottest(e.promote, n)
+}
+
+// appendColdestFMemOf appends up to n of the coldest FMem pages across ids
+// to demote.
+func (e *PPE) appendColdestFMemOf(sys *mem.System, ids []mem.WorkloadID, n int) {
+	e.h.Reset()
+	for _, id := range ids {
+		for _, pid := range sys.WorkloadPages(id) {
+			if sys.Page(pid).Tier == mem.TierFMem {
+				e.h.Add(pid, sys.Page(pid).Hotness)
+			}
+		}
+	}
+	e.demote = e.h.Coldest(e.demote, n)
+}
+
+// beDelta pairs a BE workload with its outstanding allocation delta.
+type beDelta struct {
+	id    mem.WorkloadID
+	delta int
+}
+
+// appendProportionalPromotes distributes n promotions across the promote
+// set proportionally to each member's remaining demand (largest-remainder
+// rounding) and appends each member's hottest SMem pages.
+func (e *PPE) appendProportionalPromotes(sys *mem.System, set []beDelta, sum, n int) {
+	if sum <= 0 || n <= 0 {
+		return
+	}
+	shares := proportionalShares(set, sum, n)
+	for i, bd := range set {
+		if shares[i] > 0 {
+			e.appendHottestSMem(sys, bd.id, shares[i])
+		}
+	}
+}
+
+// appendProportionalDemotes distributes n demotions across the demote set
+// proportionally and appends each member's coldest FMem pages.
+func (e *PPE) appendProportionalDemotes(sys *mem.System, set []beDelta, sum, n int) {
+	if sum <= 0 || n <= 0 {
+		return
+	}
+	shares := proportionalShares(set, sum, n)
+	for i, bd := range set {
+		if shares[i] > 0 {
+			e.appendColdestFMemOf(sys, []mem.WorkloadID{bd.id}, shares[i])
+		}
+	}
+}
+
+// proportionalShares splits n across set members proportionally to their
+// deltas, capping at each delta, using largest-remainder rounding.
+func proportionalShares(set []beDelta, sum, n int) []int {
+	if n > sum {
+		n = sum
+	}
+	shares := make([]int, len(set))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, 0, len(set))
+	assigned := 0
+	for i, bd := range set {
+		exact := float64(n) * float64(bd.delta) / float64(sum)
+		shares[i] = int(exact)
+		if shares[i] > bd.delta {
+			shares[i] = bd.delta
+		}
+		assigned += shares[i]
+		rems = append(rems, rem{i, exact - float64(shares[i])})
+	}
+	// Distribute the remainder to the largest fractional parts.
+	for assigned < n {
+		best := -1
+		for j, r := range rems {
+			if shares[r.idx] >= set[r.idx].delta {
+				continue
+			}
+			if best == -1 || r.frac > rems[best].frac {
+				best = j
+			}
+		}
+		if best == -1 {
+			break
+		}
+		shares[rems[best].idx]++
+		rems[best].frac = -1
+		assigned++
+	}
+	return shares
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

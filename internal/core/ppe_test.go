@@ -1,0 +1,360 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/cgroupfs"
+	"github.com/tieredmem/mtat/internal/mem"
+	"github.com/tieredmem/mtat/internal/pebs"
+	"github.com/tieredmem/mtat/internal/policy"
+	"github.com/tieredmem/mtat/internal/workload"
+)
+
+// coreRig builds a small co-location for PP-E testing: LC 16 pages, two
+// BEs of 48 pages, FMem 32 pages, 16 pages/s migration budget.
+type coreRig struct {
+	sys     *mem.System
+	sampler *pebs.Sampler
+	lc      *workload.LC
+	bes     []*workload.BE
+	ctx     *policy.Context
+	now     float64
+}
+
+func newCoreRig(t *testing.T, lcTier mem.Tier) *coreRig {
+	t.Helper()
+	cfg := mem.Config{
+		PageSize:           1 << 20,
+		FMemBytes:          32 << 20,
+		SMemBytes:          256 << 20,
+		FMemLatency:        73 * time.Nanosecond,
+		SMemLatency:        202 * time.Nanosecond,
+		MigrationBandwidth: 16 << 20,
+	}
+	sys, err := mem.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcCfg := workload.RedisConfig()
+	lcCfg.RSSBytes = 16 << 20
+	lc, err := workload.NewLC(sys, lcCfg, lcTier, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bes []*workload.BE
+	for _, bc := range []workload.BEConfig{workload.SSSPConfig(2), workload.PRConfig(2)} {
+		bc.RSSBytes = 48 << 20
+		be, err := workload.NewBE(sys, bc, mem.TierSMem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bes = append(bes, be)
+	}
+	sampler, err := pebs.NewSampler(sys, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &coreRig{sys: sys, sampler: sampler, lc: lc, bes: bes}
+	r.ctx = &policy.Context{
+		Sys: sys, Sampler: sampler, DT: 0.1, LC: lc, BEs: bes,
+		BEResults: make([]workload.BETickResult, len(bes)),
+	}
+	return r
+}
+
+// tick advances workloads and runs one PP-E step.
+func (r *coreRig) tick(t *testing.T, e *PPE) {
+	t.Helper()
+	r.sys.BeginTick(100 * time.Millisecond)
+	r.sampler.BeginTick()
+	lcRes, err := r.lc.Tick(0.5, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sampler.RecordAccesses(r.lc.ID(), r.lc.Dist(), lcRes.Accesses)
+	for i, be := range r.bes {
+		res, err := be.Tick(0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.sampler.RecordAccesses(be.ID(), be.Dist(), res.Accesses)
+		r.ctx.BEResults[i] = res
+	}
+	r.ctx.LCResult = lcRes
+	r.ctx.Now = r.now
+	if err := e.Tick(r.ctx); err != nil {
+		t.Fatal(err)
+	}
+	r.now += 0.1
+}
+
+func TestPPEInitSeedsTargetsFromResidency(t *testing.T) {
+	rig := newCoreRig(t, mem.TierFMem)
+	e := NewPPE(cgroupfs.New(), false)
+	if err := e.Init(rig.ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Targets()[rig.lc.ID()]; got != 16 {
+		t.Errorf("initial LC target = %d, want 16 (current residency)", got)
+	}
+}
+
+func TestPPEInitRequiresWorkloads(t *testing.T) {
+	rig := newCoreRig(t, mem.TierFMem)
+	rig.ctx.LC = nil
+	rig.ctx.BEs = nil
+	if err := NewPPE(cgroupfs.New(), false).Init(rig.ctx); err == nil {
+		t.Error("PPE.Init with no workloads succeeded")
+	}
+}
+
+func TestPPEPublishesStats(t *testing.T) {
+	rig := newCoreRig(t, mem.TierFMem)
+	fs := cgroupfs.New()
+	e := NewPPE(fs, false)
+	if err := e.Init(rig.ctx); err != nil {
+		t.Fatal(err)
+	}
+	rig.tick(t, e)
+	stat, err := readStat(fs, rig.lc.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.FMemPages != rig.sys.FMemPages(rig.lc.ID()) {
+		t.Errorf("published FMemPages = %d, want %d", stat.FMemPages, rig.sys.FMemPages(rig.lc.ID()))
+	}
+	if stat.TotalPages != 16 {
+		t.Errorf("published TotalPages = %d, want 16", stat.TotalPages)
+	}
+	if stat.Accesses == 0 || stat.Requests == 0 {
+		t.Errorf("published access/request counters empty: %+v", stat)
+	}
+	// Interval reset clears accumulators.
+	e.ResetInterval()
+	rig.tick(t, e)
+	stat2, err := readStat(fs, rig.lc.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat2.Accesses >= stat.Accesses*2 {
+		t.Errorf("ResetInterval did not clear accumulation: %d then %d", stat.Accesses, stat2.Accesses)
+	}
+}
+
+func TestPPEAppliesPolicyFile(t *testing.T) {
+	rig := newCoreRig(t, mem.TierFMem) // LC holds all 16 of its pages in FMem
+	fs := cgroupfs.New()
+	e := NewPPE(fs, false)
+	if err := e.Init(rig.ctx); err != nil {
+		t.Fatal(err)
+	}
+	// PP-M writes: shrink LC to 4, give BE0 20, BE1 8 (sums to 32).
+	targets := map[mem.WorkloadID]int{
+		rig.lc.ID():     4,
+		rig.bes[0].ID(): 20,
+		rig.bes[1].ID(): 8,
+	}
+	if err := fs.WriteString(policyPath, encodePolicy(targets)); err != nil {
+		t.Fatal(err)
+	}
+	// Budget is 1.6 pages/tick; give it 40 ticks (4 s) to converge on the
+	// ~24 required moves.
+	for i := 0; i < 40; i++ {
+		rig.tick(t, e)
+	}
+	if got := rig.sys.FMemPages(rig.lc.ID()); got != 4 {
+		t.Errorf("LC FMem pages = %d, want 4", got)
+	}
+	if got := rig.sys.FMemPages(rig.bes[0].ID()); got != 20 {
+		t.Errorf("BE0 FMem pages = %d, want 20", got)
+	}
+	if got := rig.sys.FMemPages(rig.bes[1].ID()); got != 8 {
+		t.Errorf("BE1 FMem pages = %d, want 8", got)
+	}
+}
+
+func TestPPELCFirstPriority(t *testing.T) {
+	// LC grows from 0 to 16 while both BEs should shrink; LC movement
+	// must dominate early slices.
+	rig := newCoreRig(t, mem.TierSMem)
+	fs := cgroupfs.New()
+	e := NewPPE(fs, false)
+	if err := e.Init(rig.ctx); err != nil {
+		t.Fatal(err)
+	}
+	// First fill FMem with BE pages (targets 16/16).
+	if err := fs.WriteString(policyPath, encodePolicy(map[mem.WorkloadID]int{
+		rig.lc.ID(): 0, rig.bes[0].ID(): 16, rig.bes[1].ID(): 16,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		rig.tick(t, e)
+	}
+	if got := rig.sys.FMemPages(rig.bes[0].ID()) + rig.sys.FMemPages(rig.bes[1].ID()); got != 32 {
+		t.Fatalf("setup failed: BE FMem pages = %d, want 32", got)
+	}
+	// Now demand LC=16 with BEs shrinking to 8/8.
+	if err := fs.WriteString(policyPath, encodePolicy(map[mem.WorkloadID]int{
+		rig.lc.ID(): 16, rig.bes[0].ID(): 8, rig.bes[1].ID(): 8,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	// After a few ticks, LC must have gained pages while total stays
+	// capped — LC-first in action.
+	for i := 0; i < 5; i++ {
+		rig.tick(t, e)
+	}
+	gained := rig.sys.FMemPages(rig.lc.ID())
+	if gained == 0 {
+		t.Error("LC gained no FMem in early slices despite priority")
+	}
+	for i := 0; i < 40; i++ {
+		rig.tick(t, e)
+	}
+	if got := rig.sys.FMemPages(rig.lc.ID()); got != 16 {
+		t.Errorf("LC FMem pages = %d, want 16", got)
+	}
+	// Proportional demotion: both BEs shrank toward 8 (allow rounding).
+	b0 := rig.sys.FMemPages(rig.bes[0].ID())
+	b1 := rig.sys.FMemPages(rig.bes[1].ID())
+	if b0 != 8 || b1 != 8 {
+		t.Errorf("BE FMem pages = %d/%d, want 8/8", b0, b1)
+	}
+}
+
+func TestPPESharedBEPoolsRemainder(t *testing.T) {
+	rig := newCoreRig(t, mem.TierSMem)
+	fs := cgroupfs.New()
+	e := NewPPE(fs, true) // LC Only variant
+	if err := e.Init(rig.ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteString(policyPath, encodePolicy(map[mem.WorkloadID]int{
+		rig.lc.ID(): 8,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		rig.tick(t, e)
+	}
+	if got := rig.sys.FMemPages(rig.lc.ID()); got != 8 {
+		t.Errorf("LC FMem pages = %d, want 8", got)
+	}
+	// The BEs share the remaining 24 pages by hotness.
+	beTotal := rig.sys.FMemPages(rig.bes[0].ID()) + rig.sys.FMemPages(rig.bes[1].ID())
+	if beTotal != 24 {
+		t.Errorf("shared BE pool = %d pages, want 24", beTotal)
+	}
+	// PR (stronger skew) should out-compete SSSP for the shared pool.
+	if pr, sssp := rig.sys.FMemPages(rig.bes[1].ID()), rig.sys.FMemPages(rig.bes[0].ID()); pr <= sssp/2 {
+		t.Errorf("shared pool: PR = %d, SSSP = %d; expected PR competitive", pr, sssp)
+	}
+}
+
+func TestPPEIgnoresMalformedPolicy(t *testing.T) {
+	rig := newCoreRig(t, mem.TierFMem)
+	fs := cgroupfs.New()
+	e := NewPPE(fs, false)
+	if err := e.Init(rig.ctx); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Targets()[rig.lc.ID()]
+	if err := fs.WriteString(policyPath, "garbage here"); err != nil {
+		t.Fatal(err)
+	}
+	rig.tick(t, e)
+	if got := e.Targets()[rig.lc.ID()]; got != before {
+		t.Errorf("malformed policy changed targets: %d -> %d", before, got)
+	}
+	// Policies naming unknown workloads are ignored for those entries.
+	if err := fs.WriteString(policyPath, "99 5\n0 7\n"); err != nil {
+		t.Fatal(err)
+	}
+	rig.tick(t, e)
+	if got := e.Targets()[mem.WorkloadID(0)]; got != 7 {
+		t.Errorf("valid entry not applied: %d", got)
+	}
+	if _, ok := e.Targets()[mem.WorkloadID(99)]; ok {
+		t.Error("unknown workload added to targets")
+	}
+}
+
+func TestProportionalShares(t *testing.T) {
+	set := []beDelta{{0, 10}, {1, 20}, {2, 10}}
+	shares := proportionalShares(set, 40, 20)
+	if got := shares[0] + shares[1] + shares[2]; got != 20 {
+		t.Fatalf("shares sum = %d, want 20", got)
+	}
+	if shares[0] != 5 || shares[1] != 10 || shares[2] != 5 {
+		t.Errorf("shares = %v, want [5 10 5]", shares)
+	}
+	// n > sum caps at the deltas.
+	shares = proportionalShares(set, 40, 100)
+	if shares[0] != 10 || shares[1] != 20 || shares[2] != 10 {
+		t.Errorf("capped shares = %v, want [10 20 10]", shares)
+	}
+	// Rounding with remainders still sums correctly.
+	shares = proportionalShares([]beDelta{{0, 3}, {1, 3}, {2, 3}}, 9, 7)
+	if got := shares[0] + shares[1] + shares[2]; got != 7 {
+		t.Errorf("remainder shares sum = %d, want 7", got)
+	}
+	for _, s := range shares {
+		if s > 3 {
+			t.Errorf("share %d exceeds delta 3", s)
+		}
+	}
+}
+
+// TestPPEConvergesToArbitraryTargets is the Algorithm 3 end-to-end
+// property: for random feasible partition policies, PP-E drives the
+// system to exactly the requested allocation within the bandwidth-implied
+// number of ticks, without ever oversubscribing FMem.
+func TestPPEConvergesToArbitraryTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		rig := newCoreRig(t, mem.TierFMem)
+		fs := cgroupfs.New()
+		e := NewPPE(fs, false)
+		if err := e.Init(rig.ctx); err != nil {
+			t.Fatal(err)
+		}
+		// Random feasible targets: LC up to its size, BEs split the rest.
+		capacity := rig.sys.FMemCapacityPages()
+		lcMax := rig.sys.TotalPages(rig.lc.ID())
+		lcT := rng.Intn(min(capacity, lcMax) + 1)
+		rem := capacity - lcT
+		b0 := rng.Intn(rem + 1)
+		b1 := rem - b0
+		if m := rig.sys.TotalPages(rig.bes[0].ID()); b0 > m {
+			b0 = m
+		}
+		if m := rig.sys.TotalPages(rig.bes[1].ID()); b1 > m {
+			b1 = m
+		}
+		targets := map[mem.WorkloadID]int{
+			rig.lc.ID():     lcT,
+			rig.bes[0].ID(): b0,
+			rig.bes[1].ID(): b1,
+		}
+		if err := fs.WriteString(policyPath, encodePolicy(targets)); err != nil {
+			t.Fatal(err)
+		}
+		// Budget: 1.6 pages/tick; worst case needs ~2*capacity moves.
+		for i := 0; i < 120; i++ {
+			rig.tick(t, e)
+			used := rig.sys.FMemCapacityPages() - rig.sys.FMemFreePages()
+			if used > capacity {
+				t.Fatalf("trial %d: FMem oversubscribed (%d > %d)", trial, used, capacity)
+			}
+		}
+		for id, want := range targets {
+			if got := rig.sys.FMemPages(id); got != want {
+				t.Errorf("trial %d: workload %d has %d FMem pages, want %d",
+					trial, id, got, want)
+			}
+		}
+	}
+}

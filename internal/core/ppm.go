@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/anneal"
+	"github.com/tieredmem/mtat/internal/cgroupfs"
+	"github.com/tieredmem/mtat/internal/mem"
+	"github.com/tieredmem/mtat/internal/profile"
+	"github.com/tieredmem/mtat/internal/rl"
+)
+
+// PPMConfig configures the Partition Policy Maker.
+type PPMConfig struct {
+	// IntervalSeconds is the partition-policy decision interval. The
+	// paper's prototype updates once per minute on hour-long deployments;
+	// scaled to the 240 s evaluation scenarios the default is 2.5 s,
+	// preserving roughly the same ratio of decisions to load changes.
+	IntervalSeconds float64
+	// SLOSeconds is the LC latency objective driving the reward (Eq. 2).
+	SLOSeconds float64
+	// MaxLoadAccesses normalizes the Memory Access Count state input:
+	// the LC workload's access rate at max load (accesses/second).
+	MaxLoadAccesses float64
+	// MinLCPages floors the LC partition so the agent cannot zero it.
+	MinLCPages int
+	// BEUnitPages is the simulated-annealing allocation granularity (the
+	// paper profiles in 1 GB steps).
+	BEUnitPages int
+	// SAC configures the reinforcement-learning agent.
+	SAC rl.SACConfig
+	// Anneal configures the BE fairness search.
+	Anneal anneal.Config
+	// SharedBE disables BE partitioning (the MTAT (LC Only) variant).
+	SharedBE bool
+	// ShrinkFactor limits how fast the LC partition shrinks relative to
+	// the action bound: negative actions are scaled to at most
+	// ShrinkFactor*M/(2t) per interval. Growing stays at the full bound.
+	// Asymmetric rate limiting keeps a single noisy shrink decision from
+	// gutting the LC partition at peak load, and reproduces the gradual
+	// post-peak release visible in the paper's Figure 5 allocation
+	// traces. 1.0 disables the asymmetry.
+	ShrinkFactor float64
+	// HighLoadHold suppresses shrink actions while the normalized memory
+	// access count is at or above this fraction of max load: releasing
+	// LC FMem at peak demand can only hurt, and a single noisy shrink
+	// there costs an SLO violation before the next decision can undo it.
+	// Values >= 1 disable the hold.
+	HighLoadHold float64
+	// ReactiveGuard forces the LC partition to grow by the full action
+	// bound whenever the previous interval violated the SLO, regardless
+	// of the agent's action. The transition is still recorded, so the
+	// agent learns from guarded intervals too. This is an implementation
+	// safeguard on top of the paper's pure-RL policy: it bounds the cost
+	// of exploratory or early-training actions without changing the
+	// steady-state policy (a trained agent rarely triggers it).
+	ReactiveGuard bool
+}
+
+// DefaultPPMConfig returns the configuration used in the experiments.
+func DefaultPPMConfig(slo float64, maxLoadAccesses float64) PPMConfig {
+	return PPMConfig{
+		IntervalSeconds: 2.5,
+		SLOSeconds:      slo,
+		MaxLoadAccesses: maxLoadAccesses,
+		MinLCPages:      0,
+		BEUnitPages:     256, // 1 GiB of 4 MiB pages
+		SAC:             rl.DefaultSACConfig(),
+		Anneal:          anneal.DefaultConfig(),
+		ShrinkFactor:    0.25,
+		HighLoadHold:    0.7,
+		ReactiveGuard:   true,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c PPMConfig) Validate() error {
+	if c.IntervalSeconds <= 0 {
+		return fmt.Errorf("core: IntervalSeconds must be > 0, got %g", c.IntervalSeconds)
+	}
+	if c.SLOSeconds <= 0 {
+		return fmt.Errorf("core: SLOSeconds must be > 0, got %g", c.SLOSeconds)
+	}
+	if c.MaxLoadAccesses <= 0 {
+		return fmt.Errorf("core: MaxLoadAccesses must be > 0, got %g", c.MaxLoadAccesses)
+	}
+	if c.MinLCPages < 0 {
+		return fmt.Errorf("core: MinLCPages must be >= 0, got %d", c.MinLCPages)
+	}
+	if c.BEUnitPages <= 0 {
+		return fmt.Errorf("core: BEUnitPages must be > 0, got %d", c.BEUnitPages)
+	}
+	if c.ShrinkFactor <= 0 || c.ShrinkFactor > 1 {
+		return fmt.Errorf("core: ShrinkFactor must be in (0,1], got %g", c.ShrinkFactor)
+	}
+	if c.HighLoadHold <= 0 {
+		return fmt.Errorf("core: HighLoadHold must be > 0, got %g", c.HighLoadHold)
+	}
+	if err := c.SAC.Validate(); err != nil {
+		return err
+	}
+	return c.Anneal.Validate()
+}
+
+// PPM is the Partition Policy Maker (§3.2, the paper's user-space daemon):
+// an RL agent sizes the LC partition to the minimum satisfying the SLO,
+// and a simulated-annealing search splits the remaining FMem across BE
+// workloads to maximize the worst normalized performance.
+type PPM struct {
+	cfg   PPMConfig
+	fs    *cgroupfs.FS
+	agent *rl.SAC
+
+	lcID  mem.WorkloadID
+	hasLC bool
+	beIDs []mem.WorkloadID
+	// profiles[i] is the offline throughput profile for beIDs[i].
+	profiles []profile.BEProfile
+
+	fmemCap       int
+	maxDeltaPages int
+
+	// pending transition awaiting its reward.
+	prevState  []float64
+	prevAction float64
+	hasPrev    bool
+
+	// eval mode: deterministic actions, no training.
+	eval bool
+
+	// decision bookkeeping for §5.5 overhead accounting.
+	decisions    int
+	computeTime  time.Duration
+	saIters      int
+	lastLCTarget int
+}
+
+// NewPPM returns a policy maker communicating over fs.
+func NewPPM(cfg PPMConfig, fs *cgroupfs.FS) (*PPM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	agent, err := rl.NewSAC(cfg.SAC)
+	if err != nil {
+		return nil, err
+	}
+	return &PPM{cfg: cfg, fs: fs, agent: agent}, nil
+}
+
+// Bind attaches PP-M to the workload topology: the LC workload (or
+// hasLC=false), the BE workloads with their offline profiles, the FMem
+// capacity, and the migration-bandwidth-derived action bound M/(2t) in
+// pages (Eq. 1).
+func (m *PPM) Bind(lcID mem.WorkloadID, hasLC bool, beIDs []mem.WorkloadID,
+	profiles []profile.BEProfile, fmemCap, maxDeltaPages int) error {
+	if len(beIDs) != len(profiles) && !m.cfg.SharedBE {
+		return fmt.Errorf("core: %d BE workloads but %d profiles", len(beIDs), len(profiles))
+	}
+	if fmemCap <= 0 {
+		return fmt.Errorf("core: fmemCap must be > 0, got %d", fmemCap)
+	}
+	if maxDeltaPages <= 0 {
+		return fmt.Errorf("core: maxDeltaPages must be > 0, got %d", maxDeltaPages)
+	}
+	m.lcID = lcID
+	m.hasLC = hasLC
+	m.beIDs = append(m.beIDs[:0], beIDs...)
+	m.profiles = append(m.profiles[:0], profiles...)
+	m.fmemCap = fmemCap
+	m.maxDeltaPages = maxDeltaPages
+	m.hasPrev = false
+	m.lastLCTarget = -1
+	return nil
+}
+
+// SetEvalMode switches between online training (false) and frozen
+// deterministic evaluation (true).
+func (m *PPM) SetEvalMode(eval bool) { m.eval = eval }
+
+// ResetEpisode clears the pending transition between runs (RL weights are
+// kept — that is the point of pre-training).
+func (m *PPM) ResetEpisode() {
+	m.hasPrev = false
+	m.lastLCTarget = -1
+}
+
+// Agent exposes the underlying SAC agent (for pre-training harnesses).
+func (m *PPM) Agent() *rl.SAC { return m.agent }
+
+// Decisions returns how many partition decisions have been made.
+func (m *PPM) Decisions() int { return m.decisions }
+
+// ComputeTime returns the cumulative wall-clock time spent deciding —
+// the PP-M CPU overhead of §5.5.
+func (m *PPM) ComputeTime() time.Duration { return m.computeTime }
+
+// Decide reads the interval statistics from the cgroup interface, makes a
+// partition decision, and writes the policy file. Called once per
+// decision interval.
+func (m *PPM) Decide() error {
+	start := time.Now()
+	defer func() {
+		m.computeTime += time.Since(start)
+		m.decisions++
+	}()
+
+	targets := make(map[mem.WorkloadID]int, len(m.beIDs)+1)
+	lcTarget := 0
+	if m.hasLC {
+		stat, err := readStat(m.fs, m.lcID)
+		if err != nil {
+			return fmt.Errorf("core: PPM read LC stat: %w", err)
+		}
+		lcTarget = m.decideLC(stat)
+		targets[m.lcID] = lcTarget
+	}
+
+	if !m.cfg.SharedBE && len(m.beIDs) > 0 {
+		remaining := m.fmemCap - lcTarget
+		if remaining < 0 {
+			remaining = 0
+		}
+		alloc, err := m.decideBE(remaining)
+		if err != nil {
+			return err
+		}
+		for i, id := range m.beIDs {
+			targets[id] = alloc[i]
+		}
+	}
+
+	return m.fs.WriteString(policyPath, encodePolicy(targets))
+}
+
+// decideLC runs one RL step (state observation, reward assignment for the
+// previous action, action selection) and returns the new LC target.
+func (m *PPM) decideLC(stat workloadStat) int {
+	state := m.lcState(stat)
+
+	if m.hasPrev && !m.eval {
+		// Reward for the previous interval's action (Eq. 2).
+		var reward float64
+		if stat.P99 <= m.cfg.SLOSeconds {
+			reward = 1 - state[0] // 1 - FMem usage ratio
+		} else {
+			reward = -1
+		}
+		// Errors here mean a malformed transition, which is a bug in
+		// this file, not a runtime condition; state dims are fixed.
+		if err := m.agent.Observe(rl.Transition{
+			State:     m.prevState,
+			Action:    m.prevAction,
+			Reward:    reward,
+			NextState: state,
+		}); err != nil {
+			panic(fmt.Sprintf("core: SAC observe: %v", err))
+		}
+	}
+
+	action, err := m.agent.SelectAction(state, m.eval)
+	if err != nil {
+		panic(fmt.Sprintf("core: SAC select: %v", err))
+	}
+
+	cur := stat.FMemPages
+	scaled := action
+	if scaled < 0 {
+		scaled *= m.cfg.ShrinkFactor
+		if state[2] >= m.cfg.HighLoadHold {
+			scaled = 0 // high-load hold: do not release LC memory at peak
+		}
+	}
+	target := cur + int(scaled*float64(m.maxDeltaPages))
+	if m.cfg.ReactiveGuard && stat.P99 > 0.8*m.cfg.SLOSeconds {
+		// The last interval violated the SLO or came within 20% of it:
+		// grow by the full action bound.
+		if grown := cur + m.maxDeltaPages; target < grown {
+			target = grown
+		}
+	}
+	if target < m.cfg.MinLCPages {
+		target = m.cfg.MinLCPages
+	}
+	if target > m.fmemCap {
+		target = m.fmemCap
+	}
+	if target > stat.TotalPages {
+		target = stat.TotalPages
+	}
+	// Record the *applied* action, not the raw policy output: the guard
+	// and the clamps may have overridden it, and crediting outcomes to an
+	// action that was not executed would corrupt the value estimates.
+	applied := 0.0
+	if m.maxDeltaPages > 0 {
+		applied = float64(target-cur) / float64(m.maxDeltaPages)
+	}
+	if applied > 1 {
+		applied = 1
+	}
+	if applied < -1 {
+		applied = -1
+	}
+	m.prevState = state
+	m.prevAction = applied
+	m.hasPrev = true
+	m.lastLCTarget = target
+	return target
+}
+
+// lcState builds the RL state vector (§3.2.1): FMem usage ratio, FMem
+// access ratio, and normalized memory access count.
+func (m *PPM) lcState(stat workloadStat) []float64 {
+	usage := 0.0
+	if stat.TotalPages > 0 {
+		usage = float64(stat.FMemPages) / float64(stat.TotalPages)
+	}
+	accessRatio := 0.0
+	if total := stat.FMemAcc + stat.SMemAcc; total > 0 {
+		accessRatio = float64(stat.FMemAcc) / float64(total)
+	}
+	norm := float64(stat.Accesses) / (m.cfg.MaxLoadAccesses * m.cfg.IntervalSeconds)
+	if norm > 1 {
+		norm = 1
+	}
+	return []float64{usage, accessRatio, norm}
+}
+
+// decideBE runs the simulated-annealing fairness search (Algorithm 2)
+// over the remaining FMem, returning per-BE page allocations.
+func (m *PPM) decideBE(remainingPages int) ([]int, error) {
+	n := len(m.beIDs)
+	units := remainingPages / m.cfg.BEUnitPages
+	obj := func(alloc []int) float64 {
+		worst := 2.0
+		for i, u := range alloc {
+			np := m.profiles[i].NP(u * m.cfg.BEUnitPages)
+			if np < worst {
+				worst = np
+			}
+		}
+		return worst
+	}
+	res, err := anneal.Search(m.cfg.Anneal, n, units, obj)
+	if err != nil {
+		return nil, fmt.Errorf("core: BE annealing: %w", err)
+	}
+	m.saIters += res.Iters
+	pages := make([]int, n)
+	used := 0
+	for i, u := range res.Alloc {
+		pages[i] = u * m.cfg.BEUnitPages
+		used += pages[i]
+	}
+	// Hand the sub-unit remainder to the worst-off workload.
+	if extra := remainingPages - used; extra > 0 && n > 0 {
+		worstIdx := 0
+		worstNP := 2.0
+		for i := range pages {
+			if np := m.profiles[i].NP(pages[i]); np < worstNP {
+				worstNP = np
+				worstIdx = i
+			}
+		}
+		pages[worstIdx] += extra
+	}
+	return pages, nil
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tieredmem/mtat/internal/cgroupfs"
+	"github.com/tieredmem/mtat/internal/mem"
+	"github.com/tieredmem/mtat/internal/profile"
+)
+
+// fakeProfile builds a linear throughput profile: tput = base + slope*pages
+// up to totalPages.
+func fakeProfile(name string, base, slope float64, totalPages, stepPages int) profile.BEProfile {
+	steps := totalPages/stepPages + 2
+	p := profile.BEProfile{
+		Name:       name,
+		StepPages:  stepPages,
+		TotalPages: totalPages,
+		Throughput: make([]float64, steps),
+		PerfFull:   base + slope*float64(totalPages),
+	}
+	for i := range p.Throughput {
+		pages := i * stepPages
+		if pages > totalPages {
+			pages = totalPages
+		}
+		p.Throughput[i] = base + slope*float64(pages)
+	}
+	return p
+}
+
+func testPPMConfig() PPMConfig {
+	cfg := DefaultPPMConfig(0.020, 80000*30)
+	cfg.BEUnitPages = 4
+	cfg.Anneal.MaxIters = 2000
+	cfg.Anneal.Decay = 0.998
+	return cfg
+}
+
+func TestPPMConfigValidate(t *testing.T) {
+	base := testPPMConfig()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base config invalid: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*PPMConfig)
+	}{
+		{"zero interval", func(c *PPMConfig) { c.IntervalSeconds = 0 }},
+		{"zero slo", func(c *PPMConfig) { c.SLOSeconds = 0 }},
+		{"zero max accesses", func(c *PPMConfig) { c.MaxLoadAccesses = 0 }},
+		{"negative min pages", func(c *PPMConfig) { c.MinLCPages = -1 }},
+		{"zero unit", func(c *PPMConfig) { c.BEUnitPages = 0 }},
+		{"bad sac", func(c *PPMConfig) { c.SAC.Gamma = 1.5 }},
+		{"bad anneal", func(c *PPMConfig) { c.Anneal.Decay = 0 }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			c := base
+			m.mut(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestPPMBindValidation(t *testing.T) {
+	m, err := NewPPM(testPPMConfig(), cgroupfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := fakeProfile("a", 10, 1, 64, 4)
+	if err := m.Bind(0, true, []mem.WorkloadID{1, 2}, []profile.BEProfile{prof}, 32, 8); err == nil {
+		t.Error("profile/BE count mismatch accepted")
+	}
+	if err := m.Bind(0, true, nil, nil, 0, 8); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if err := m.Bind(0, true, nil, nil, 32, 0); err == nil {
+		t.Error("zero action bound accepted")
+	}
+}
+
+func TestDecideBEEqualizesNP(t *testing.T) {
+	m, err := NewPPM(testPPMConfig(), cgroupfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workload a is insensitive (high base), b is FMem-hungry (low base,
+	// steep slope). Fairness should give b the bulk of the pages.
+	profs := []profile.BEProfile{
+		fakeProfile("a", 90, 0.15625, 64, 4), // NP(0)=0.9
+		fakeProfile("b", 30, 1.09375, 64, 4), // NP(0)=0.3
+	}
+	if err := m.Bind(0, false, []mem.WorkloadID{1, 2}, profs, 64, 8); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := m.decideBE(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := alloc[0] + alloc[1]; got != 48 {
+		t.Fatalf("allocation sum = %d, want 48", got)
+	}
+	if alloc[1] <= alloc[0] {
+		t.Errorf("fairness should favor the hungry workload: got %v", alloc)
+	}
+	npA := profs[0].NP(alloc[0])
+	npB := profs[1].NP(alloc[1])
+	if diff := npA - npB; diff > 0.15 || diff < -0.15 {
+		t.Errorf("NPs not equalized: a=%.3f b=%.3f (alloc %v)", npA, npB, alloc)
+	}
+}
+
+func TestDecideLCActionBounded(t *testing.T) {
+	cfg := testPPMConfig()
+	m, err := NewPPM(cfg, cgroupfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fmemCap, maxDelta = 100, 10
+	if err := m.Bind(0, true, nil, nil, fmemCap, maxDelta); err != nil {
+		t.Fatal(err)
+	}
+	stat := workloadStat{FMemPages: 50, TotalPages: 120, FMemAcc: 10, SMemAcc: 10,
+		Accesses: 1000, P99: 0.001}
+	for i := 0; i < 20; i++ {
+		target := m.decideLC(stat)
+		if target < stat.FMemPages-maxDelta || target > stat.FMemPages+maxDelta {
+			t.Fatalf("target %d outside action bound [%d, %d]",
+				target, stat.FMemPages-maxDelta, stat.FMemPages+maxDelta)
+		}
+		if target < 0 || target > fmemCap {
+			t.Fatalf("target %d outside [0, %d]", target, fmemCap)
+		}
+	}
+	// Target never exceeds the workload's own size.
+	statSmall := workloadStat{FMemPages: 4, TotalPages: 5, P99: 0.001}
+	for i := 0; i < 20; i++ {
+		if target := m.decideLC(statSmall); target > 5 {
+			t.Fatalf("target %d exceeds workload size 5", target)
+		}
+	}
+}
+
+func TestDecideLCFeedsAgent(t *testing.T) {
+	m, err := NewPPM(testPPMConfig(), cgroupfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bind(0, true, nil, nil, 100, 10); err != nil {
+		t.Fatal(err)
+	}
+	stat := workloadStat{FMemPages: 50, TotalPages: 100, P99: 0.001}
+	m.decideLC(stat) // first decision: no transition yet
+	if got := m.Agent().ReplayLen(); got != 0 {
+		t.Fatalf("replay after first decision = %d, want 0", got)
+	}
+	m.decideLC(stat) // second decision: one transition
+	if got := m.Agent().ReplayLen(); got != 1 {
+		t.Errorf("replay after second decision = %d, want 1", got)
+	}
+	// Eval mode freezes training.
+	m.SetEvalMode(true)
+	m.decideLC(stat)
+	m.decideLC(stat)
+	if got := m.Agent().ReplayLen(); got != 1 {
+		t.Errorf("eval mode still trains: replay = %d, want 1", got)
+	}
+	// ResetEpisode forgets the pending transition.
+	m.SetEvalMode(false)
+	m.ResetEpisode()
+	m.decideLC(stat)
+	if got := m.Agent().ReplayLen(); got != 1 {
+		t.Errorf("first decision after reset stored a transition: %d", got)
+	}
+}
+
+func TestPPMDecideWritesPolicy(t *testing.T) {
+	fs := cgroupfs.New()
+	m, err := NewPPM(testPPMConfig(), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs := []profile.BEProfile{
+		fakeProfile("a", 50, 0.5, 64, 4),
+		fakeProfile("b", 50, 0.5, 64, 4),
+	}
+	if err := m.Bind(0, true, []mem.WorkloadID{1, 2}, profs, 64, 8); err != nil {
+		t.Fatal(err)
+	}
+	// PP-E must have published LC stats first.
+	if err := fs.WriteString(statPath(0), (workloadStat{
+		FMemPages: 10, TotalPages: 40, FMemAcc: 5, SMemAcc: 5,
+		Accesses: 100, P99: 0.001,
+	}).encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Decide(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadString(policyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := decodePolicy(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 3 {
+		t.Fatalf("policy has %d entries, want 3: %v", len(targets), targets)
+	}
+	lcT := targets[0]
+	beSum := targets[1] + targets[2]
+	if lcT+beSum > 64 {
+		t.Errorf("policy oversubscribes FMem: LC %d + BE %d > 64", lcT, beSum)
+	}
+	if beSum != 64-lcT {
+		t.Errorf("BE allocation %d does not consume remaining %d", beSum, 64-lcT)
+	}
+	if m.Decisions() != 1 {
+		t.Errorf("Decisions = %d, want 1", m.Decisions())
+	}
+	if m.ComputeTime() <= 0 {
+		t.Error("ComputeTime not recorded")
+	}
+}
+
+func TestPPMDecideMissingStats(t *testing.T) {
+	fs := cgroupfs.New()
+	m, err := NewPPM(testPPMConfig(), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bind(0, true, nil, nil, 64, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Decide(); err == nil {
+		t.Error("Decide without published stats succeeded")
+	}
+}

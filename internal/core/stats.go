@@ -1,0 +1,157 @@
+// Package core implements MTAT, the paper's contribution (§3): an adaptive
+// tiered-memory manager that partitions FMem per workload. The Partition
+// Policy Maker (PP-M, §3.2) chooses the LC partition with a Soft
+// Actor-Critic agent and splits the remainder across BE workloads with a
+// fairness-maximizing simulated-annealing search; the Partition Policy
+// Enforcer (PP-E, §3.3) realizes those targets through LC-first,
+// bandwidth-sliced page exchanges (Algorithm 3) and keeps each partition
+// hot with per-workload access histograms (Figure 4). The two halves
+// communicate exclusively through a cgroup-style file interface, mirroring
+// the paper's user-daemon/kernel-daemon split (§4).
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/tieredmem/mtat/internal/cgroupfs"
+	"github.com/tieredmem/mtat/internal/mem"
+)
+
+// Paths in the cgroup filesystem. PP-E owns workload stat files; PP-M owns
+// the policy file.
+const (
+	statDir    = "mtat"
+	policyPath = "mtat/policy"
+)
+
+func statPath(id mem.WorkloadID) string {
+	return fmt.Sprintf("%s/%d/memory.stat", statDir, id)
+}
+
+// workloadStat is the per-workload measurement PP-E publishes each tick,
+// accumulated since the last partition decision.
+type workloadStat struct {
+	FMemPages  int
+	TotalPages int
+	// FMemAcc and SMemAcc are PEBS-sampled access counts by tier over
+	// the current interval.
+	FMemAcc uint64
+	SMemAcc uint64
+	// Accesses is the workload's total (unsampled) access count over the
+	// interval.
+	Accesses uint64
+	// P99 is the worst tick P99 latency over the interval (LC only).
+	P99 float64
+	// Violations and Requests accumulate SLO accounting (LC only).
+	Violations float64
+	Requests   float64
+}
+
+// encode renders the stat in cgroup "key value" line format.
+func (s workloadStat) encode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fmem_pages %d\n", s.FMemPages)
+	fmt.Fprintf(&b, "total_pages %d\n", s.TotalPages)
+	fmt.Fprintf(&b, "fmem_acc %d\n", s.FMemAcc)
+	fmt.Fprintf(&b, "smem_acc %d\n", s.SMemAcc)
+	fmt.Fprintf(&b, "accesses %d\n", s.Accesses)
+	fmt.Fprintf(&b, "p99_us %d\n", int64(s.P99*1e6))
+	fmt.Fprintf(&b, "violations %d\n", int64(s.Violations))
+	fmt.Fprintf(&b, "requests %d\n", int64(s.Requests))
+	return b.String()
+}
+
+// decodeStat parses the stat file format.
+func decodeStat(data string) (workloadStat, error) {
+	var s workloadStat
+	for _, line := range strings.Split(strings.TrimSpace(data), "\n") {
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, " ")
+		if !ok {
+			return s, fmt.Errorf("core: malformed stat line %q", line)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return s, fmt.Errorf("core: stat %s: %w", key, err)
+		}
+		switch key {
+		case "fmem_pages":
+			s.FMemPages = int(n)
+		case "total_pages":
+			s.TotalPages = int(n)
+		case "fmem_acc":
+			s.FMemAcc = uint64(n)
+		case "smem_acc":
+			s.SMemAcc = uint64(n)
+		case "accesses":
+			s.Accesses = uint64(n)
+		case "p99_us":
+			s.P99 = float64(n) / 1e6
+		case "violations":
+			s.Violations = float64(n)
+		case "requests":
+			s.Requests = float64(n)
+		default:
+			return s, fmt.Errorf("core: unknown stat key %q", key)
+		}
+	}
+	return s, nil
+}
+
+// encodePolicy renders partition targets as "id pages" lines.
+func encodePolicy(targets map[mem.WorkloadID]int) string {
+	var b strings.Builder
+	// Deterministic order: ascending ID.
+	max := mem.WorkloadID(-1)
+	for id := range targets {
+		if id > max {
+			max = id
+		}
+	}
+	for id := mem.WorkloadID(0); id <= max; id++ {
+		if pages, ok := targets[id]; ok {
+			fmt.Fprintf(&b, "%d %d\n", id, pages)
+		}
+	}
+	return b.String()
+}
+
+// decodePolicy parses the policy file format.
+func decodePolicy(data string) (map[mem.WorkloadID]int, error) {
+	targets := make(map[mem.WorkloadID]int)
+	for _, line := range strings.Split(strings.TrimSpace(data), "\n") {
+		if line == "" {
+			continue
+		}
+		idStr, pagesStr, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("core: malformed policy line %q", line)
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			return nil, fmt.Errorf("core: policy id: %w", err)
+		}
+		pages, err := strconv.Atoi(pagesStr)
+		if err != nil {
+			return nil, fmt.Errorf("core: policy pages: %w", err)
+		}
+		if pages < 0 {
+			return nil, fmt.Errorf("core: negative partition %d for workload %d", pages, id)
+		}
+		targets[mem.WorkloadID(id)] = pages
+	}
+	return targets, nil
+}
+
+// readStat fetches and parses one workload's stat file.
+func readStat(fs *cgroupfs.FS, id mem.WorkloadID) (workloadStat, error) {
+	data, err := fs.ReadString(statPath(id))
+	if err != nil {
+		return workloadStat{}, err
+	}
+	return decodeStat(data)
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tieredmem/mtat/internal/cgroupfs"
+	"github.com/tieredmem/mtat/internal/mem"
+)
+
+func TestStatRoundTrip(t *testing.T) {
+	in := workloadStat{
+		FMemPages:  123,
+		TotalPages: 456,
+		FMemAcc:    7890,
+		SMemAcc:    12,
+		Accesses:   34567,
+		P99:        0.01525,
+		Violations: 42,
+		Requests:   99999,
+	}
+	out, err := decodeStat(in.encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.FMemPages != in.FMemPages || out.TotalPages != in.TotalPages ||
+		out.FMemAcc != in.FMemAcc || out.SMemAcc != in.SMemAcc ||
+		out.Accesses != in.Accesses {
+		t.Errorf("counts did not round-trip: %+v vs %+v", out, in)
+	}
+	// P99 round-trips at microsecond precision.
+	if diff := out.P99 - in.P99; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("P99 = %g, want %g", out.P99, in.P99)
+	}
+	if out.Violations != in.Violations || out.Requests != in.Requests {
+		t.Errorf("SLO accounting did not round-trip: %+v", out)
+	}
+}
+
+func TestDecodeStatErrors(t *testing.T) {
+	cases := []string{
+		"fmem_pages",        // no value
+		"fmem_pages abc",    // non-numeric
+		"unknown_key 5",     // unknown key
+		"fmem_pages 1\nbad", // malformed second line
+	}
+	for _, data := range cases {
+		if _, err := decodeStat(data); err == nil {
+			t.Errorf("decodeStat(%q) succeeded, want error", data)
+		}
+	}
+	// Empty input decodes to zero values.
+	if s, err := decodeStat(""); err != nil || s.FMemPages != 0 {
+		t.Errorf("empty stat: %+v, %v", s, err)
+	}
+}
+
+func TestPolicyRoundTrip(t *testing.T) {
+	in := map[mem.WorkloadID]int{0: 100, 2: 0, 5: 9999}
+	out, err := decodePolicy(encodePolicy(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d entries, want %d", len(out), len(in))
+	}
+	for id, pages := range in {
+		if out[id] != pages {
+			t.Errorf("workload %d = %d pages, want %d", id, out[id], pages)
+		}
+	}
+}
+
+func TestDecodePolicyErrors(t *testing.T) {
+	cases := []string{
+		"1",    // no pages
+		"x 5",  // bad id
+		"1 x",  // bad pages
+		"1 -5", // negative partition
+	}
+	for _, data := range cases {
+		if _, err := decodePolicy(data); err == nil {
+			t.Errorf("decodePolicy(%q) succeeded, want error", data)
+		}
+	}
+}
+
+func TestReadStatMissing(t *testing.T) {
+	fs := cgroupfs.New()
+	if _, err := readStat(fs, 0); err == nil {
+		t.Error("readStat on empty fs succeeded")
+	}
+}

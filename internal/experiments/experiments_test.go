@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// tinySuite returns a suite small enough for unit tests: 1/16 scale, very
+// short training, shallow searches.
+func tinySuite(t *testing.T) *Suite {
+	t.Helper()
+	cfg := Quick()
+	cfg.Episodes = 2 // lifecycle only; behavior is covered in internal/sim
+	cfg.ProbeIters = 2
+	cfg.ProbeSeconds = 20
+	cfg.ProbeWarmup = 8
+	cfg.OutDir = t.TempDir()
+	s, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Default()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := Quick().Validate(); err != nil {
+		t.Fatalf("quick config invalid: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero scale", func(c *Config) { c.Scale = 0 }},
+		{"zero episodes", func(c *Config) { c.Episodes = 0 }},
+		{"zero train tick", func(c *Config) { c.TrainTickSeconds = 0 }},
+		{"no lc", func(c *Config) { c.LCNames = nil }},
+		{"no be", func(c *Config) { c.BENames = nil }},
+		{"zero probe iters", func(c *Config) { c.ProbeIters = 0 }},
+		{"warmup beyond probe", func(c *Config) { c.ProbeWarmup = c.ProbeSeconds }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			c := base
+			m.mut(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+			if _, err := NewSuite(c); err == nil {
+				t.Error("NewSuite accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		ids[e.ID] = true
+		got, ok := ByID(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Errorf("ByID(%q) failed", e.ID)
+		}
+	}
+	for _, want := range []string{"table1", "table2", "table3", "table4",
+		"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "overhead"} {
+		if !ids[want] {
+			t.Errorf("experiment %q missing from registry", want)
+		}
+	}
+	if _, ok := ByID("bogus"); ok {
+		t.Error("ByID(bogus) succeeded")
+	}
+}
+
+func TestCheapExperimentsRun(t *testing.T) {
+	s := tinySuite(t)
+	for _, id := range []string{"table1", "table2", "fig1", "fig7"} {
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatal("experiment missing")
+			}
+			var sb strings.Builder
+			if err := e.Run(s, &sb); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if sb.Len() == 0 {
+				t.Error("experiment produced no output")
+			}
+		})
+	}
+}
+
+func TestTable1OutputShape(t *testing.T) {
+	s := tinySuite(t)
+	var sb strings.Builder
+	if err := runTable1(s, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"redis", "memcached", "mongodb", "silo"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("table1 output missing %q", name)
+		}
+	}
+}
+
+func TestFig2Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping simulation-backed experiment in -short mode")
+	}
+	s := tinySuite(t)
+	var sb strings.Builder
+	if err := runFig2(s, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "FMem 25%") {
+		t.Errorf("fig2 output missing load steps:\n%s", out)
+	}
+	// The §2.2 phenomenon: residency collapses under MEMTIS.
+	if !strings.Contains(out, "residency at t=30s") {
+		t.Errorf("fig2 output missing residency line:\n%s", out)
+	}
+}
+
+func TestFig1MaxLoadsMonotone(t *testing.T) {
+	s := tinySuite(t)
+	maxLoads, err := fig1MaxLoads(s, "redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maxLoads) != len(fig1Ratios) {
+		t.Fatalf("got %d levels, want %d", len(maxLoads), len(fig1Ratios))
+	}
+	for i := 1; i < len(maxLoads); i++ {
+		if maxLoads[i] < maxLoads[i-1] {
+			t.Errorf("max load not monotone in FMem ratio: %v", maxLoads)
+		}
+	}
+	if _, err := fig1MaxLoads(s, "bogus"); err == nil {
+		t.Error("unknown LC accepted")
+	}
+}
+
+func TestPolicyListUnknown(t *testing.T) {
+	s := tinySuite(t)
+	scn, err := s.scenario("redis", 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.policyList(scn, "k", []string{"bogus"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	pols, err := s.policyList(scn, "k", []string{"FMEM_ALL", "TPP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pols) != 2 || pols[0].Name() != "FMEM_ALL" || pols[1].Name() != "TPP" {
+		t.Errorf("policyList = %v", pols)
+	}
+}
+
+func TestTrainedAgentCaching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping training in -short mode")
+	}
+	s := tinySuite(t)
+	scn, err := s.scenario("redis", 0, 0, []string{"sssp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log strings.Builder
+	s.SetLogWriter(&log)
+	if _, err := s.trainedMTAT(2, scn, "cache-test"); err != nil { // VariantLCOnly
+		t.Fatal(err)
+	}
+	first := strings.Count(log.String(), "training")
+	if _, err := s.trainedMTAT(2, scn, "cache-test"); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(log.String(), "training"); got != first {
+		t.Error("second trainedMTAT call retrained instead of using the cache")
+	}
+}
+
+func TestWriteCSVDisabled(t *testing.T) {
+	cfg := Quick()
+	cfg.OutDir = ""
+	s, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	err = s.writeCSV("x.csv", func(io.Writer) error { called = true; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("render called with OutDir disabled")
+	}
+}
+
+func TestSafeRatioAndClamp(t *testing.T) {
+	if got := safeRatio(4, 2); got != 2 {
+		t.Errorf("safeRatio = %g", got)
+	}
+	if got := safeRatio(4, 0); got != 0 {
+		t.Errorf("safeRatio by zero = %g", got)
+	}
+	if clamp01(-1) != 0 || clamp01(2) != 1 || clamp01(0.5) != 0.5 {
+		t.Error("clamp01 wrong")
+	}
+}
+
+// TestAllExperimentsRunTiny executes the entire registry end-to-end at a
+// minimal configuration (2 training episodes, shallow searches). It
+// verifies plumbing, caching, and CSV generation, not result quality —
+// the behavioral assertions live in internal/sim and the headline numbers
+// come from cmd/mtatbench at real configurations.
+func TestAllExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full-registry run in -short mode")
+	}
+	s := tinySuite(t)
+	var sb strings.Builder
+	if err := RunAll(s, &sb); err != nil {
+		t.Fatalf("RunAll: %v\noutput so far:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, e := range All() {
+		if !strings.Contains(out, "==== "+e.ID+":") {
+			t.Errorf("output missing experiment %q", e.ID)
+		}
+	}
+}

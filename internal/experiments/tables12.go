@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/tieredmem/mtat/internal/mem"
+	"github.com/tieredmem/mtat/internal/workload"
+)
+
+// runTable1 reproduces Table 1: the LC benchmark characteristics, plus the
+// simulator's calibration check — the measured max stable load at full
+// FMem residency (should sit at ~1.0x of the table's Max Load) and the
+// SMem-only ratio (the SMEM_ALL band of Figure 8).
+func runTable1(s *Suite, w io.Writer) error {
+	fmt.Fprintln(w, "Table 1: LC benchmark characteristics (paper values + calibration)")
+	fmt.Fprintf(w, "%-10s %9s %8s %15s %12s %12s\n",
+		"Benchmark", "RSS (GB)", "SLO (ms)", "Max Load (KRPS)", "meas. max/x", "SMem/FMem")
+	for _, cfg := range workload.LCConfigs() {
+		sys, err := mem.NewSystem(mem.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		lc, err := workload.NewLC(sys, cfg, mem.TierSMem, s.cfg.Seed)
+		if err != nil {
+			return err
+		}
+		hmax := float64(sys.FMemCapacityPages()) / float64(sys.TotalPages(lc.ID()))
+		if hmax > 1 {
+			hmax = 1
+		}
+		fullMax := lc.MaxStableLoadFrac(hmax, 0)
+		smemMax := lc.MaxStableLoadFrac(0, 0)
+		fmt.Fprintf(w, "%-10s %9.1f %8.0f %15.0f %12.3f %12.3f\n",
+			cfg.Name,
+			float64(cfg.RSSBytes)/float64(1<<30),
+			cfg.SLOSeconds*1000,
+			cfg.MaxLoadRPS/1000,
+			fullMax,
+			smemMax/fullMax)
+	}
+	return nil
+}
+
+// runTable2 reproduces Table 2: BE benchmark characteristics plus the
+// model's FMem-sensitivity summary (normalized performance with no FMem
+// and with a quarter of the working set resident).
+func runTable2(s *Suite, w io.Writer) error {
+	fmt.Fprintln(w, "Table 2: BE benchmark characteristics (paper values + model profile)")
+	fmt.Fprintf(w, "%-10s %9s %8s %8s %10s\n",
+		"Benchmark", "RSS (GB)", "NP(0)", "NP(25%)", "skew")
+	for _, cfg := range workload.BEConfigs(4) {
+		sys, err := mem.NewSystem(mem.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		be, err := workload.NewBE(sys, cfg, mem.TierSMem)
+		if err != nil {
+			return err
+		}
+		total := sys.TotalPages(be.ID())
+		np0 := be.ThroughputAt(0) / be.PerfFull()
+		np25 := be.ProfileThroughput(total/4) / be.PerfFull()
+		skew := "uniform"
+		switch cfg.Dist.Kind {
+		case workload.DistZipf:
+			skew = fmt.Sprintf("zipf %.2f", cfg.Dist.Theta)
+		case workload.DistZipfScanMix:
+			skew = fmt.Sprintf("zipf %.2f+scan", cfg.Dist.Theta)
+		}
+		fmt.Fprintf(w, "%-10s %9.1f %8.3f %8.3f %10s\n",
+			cfg.Name, float64(cfg.RSSBytes)/float64(1<<30), np0, np25, skew)
+	}
+	return nil
+}

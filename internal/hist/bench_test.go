@@ -1,0 +1,32 @@
+package hist
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tieredmem/mtat/internal/mem"
+)
+
+// BenchmarkBuildAndSplit measures the per-tick cost of rebuilding a
+// 9000-page histogram and hot-splitting it — the dominant policy-side
+// operation at paper scale.
+func BenchmarkBuildAndSplit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const pages = 9000
+	counts := make([]uint64, pages)
+	for i := range counts {
+		counts[i] = uint64(rng.Intn(4096))
+	}
+	var h Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		for p, c := range counts {
+			h.Add(mem.PageID(p), c)
+		}
+		hot, cold := h.HotSplit(2048)
+		_ = hot
+		_ = cold
+	}
+}

@@ -1,0 +1,28 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadTraceCSV ensures the trace parser never panics and that every
+// accepted trace yields bounded, non-negative fractions at arbitrary
+// query times.
+func FuzzReadTraceCSV(f *testing.F) {
+	f.Add("time,frac\n0,0.2\n10,0.8\n")
+	f.Add("0,0\n1,1\n2,0.5\n")
+	f.Add("")
+	f.Add("a,b\nc,d\n")
+	f.Add("0,-1\n1,2\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadTraceCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, q := range []float64{-1, 0, tr.Duration() / 2, tr.Duration(), tr.Duration() + 5} {
+			if got := tr.Frac(q); got < 0 {
+				t.Fatalf("accepted trace returned negative fraction %g at t=%g", got, q)
+			}
+		}
+	})
+}

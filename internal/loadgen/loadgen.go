@@ -1,0 +1,120 @@
+// Package loadgen provides the client load patterns applied to the
+// latency-critical workload: constant fractions of max load (§5.3's
+// 20/50/80% levels) and the Figure 7 ramp (20% → 100% → 20% of max load in
+// 20-percentage-point steps every 20 seconds) that drives the dynamic-load
+// experiments of §5.1 and §5.2.
+package loadgen
+
+import "fmt"
+
+// Pattern yields the offered load at simulation time t (seconds) as a
+// fraction of the workload's maximum load. Fractions may exceed 1 —
+// max-load searches probe beyond the nominal maximum.
+type Pattern interface {
+	// Frac returns the non-negative load fraction at time t.
+	Frac(t float64) float64
+	// Duration returns the natural length of the pattern in seconds.
+	Duration() float64
+}
+
+// Constant is a fixed load fraction.
+type Constant struct {
+	frac     float64
+	duration float64
+}
+
+var _ Pattern = (*Constant)(nil)
+
+// NewConstant returns a constant pattern at the given fraction for the
+// given duration (seconds).
+func NewConstant(frac, duration float64) (*Constant, error) {
+	if frac < 0 {
+		return nil, fmt.Errorf("loadgen: frac must be >= 0, got %g", frac)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be > 0, got %g", duration)
+	}
+	return &Constant{frac: frac, duration: duration}, nil
+}
+
+// Frac implements Pattern.
+func (c *Constant) Frac(float64) float64 { return c.frac }
+
+// Duration implements Pattern.
+func (c *Constant) Duration() float64 { return c.duration }
+
+// Steps is a piecewise-constant pattern: step i holds Fracs[i] for
+// StepLen seconds.
+type Steps struct {
+	fracs   []float64
+	stepLen float64
+}
+
+var _ Pattern = (*Steps)(nil)
+
+// NewSteps returns a step pattern. All fractions must be non-negative and
+// stepLen must be > 0.
+func NewSteps(fracs []float64, stepLen float64) (*Steps, error) {
+	if len(fracs) == 0 {
+		return nil, fmt.Errorf("loadgen: steps need at least one fraction")
+	}
+	if stepLen <= 0 {
+		return nil, fmt.Errorf("loadgen: stepLen must be > 0, got %g", stepLen)
+	}
+	for i, f := range fracs {
+		if f < 0 {
+			return nil, fmt.Errorf("loadgen: step %d fraction %g is negative", i, f)
+		}
+	}
+	cp := make([]float64, len(fracs))
+	copy(cp, fracs)
+	return &Steps{fracs: cp, stepLen: stepLen}, nil
+}
+
+// Frac implements Pattern. Before t=0 it returns the first step; beyond
+// the end it holds the last step.
+func (s *Steps) Frac(t float64) float64 {
+	if t < 0 {
+		return s.fracs[0]
+	}
+	i := int(t / s.stepLen)
+	if i >= len(s.fracs) {
+		i = len(s.fracs) - 1
+	}
+	return s.fracs[i]
+}
+
+// Duration implements Pattern.
+func (s *Steps) Duration() float64 { return s.stepLen * float64(len(s.fracs)) }
+
+// Fig7 returns the paper's Figure 7 dynamic load pattern: 20 s at each of
+// 20%, 40%, 60%, 80%, 100%, 100%, 80%, 60%, 40%, 20%, padded with one
+// extra 20% step at each end so the full run spans 240 s. Under this
+// pattern the low-load periods fall before 60 s and after 180 s and the
+// high-load interval covers 100–140 s, matching the §5.1 narrative.
+func Fig7() *Steps {
+	s, err := NewSteps([]float64{
+		0.2, 0.2, 0.4, 0.6, 0.8, 1.0, 1.0, 0.8, 0.6, 0.4, 0.2, 0.2,
+	}, 20)
+	if err != nil {
+		// The literal above is always valid; reaching here is a bug.
+		panic(err)
+	}
+	return s
+}
+
+// Scaled wraps a pattern, multiplying every fraction by Factor. Used to
+// retarget a load shape at a setting whose real capacity differs from the
+// workload profile's nominal max load (e.g. fewer serving cores).
+type Scaled struct {
+	Pattern Pattern
+	Factor  float64
+}
+
+var _ Pattern = (*Scaled)(nil)
+
+// Frac implements Pattern.
+func (s *Scaled) Frac(t float64) float64 { return s.Factor * s.Pattern.Frac(t) }
+
+// Duration implements Pattern.
+func (s *Scaled) Duration() float64 { return s.Pattern.Duration() }

@@ -1,0 +1,117 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewConstantValidation(t *testing.T) {
+	if _, err := NewConstant(-0.1, 10); err == nil {
+		t.Error("negative frac accepted")
+	}
+	if c, err := NewConstant(1.1, 10); err != nil || c.Frac(0) != 1.1 {
+		t.Error("frac > 1 should be accepted for max-load probes")
+	}
+	if _, err := NewConstant(0.5, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c, err := NewConstant(0.5, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0, 30, 59.9, 100} {
+		if got := c.Frac(tt); got != 0.5 {
+			t.Errorf("Frac(%g) = %g, want 0.5", tt, got)
+		}
+	}
+	if c.Duration() != 60 {
+		t.Errorf("Duration() = %g, want 60", c.Duration())
+	}
+}
+
+func TestNewStepsValidation(t *testing.T) {
+	if _, err := NewSteps(nil, 10); err == nil {
+		t.Error("empty steps accepted")
+	}
+	if _, err := NewSteps([]float64{0.5}, 0); err == nil {
+		t.Error("zero stepLen accepted")
+	}
+	if _, err := NewSteps([]float64{-0.5}, 10); err == nil {
+		t.Error("negative fraction accepted")
+	}
+}
+
+func TestStepsFrac(t *testing.T) {
+	s, err := NewSteps([]float64{0.2, 0.6, 1.0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t, want float64
+	}{
+		{-5, 0.2}, {0, 0.2}, {9.99, 0.2}, {10, 0.6}, {19.99, 0.6},
+		{20, 1.0}, {29.99, 1.0}, {30, 1.0}, {1000, 1.0},
+	}
+	for _, tc := range cases {
+		if got := s.Frac(tc.t); got != tc.want {
+			t.Errorf("Frac(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	if s.Duration() != 30 {
+		t.Errorf("Duration() = %g, want 30", s.Duration())
+	}
+}
+
+func TestStepsCopiesInput(t *testing.T) {
+	fracs := []float64{0.2, 0.4}
+	s, _ := NewSteps(fracs, 10)
+	fracs[0] = 0.9
+	if got := s.Frac(0); got != 0.2 {
+		t.Errorf("Steps aliased caller slice: Frac(0) = %g, want 0.2", got)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	p := Fig7()
+	if got := p.Duration(); got != 240 {
+		t.Fatalf("Fig7 duration = %g, want 240", got)
+	}
+	// Low-load before 60 s and after 180 s (paper §5.1).
+	for _, tt := range []float64{0, 30, 59, 185, 239} {
+		if got := p.Frac(tt); got > 0.4+1e-9 {
+			t.Errorf("Fig7 Frac(%g) = %g, want <= 0.4 (low-load period)", tt, got)
+		}
+	}
+	// High-load interval 100–140 s.
+	for _, tt := range []float64{100, 120, 139} {
+		if got := p.Frac(tt); got != 1.0 {
+			t.Errorf("Fig7 Frac(%g) = %g, want 1.0 (high-load interval)", tt, got)
+		}
+	}
+	// Symmetric ramp: value at t equals value at 240-t-epsilon.
+	for _, tt := range []float64{10, 50, 70, 90} {
+		up := p.Frac(tt)
+		down := p.Frac(240 - tt - 1e-9)
+		if math.Abs(up-down) > 1e-9 {
+			t.Errorf("Fig7 not symmetric: Frac(%g)=%g vs Frac(%g)=%g", tt, up, 240-tt, down)
+		}
+	}
+	// Steps are 20 percentage points.
+	if p.Frac(40) != 0.4 || p.Frac(60) != 0.6 || p.Frac(80) != 0.8 {
+		t.Error("Fig7 ramp steps wrong")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	base := Fig7()
+	s := &Scaled{Pattern: base, Factor: 0.5}
+	if got := s.Frac(120); got != 0.5 {
+		t.Errorf("Scaled Frac(120) = %g, want 0.5", got)
+	}
+	if s.Duration() != base.Duration() {
+		t.Error("Scaled must preserve duration")
+	}
+}

@@ -1,0 +1,158 @@
+package loadgen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Trace replays a recorded load trace: (time, fraction) samples with
+// linear interpolation between points and clamping outside the range.
+type Trace struct {
+	times []float64
+	fracs []float64
+}
+
+var _ Pattern = (*Trace)(nil)
+
+// NewTrace builds a trace pattern from parallel time/fraction slices.
+// Times must be strictly increasing and fractions non-negative.
+func NewTrace(times, fracs []float64) (*Trace, error) {
+	if len(times) == 0 || len(times) != len(fracs) {
+		return nil, fmt.Errorf("loadgen: trace needs equal non-empty times and fracs, got %d/%d",
+			len(times), len(fracs))
+	}
+	for i := range times {
+		if i > 0 && times[i] <= times[i-1] {
+			return nil, fmt.Errorf("loadgen: trace times must be strictly increasing at %d", i)
+		}
+		if fracs[i] < 0 || math.IsNaN(fracs[i]) {
+			return nil, fmt.Errorf("loadgen: trace fraction %g at %d is invalid", fracs[i], i)
+		}
+	}
+	return &Trace{
+		times: append([]float64(nil), times...),
+		fracs: append([]float64(nil), fracs...),
+	}, nil
+}
+
+// ReadTraceCSV parses a two-column CSV (time_seconds, load_fraction) into
+// a Trace. A header row is skipped if its first field is not numeric.
+func ReadTraceCSV(r io.Reader) (*Trace, error) {
+	records, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: read trace csv: %w", err)
+	}
+	var times, fracs []float64
+	for i, rec := range records {
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("loadgen: trace csv row %d has %d fields, want 2", i, len(rec))
+		}
+		t, errT := strconv.ParseFloat(rec[0], 64)
+		f, errF := strconv.ParseFloat(rec[1], 64)
+		if errT != nil || errF != nil {
+			if i == 0 {
+				continue // header
+			}
+			return nil, fmt.Errorf("loadgen: trace csv row %d is not numeric", i)
+		}
+		times = append(times, t)
+		fracs = append(fracs, f)
+	}
+	return NewTrace(times, fracs)
+}
+
+// Frac implements Pattern by linear interpolation.
+func (tr *Trace) Frac(t float64) float64 {
+	if t <= tr.times[0] {
+		return tr.fracs[0]
+	}
+	n := len(tr.times)
+	if t >= tr.times[n-1] {
+		return tr.fracs[n-1]
+	}
+	i := sort.SearchFloat64s(tr.times, t)
+	// times[i-1] < t <= times[i]
+	t0, t1 := tr.times[i-1], tr.times[i]
+	f0, f1 := tr.fracs[i-1], tr.fracs[i]
+	return f0 + (f1-f0)*(t-t0)/(t1-t0)
+}
+
+// Duration implements Pattern.
+func (tr *Trace) Duration() float64 { return tr.times[len(tr.times)-1] }
+
+// Diurnal approximates a day/night load cycle: a raised sinusoid between
+// Low and High with the given period, starting at the trough.
+type Diurnal struct {
+	Low, High float64
+	Period    float64
+	Cycles    int
+}
+
+var _ Pattern = (*Diurnal)(nil)
+
+// NewDiurnal returns a diurnal pattern. 0 <= low < high and period > 0.
+func NewDiurnal(low, high, period float64, cycles int) (*Diurnal, error) {
+	if low < 0 || high <= low {
+		return nil, fmt.Errorf("loadgen: diurnal needs 0 <= low < high, got %g/%g", low, high)
+	}
+	if period <= 0 || cycles < 1 {
+		return nil, fmt.Errorf("loadgen: diurnal needs period > 0 and cycles >= 1")
+	}
+	return &Diurnal{Low: low, High: high, Period: period, Cycles: cycles}, nil
+}
+
+// Frac implements Pattern.
+func (d *Diurnal) Frac(t float64) float64 {
+	phase := 2 * math.Pi * t / d.Period
+	return d.Low + (d.High-d.Low)*(1-math.Cos(phase))/2
+}
+
+// Duration implements Pattern.
+func (d *Diurnal) Duration() float64 { return d.Period * float64(d.Cycles) }
+
+// Bursts lays periodic load spikes over a base level: every Period
+// seconds the load jumps to Peak for BurstLen seconds — the "sudden demand
+// surge" shape the paper's abstract calls out.
+type Bursts struct {
+	Base, Peak float64
+	Period     float64
+	BurstLen   float64
+	Total      float64
+}
+
+var _ Pattern = (*Bursts)(nil)
+
+// NewBursts returns a burst pattern. Bursts start at Period/2 so the run
+// begins at the base level.
+func NewBursts(base, peak, period, burstLen, total float64) (*Bursts, error) {
+	if base < 0 || peak <= base {
+		return nil, fmt.Errorf("loadgen: bursts need 0 <= base < peak, got %g/%g", base, peak)
+	}
+	if period <= 0 || burstLen <= 0 || burstLen >= period {
+		return nil, fmt.Errorf("loadgen: bursts need 0 < burstLen < period")
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("loadgen: bursts need total > 0")
+	}
+	return &Bursts{Base: base, Peak: peak, Period: period, BurstLen: burstLen, Total: total}, nil
+}
+
+// Frac implements Pattern.
+func (b *Bursts) Frac(t float64) float64 {
+	if t < 0 {
+		return b.Base
+	}
+	off := math.Mod(t, b.Period)
+	start := b.Period / 2
+	if off >= start && off < start+b.BurstLen {
+		return b.Peak
+	}
+	return b.Base
+}
+
+// Duration implements Pattern.
+func (b *Bursts) Duration() float64 { return b.Total }

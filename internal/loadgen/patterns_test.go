@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceValidation(t *testing.T) {
+	if _, err := NewTrace(nil, nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := NewTrace([]float64{0, 1}, []float64{0.5}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := NewTrace([]float64{0, 0}, []float64{0.5, 0.5}); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+	if _, err := NewTrace([]float64{0, 1}, []float64{0.5, -1}); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := NewTrace([]float64{0, 1}, []float64{0.5, math.NaN()}); err == nil {
+		t.Error("NaN fraction accepted")
+	}
+}
+
+func TestTraceInterpolation(t *testing.T) {
+	tr, err := NewTrace([]float64{0, 10, 20}, []float64{0.2, 0.8, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t, want float64
+	}{
+		{-5, 0.2}, {0, 0.2}, {5, 0.5}, {10, 0.8}, {15, 0.6}, {20, 0.4}, {99, 0.4},
+	}
+	for _, tc := range cases {
+		if got := tr.Frac(tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Frac(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	if tr.Duration() != 20 {
+		t.Errorf("Duration = %g, want 20", tr.Duration())
+	}
+}
+
+func TestReadTraceCSV(t *testing.T) {
+	in := "time,frac\n0,0.2\n10,0.8\n20,0.4\n"
+	tr, err := ReadTraceCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Frac(5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("csv trace Frac(5) = %g, want 0.5", got)
+	}
+	if _, err := ReadTraceCSV(strings.NewReader("0\n")); err == nil {
+		t.Error("single-column csv accepted")
+	}
+	if _, err := ReadTraceCSV(strings.NewReader("0,0.2\nx,y\n")); err == nil {
+		t.Error("non-numeric body row accepted")
+	}
+}
+
+func TestDiurnal(t *testing.T) {
+	d, err := NewDiurnal(0.2, 1.0, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Frac(0); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("trough = %g, want 0.2", got)
+	}
+	if got := d.Frac(50); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("peak = %g, want 1.0", got)
+	}
+	if got := d.Frac(100); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("next trough = %g, want 0.2", got)
+	}
+	if d.Duration() != 200 {
+		t.Errorf("Duration = %g, want 200", d.Duration())
+	}
+	if _, err := NewDiurnal(0.5, 0.4, 100, 1); err == nil {
+		t.Error("high < low accepted")
+	}
+	if _, err := NewDiurnal(0.1, 0.5, 0, 1); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestBursts(t *testing.T) {
+	b, err := NewBursts(0.2, 1.0, 60, 10, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bursts run [30,40), [90,100), [150,160).
+	cases := []struct {
+		t, want float64
+	}{
+		{-1, 0.2}, {0, 0.2}, {29, 0.2}, {30, 1.0}, {39.9, 1.0}, {40, 0.2},
+		{90, 1.0}, {100, 0.2}, {150, 1.0},
+	}
+	for _, tc := range cases {
+		if got := b.Frac(tc.t); got != tc.want {
+			t.Errorf("Frac(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	if b.Duration() != 180 {
+		t.Errorf("Duration = %g, want 180", b.Duration())
+	}
+	if _, err := NewBursts(0.5, 0.2, 60, 10, 180); err == nil {
+		t.Error("peak < base accepted")
+	}
+	if _, err := NewBursts(0.2, 1, 60, 60, 180); err == nil {
+		t.Error("burst as long as period accepted")
+	}
+	if _, err := NewBursts(0.2, 1, 60, 10, 0); err == nil {
+		t.Error("zero total accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package mem
+
+import (
+	"testing"
+	"time"
+)
+
+// benchSystem builds a paper-scale system with one workload in each tier.
+func benchSystem(b *testing.B) (*System, WorkloadID, WorkloadID) {
+	b.Helper()
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	inFMem, err := sys.AddWorkload(30<<30, TierFMem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inSMem, err := sys.AddWorkload(30<<30, TierSMem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, inFMem, inSMem
+}
+
+// BenchmarkExchange measures a bandwidth-bounded page exchange: one tick's
+// worth of paired promotions and demotions at paper scale.
+func BenchmarkExchange(b *testing.B) {
+	sys, a, c := benchSystem(b)
+	demote := sys.WorkloadPages(a)[:512]
+	promote := sys.WorkloadPages(c)[:512]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.BeginTick(100 * time.Millisecond)
+		if i%2 == 0 {
+			sys.Exchange(promote, demote)
+		} else {
+			sys.Exchange(demote, promote) // swap back
+		}
+	}
+}
+
+// BenchmarkAgeHotness measures the per-interval aging sweep over ~15k
+// pages.
+func BenchmarkAgeHotness(b *testing.B) {
+	sys, a, _ := benchSystem(b)
+	for _, pid := range sys.WorkloadPages(a) {
+		sys.AddHotness(pid, 1024)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.AgeHotness()
+	}
+}

@@ -1,0 +1,356 @@
+// Package mem models the two-tier memory system of the paper: a small fast
+// tier (FMem, local DRAM) and a large slow tier (SMem, CXL-emulated remote
+// DRAM). It tracks page placement per workload, enforces tier capacities,
+// and meters page migrations against a configurable bandwidth budget — the
+// same constraint that bounds MTAT's action space to ±M/(2t) (Eq. 1).
+//
+// Pages are fixed-size bookkeeping units; the paper migrates 4 KiB pages,
+// and the simulator defaults to 4 MiB units purely to coarsen bookkeeping
+// (capacities and RSS values keep the paper's byte sizes).
+package mem
+
+import (
+	"fmt"
+	"time"
+)
+
+// Tier identifies a memory tier.
+type Tier int
+
+// Memory tiers. Enums start at one so the zero value is detectably invalid.
+const (
+	TierFMem Tier = iota + 1 // fast tier (local DRAM)
+	TierSMem                 // slow tier (CXL / remote DRAM)
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierFMem:
+		return "FMem"
+	case TierSMem:
+		return "SMem"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// WorkloadID identifies a registered workload within a System.
+type WorkloadID int
+
+// PageID indexes a page within a System. IDs are dense, starting at 0, in
+// allocation order.
+type PageID int
+
+// Page is the per-page bookkeeping record.
+type Page struct {
+	Owner WorkloadID
+	Tier  Tier
+	// Hotness is the PEBS-sampled access count. The pebs package
+	// increments it; histogram aging halves it.
+	Hotness uint64
+}
+
+// Config describes the memory system geometry and costs.
+type Config struct {
+	// PageSize is the bookkeeping unit in bytes. Must be > 0.
+	PageSize int64
+	// FMemBytes and SMemBytes are tier capacities. Must be > 0.
+	FMemBytes int64
+	SMemBytes int64
+	// FMemLatency and SMemLatency are per-access latencies (the paper
+	// measures 73 ns local and 202 ns CXL-emulated).
+	FMemLatency time.Duration
+	SMemLatency time.Duration
+	// MigrationBandwidth is the maximum data-movement capacity M of the
+	// tiered memory subsystem in bytes/s (Eq. 1's M). This is a capacity
+	// bound, not typical usage: the paper's prototype consumes ~4 GB/s
+	// on average during partition replacement (§5.5) on a DDR4-3200
+	// single-channel module whose peak is 25.6 GB/s.
+	MigrationBandwidth int64
+}
+
+// DefaultConfig mirrors the paper's testbed (§5): 32 GiB FMem, 256 GiB
+// SMem, 73/202 ns access latencies, and a 10 GB/s migration capacity
+// (read+write on both tiers consumes roughly 40% of the 25.6 GB/s
+// channel peak).
+func DefaultConfig() Config {
+	const gib = int64(1) << 30
+	return Config{
+		PageSize:           4 << 20,
+		FMemBytes:          32 * gib,
+		SMemBytes:          256 * gib,
+		FMemLatency:        73 * time.Nanosecond,
+		SMemLatency:        202 * time.Nanosecond,
+		MigrationBandwidth: 10 * 1000 * 1000 * 1000,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.PageSize <= 0 {
+		return fmt.Errorf("mem: PageSize must be > 0, got %d", c.PageSize)
+	}
+	if c.FMemBytes <= 0 {
+		return fmt.Errorf("mem: FMemBytes must be > 0, got %d", c.FMemBytes)
+	}
+	if c.SMemBytes <= 0 {
+		return fmt.Errorf("mem: SMemBytes must be > 0, got %d", c.SMemBytes)
+	}
+	if c.FMemLatency <= 0 || c.SMemLatency <= 0 {
+		return fmt.Errorf("mem: tier latencies must be > 0")
+	}
+	if c.SMemLatency < c.FMemLatency {
+		return fmt.Errorf("mem: SMemLatency (%v) must be >= FMemLatency (%v)",
+			c.SMemLatency, c.FMemLatency)
+	}
+	if c.MigrationBandwidth <= 0 {
+		return fmt.Errorf("mem: MigrationBandwidth must be > 0, got %d", c.MigrationBandwidth)
+	}
+	return nil
+}
+
+// workloadAccount tracks per-workload placement counts.
+type workloadAccount struct {
+	total int // pages allocated
+	fmem  int // pages currently in FMem
+}
+
+// System is the tiered memory state. It is not safe for concurrent use;
+// the simulator drives it from a single goroutine.
+type System struct {
+	cfg        Config
+	fmemCap    int // capacity in pages
+	smemCap    int
+	fmemUsed   int
+	smemUsed   int
+	pages      []Page
+	accounts   []workloadAccount
+	byOwner    [][]PageID // page IDs per workload, allocation order
+	tickLeft   int64      // migration bytes remaining this tick
+	migrated   int64      // cumulative migrated bytes
+	migrations int64      // cumulative migrated pages
+}
+
+// NewSystem returns a System with the given configuration.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:     cfg,
+		fmemCap: int(cfg.FMemBytes / cfg.PageSize),
+		smemCap: int(cfg.SMemBytes / cfg.PageSize),
+	}, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// FMemCapacityPages returns the FMem capacity in pages.
+func (s *System) FMemCapacityPages() int { return s.fmemCap }
+
+// SMemCapacityPages returns the SMem capacity in pages.
+func (s *System) SMemCapacityPages() int { return s.smemCap }
+
+// FMemFreePages returns the number of unallocated FMem pages.
+func (s *System) FMemFreePages() int { return s.fmemCap - s.fmemUsed }
+
+// SMemFreePages returns the number of unallocated SMem pages.
+func (s *System) SMemFreePages() int { return s.smemCap - s.smemUsed }
+
+// PagesToBytes converts a page count to bytes under this configuration.
+func (s *System) PagesToBytes(pages int) int64 {
+	return int64(pages) * s.cfg.PageSize
+}
+
+// BytesToPages converts bytes to whole pages (rounding up).
+func (s *System) BytesToPages(b int64) int {
+	if b <= 0 {
+		return 0
+	}
+	return int((b + s.cfg.PageSize - 1) / s.cfg.PageSize)
+}
+
+// AddWorkload registers a workload with rssBytes of memory, placing pages
+// according to preferred: TierFMem fills FMem first and overflows to SMem;
+// TierSMem allocates everything in SMem. It returns the new workload ID.
+func (s *System) AddWorkload(rssBytes int64, preferred Tier) (WorkloadID, error) {
+	if rssBytes <= 0 {
+		return 0, fmt.Errorf("mem: workload RSS must be > 0, got %d", rssBytes)
+	}
+	if preferred != TierFMem && preferred != TierSMem {
+		return 0, fmt.Errorf("mem: invalid preferred tier %v", preferred)
+	}
+	n := s.BytesToPages(rssBytes)
+	if n > s.FMemFreePages()+s.SMemFreePages() {
+		return 0, fmt.Errorf("mem: workload needs %d pages, only %d free",
+			n, s.FMemFreePages()+s.SMemFreePages())
+	}
+	id := WorkloadID(len(s.accounts))
+	s.accounts = append(s.accounts, workloadAccount{})
+	s.byOwner = append(s.byOwner, make([]PageID, 0, n))
+	for i := 0; i < n; i++ {
+		tier := TierSMem
+		if preferred == TierFMem && s.fmemUsed < s.fmemCap {
+			tier = TierFMem
+		}
+		if tier == TierSMem && s.smemUsed >= s.smemCap {
+			tier = TierFMem // SMem exhausted; spill to FMem
+		}
+		pid := PageID(len(s.pages))
+		s.pages = append(s.pages, Page{Owner: id, Tier: tier})
+		s.byOwner[id] = append(s.byOwner[id], pid)
+		if tier == TierFMem {
+			s.fmemUsed++
+			s.accounts[id].fmem++
+		} else {
+			s.smemUsed++
+		}
+		s.accounts[id].total++
+	}
+	return id, nil
+}
+
+// NumWorkloads returns the number of registered workloads.
+func (s *System) NumWorkloads() int { return len(s.accounts) }
+
+// NumPages returns the total number of allocated pages.
+func (s *System) NumPages() int { return len(s.pages) }
+
+// Page returns a copy of the page record for pid.
+func (s *System) Page(pid PageID) Page { return s.pages[pid] }
+
+// WorkloadPages returns the page IDs owned by w in allocation order. The
+// returned slice is owned by the System and must not be mutated.
+func (s *System) WorkloadPages(w WorkloadID) []PageID { return s.byOwner[w] }
+
+// TotalPages returns the number of pages allocated to w.
+func (s *System) TotalPages(w WorkloadID) int { return s.accounts[w].total }
+
+// FMemPages returns the number of w's pages currently in FMem.
+func (s *System) FMemPages(w WorkloadID) int { return s.accounts[w].fmem }
+
+// FMemUsageRatio returns the fraction of w's pages resident in FMem — the
+// "FMem Usage Ratio" state input of the RL model (§3.2.1).
+func (s *System) FMemUsageRatio(w WorkloadID) float64 {
+	a := s.accounts[w]
+	if a.total == 0 {
+		return 0
+	}
+	return float64(a.fmem) / float64(a.total)
+}
+
+// AddHotness adds delta to a page's access counter.
+func (s *System) AddHotness(pid PageID, delta uint64) {
+	s.pages[pid].Hotness += delta
+}
+
+// AgeHotness halves every page's access counter — the per-interval aging
+// step of §3.3.2.
+func (s *System) AgeHotness() {
+	for i := range s.pages {
+		s.pages[i].Hotness >>= 1
+	}
+}
+
+// BeginTick resets the migration bandwidth budget for a tick of dt.
+func (s *System) BeginTick(dt time.Duration) {
+	s.tickLeft = int64(float64(s.cfg.MigrationBandwidth) * dt.Seconds())
+}
+
+// MigrationBudgetPages returns how many pages can still migrate this tick.
+func (s *System) MigrationBudgetPages() int {
+	if s.tickLeft <= 0 {
+		return 0
+	}
+	return int(s.tickLeft / s.cfg.PageSize)
+}
+
+// MigratedBytes returns cumulative bytes migrated since construction.
+func (s *System) MigratedBytes() int64 { return s.migrated }
+
+// MigratedPages returns cumulative pages migrated since construction.
+func (s *System) MigratedPages() int64 { return s.migrations }
+
+// Migrate moves page pid to tier to. It fails if the destination tier is
+// full or the migration bandwidth budget for this tick is exhausted.
+// Migrating a page to its current tier is a no-op consuming no budget.
+func (s *System) Migrate(pid PageID, to Tier) error {
+	if to != TierFMem && to != TierSMem {
+		return fmt.Errorf("mem: invalid destination tier %v", to)
+	}
+	p := &s.pages[pid]
+	if p.Tier == to {
+		return nil
+	}
+	if s.tickLeft < s.cfg.PageSize {
+		return ErrBandwidthExhausted
+	}
+	if to == TierFMem {
+		if s.fmemUsed >= s.fmemCap {
+			return ErrTierFull
+		}
+		s.fmemUsed++
+		s.smemUsed--
+		s.accounts[p.Owner].fmem++
+	} else {
+		if s.smemUsed >= s.smemCap {
+			return ErrTierFull
+		}
+		s.smemUsed++
+		s.fmemUsed--
+		s.accounts[p.Owner].fmem--
+	}
+	p.Tier = to
+	s.tickLeft -= s.cfg.PageSize
+	s.migrated += s.cfg.PageSize
+	s.migrations++
+	return nil
+}
+
+// Exchange migrates pages in demote to SMem and pages in promote to FMem,
+// interleaving demotions ahead of promotions so promotions find free FMem.
+// It stops when bandwidth or capacity runs out and returns the number of
+// pages actually demoted and promoted.
+func (s *System) Exchange(promote, demote []PageID) (promoted, demoted int) {
+	pi, di := 0, 0
+	for pi < len(promote) || di < len(demote) {
+		progressed := false
+		if di < len(demote) {
+			if pid := demote[di]; s.pages[pid].Tier != TierSMem {
+				if err := s.Migrate(pid, TierSMem); err == nil {
+					demoted++
+					progressed = true
+				}
+			}
+			di++
+		}
+		if pi < len(promote) {
+			if pid := promote[pi]; s.pages[pid].Tier == TierFMem {
+				pi++ // already resident; skip without consuming budget
+			} else if err := s.Migrate(pid, TierFMem); err == nil {
+				promoted++
+				progressed = true
+				pi++
+			} else if err == ErrTierFull && di < len(demote) {
+				// Retry after the next demotion frees a slot.
+			} else {
+				pi++
+			}
+		}
+		if !progressed && di >= len(demote) && pi >= len(promote) {
+			break
+		}
+		if s.MigrationBudgetPages() == 0 {
+			break
+		}
+	}
+	return promoted, demoted
+}
+
+// Sentinel errors returned by Migrate.
+var (
+	ErrTierFull           = fmt.Errorf("mem: destination tier is full")
+	ErrBandwidthExhausted = fmt.Errorf("mem: migration bandwidth exhausted for this tick")
+)

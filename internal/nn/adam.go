@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Adam is the Adam optimizer bound to one MLP's parameters.
+type Adam struct {
+	model *MLP
+	lr    float64
+	beta1 float64
+	beta2 float64
+	eps   float64
+	step  int
+	mw    [][]float64
+	vw    [][]float64
+	mb    [][]float64
+	vb    [][]float64
+}
+
+// NewAdam returns an Adam optimizer for model with learning rate lr and
+// standard moment decay rates (0.9, 0.999).
+func NewAdam(model *MLP, lr float64) (*Adam, error) {
+	if model == nil {
+		return nil, fmt.Errorf("nn: Adam needs a model")
+	}
+	if lr <= 0 {
+		return nil, fmt.Errorf("nn: learning rate must be > 0, got %g", lr)
+	}
+	a := &Adam{
+		model: model,
+		lr:    lr,
+		beta1: 0.9,
+		beta2: 0.999,
+		eps:   1e-8,
+		mw:    make([][]float64, len(model.weights)),
+		vw:    make([][]float64, len(model.weights)),
+		mb:    make([][]float64, len(model.biases)),
+		vb:    make([][]float64, len(model.biases)),
+	}
+	for l := range model.weights {
+		a.mw[l] = make([]float64, len(model.weights[l]))
+		a.vw[l] = make([]float64, len(model.weights[l]))
+		a.mb[l] = make([]float64, len(model.biases[l]))
+		a.vb[l] = make([]float64, len(model.biases[l]))
+	}
+	return a, nil
+}
+
+// Step applies one Adam update using the gradients in g (which must have
+// been produced by the same model's NewGrads).
+func (a *Adam) Step(g *Grads) error {
+	if len(g.weights) != len(a.model.weights) {
+		return fmt.Errorf("nn: gradient shape mismatch")
+	}
+	a.step++
+	c1 := 1 - math.Pow(a.beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.beta2, float64(a.step))
+	for l := range a.model.weights {
+		if len(g.weights[l]) != len(a.model.weights[l]) {
+			return fmt.Errorf("nn: gradient shape mismatch at layer %d", l)
+		}
+		update(a.model.weights[l], g.weights[l], a.mw[l], a.vw[l], a.lr, a.beta1, a.beta2, a.eps, c1, c2)
+		update(a.model.biases[l], g.biases[l], a.mb[l], a.vb[l], a.lr, a.beta1, a.beta2, a.eps, c1, c2)
+	}
+	return nil
+}
+
+func update(params, grads, m, v []float64, lr, b1, b2, eps, c1, c2 float64) {
+	for i := range params {
+		gi := grads[i]
+		m[i] = b1*m[i] + (1-b1)*gi
+		v[i] = b2*v[i] + (1-b2)*gi*gi
+		mHat := m[i] / c1
+		vHat := v[i] / c2
+		params[i] -= lr * mHat / (math.Sqrt(vHat) + eps)
+	}
+}

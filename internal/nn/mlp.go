@@ -1,0 +1,299 @@
+// Package nn implements the small dense neural networks behind MTAT's
+// reinforcement-learning component: multilayer perceptrons with manual
+// backpropagation and the Adam optimizer. The paper's PP-M uses PyTorch;
+// this package substitutes a dependency-free equivalent sized for SAC's
+// tiny actor/critic networks (3-4 inputs, two hidden layers).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	ActIdentity Activation = iota + 1
+	ActReLU
+	ActTanh
+)
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ActReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case ActTanh:
+		return math.Tanh(x)
+	default:
+		return x
+	}
+}
+
+// derivative of the activation given pre-activation z and output y.
+func (a Activation) derivative(z, y float64) float64 {
+	switch a {
+	case ActReLU:
+		if z > 0 {
+			return 1
+		}
+		return 0
+	case ActTanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+// MLP is a fully connected feed-forward network. Weights are stored
+// row-major: layer l maps sizes[l] inputs to sizes[l+1] outputs, with
+// weights[l][out*in+in'] and biases[l][out].
+type MLP struct {
+	sizes   []int
+	acts    []Activation // one per weight layer
+	weights [][]float64
+	biases  [][]float64
+}
+
+// NewMLP builds a network with the given layer sizes (len >= 2), hidden
+// activation for all but the last layer, and output activation for the
+// last. Weights use He/Xavier-style scaled initialization from rng.
+func NewMLP(rng *rand.Rand, sizes []int, hidden, output Activation) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("nn: need at least input and output sizes, got %v", sizes)
+	}
+	for i, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("nn: layer %d size must be > 0, got %d", i, s)
+		}
+	}
+	nLayers := len(sizes) - 1
+	m := &MLP{
+		sizes:   append([]int(nil), sizes...),
+		acts:    make([]Activation, nLayers),
+		weights: make([][]float64, nLayers),
+		biases:  make([][]float64, nLayers),
+	}
+	for l := 0; l < nLayers; l++ {
+		if l == nLayers-1 {
+			m.acts[l] = output
+		} else {
+			m.acts[l] = hidden
+		}
+		in, out := sizes[l], sizes[l+1]
+		m.weights[l] = make([]float64, in*out)
+		m.biases[l] = make([]float64, out)
+		scale := math.Sqrt(2 / float64(in))
+		for i := range m.weights[l] {
+			m.weights[l][i] = rng.NormFloat64() * scale
+		}
+	}
+	return m, nil
+}
+
+// InputDim returns the input dimension.
+func (m *MLP) InputDim() int { return m.sizes[0] }
+
+// OutputDim returns the output dimension.
+func (m *MLP) OutputDim() int { return m.sizes[len(m.sizes)-1] }
+
+// Tape records a forward pass for backpropagation: the input, and each
+// layer's pre-activations and activations.
+type Tape struct {
+	input []float64
+	zs    [][]float64 // pre-activations per layer
+	as    [][]float64 // activations per layer (post-nonlinearity)
+}
+
+// Output returns the network output recorded on the tape.
+func (t *Tape) Output() []float64 { return t.as[len(t.as)-1] }
+
+// Forward runs the network on x and returns a tape for backprop along with
+// the output (aliased into the tape).
+func (m *MLP) Forward(x []float64) (*Tape, []float64, error) {
+	if len(x) != m.sizes[0] {
+		return nil, nil, fmt.Errorf("nn: input dim %d, want %d", len(x), m.sizes[0])
+	}
+	nLayers := len(m.weights)
+	t := &Tape{
+		input: append([]float64(nil), x...),
+		zs:    make([][]float64, nLayers),
+		as:    make([][]float64, nLayers),
+	}
+	cur := t.input
+	for l := 0; l < nLayers; l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		z := make([]float64, out)
+		a := make([]float64, out)
+		w := m.weights[l]
+		for o := 0; o < out; o++ {
+			sum := m.biases[l][o]
+			row := w[o*in : (o+1)*in]
+			for i, v := range cur {
+				sum += row[i] * v
+			}
+			z[o] = sum
+			a[o] = m.acts[l].apply(sum)
+		}
+		t.zs[l] = z
+		t.as[l] = a
+		cur = a
+	}
+	return t, cur, nil
+}
+
+// Grads accumulates parameter gradients shaped like an MLP's parameters.
+type Grads struct {
+	weights [][]float64
+	biases  [][]float64
+}
+
+// NewGrads returns a zeroed gradient accumulator for m.
+func (m *MLP) NewGrads() *Grads {
+	g := &Grads{
+		weights: make([][]float64, len(m.weights)),
+		biases:  make([][]float64, len(m.biases)),
+	}
+	for l := range m.weights {
+		g.weights[l] = make([]float64, len(m.weights[l]))
+		g.biases[l] = make([]float64, len(m.biases[l]))
+	}
+	return g
+}
+
+// Zero clears the accumulator.
+func (g *Grads) Zero() {
+	for l := range g.weights {
+		for i := range g.weights[l] {
+			g.weights[l][i] = 0
+		}
+		for i := range g.biases[l] {
+			g.biases[l][i] = 0
+		}
+	}
+}
+
+// Scale multiplies all gradients by f (e.g. 1/batchSize).
+func (g *Grads) Scale(f float64) {
+	for l := range g.weights {
+		for i := range g.weights[l] {
+			g.weights[l][i] *= f
+		}
+		for i := range g.biases[l] {
+			g.biases[l][i] *= f
+		}
+	}
+}
+
+// Backward backpropagates gradOut (dLoss/dOutput) through the tape,
+// accumulating parameter gradients into g, and returns dLoss/dInput.
+func (m *MLP) Backward(t *Tape, gradOut []float64, g *Grads) ([]float64, error) {
+	nLayers := len(m.weights)
+	if len(gradOut) != m.OutputDim() {
+		return nil, fmt.Errorf("nn: gradOut dim %d, want %d", len(gradOut), m.OutputDim())
+	}
+	delta := append([]float64(nil), gradOut...)
+	for l := nLayers - 1; l >= 0; l-- {
+		in, out := m.sizes[l], m.sizes[l+1]
+		z, a := t.zs[l], t.as[l]
+		// delta currently holds dL/da for this layer; convert to dL/dz.
+		for o := 0; o < out; o++ {
+			delta[o] *= m.acts[l].derivative(z[o], a[o])
+		}
+		var prev []float64
+		if l == 0 {
+			prev = t.input
+		} else {
+			prev = t.as[l-1]
+		}
+		w := m.weights[l]
+		gw := g.weights[l]
+		gb := g.biases[l]
+		nextDelta := make([]float64, in)
+		for o := 0; o < out; o++ {
+			d := delta[o]
+			gb[o] += d
+			row := w[o*in : (o+1)*in]
+			grow := gw[o*in : (o+1)*in]
+			for i := 0; i < in; i++ {
+				grow[i] += d * prev[i]
+				nextDelta[i] += d * row[i]
+			}
+		}
+		delta = nextDelta
+	}
+	return delta, nil
+}
+
+// CopyFrom copies src's parameters into m; the architectures must match.
+func (m *MLP) CopyFrom(src *MLP) error {
+	if err := m.compatible(src); err != nil {
+		return err
+	}
+	for l := range m.weights {
+		copy(m.weights[l], src.weights[l])
+		copy(m.biases[l], src.biases[l])
+	}
+	return nil
+}
+
+// SoftUpdate performs Polyak averaging m = (1-tau)*m + tau*src, the target
+// network update used by SAC.
+func (m *MLP) SoftUpdate(src *MLP, tau float64) error {
+	if err := m.compatible(src); err != nil {
+		return err
+	}
+	if tau < 0 || tau > 1 {
+		return fmt.Errorf("nn: tau must be in [0,1], got %g", tau)
+	}
+	for l := range m.weights {
+		for i := range m.weights[l] {
+			m.weights[l][i] = (1-tau)*m.weights[l][i] + tau*src.weights[l][i]
+		}
+		for i := range m.biases[l] {
+			m.biases[l][i] = (1-tau)*m.biases[l][i] + tau*src.biases[l][i]
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of m.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{
+		sizes:   append([]int(nil), m.sizes...),
+		acts:    append([]Activation(nil), m.acts...),
+		weights: make([][]float64, len(m.weights)),
+		biases:  make([][]float64, len(m.biases)),
+	}
+	for l := range m.weights {
+		c.weights[l] = append([]float64(nil), m.weights[l]...)
+		c.biases[l] = append([]float64(nil), m.biases[l]...)
+	}
+	return c
+}
+
+func (m *MLP) compatible(other *MLP) error {
+	if len(m.sizes) != len(other.sizes) {
+		return fmt.Errorf("nn: architecture mismatch: %v vs %v", m.sizes, other.sizes)
+	}
+	for i := range m.sizes {
+		if m.sizes[i] != other.sizes[i] {
+			return fmt.Errorf("nn: architecture mismatch: %v vs %v", m.sizes, other.sizes)
+		}
+	}
+	return nil
+}
+
+// NumParams returns the total parameter count.
+func (m *MLP) NumParams() int {
+	n := 0
+	for l := range m.weights {
+		n += len(m.weights[l]) + len(m.biases[l])
+	}
+	return n
+}

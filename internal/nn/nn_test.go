@@ -1,0 +1,316 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewMLPValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewMLP(rng, []int{3}, ActReLU, ActIdentity); err == nil {
+		t.Error("single-layer sizes accepted")
+	}
+	if _, err := NewMLP(rng, []int{3, 0, 1}, ActReLU, ActIdentity); err == nil {
+		t.Error("zero layer size accepted")
+	}
+	m, err := NewMLP(rng, []int{3, 8, 2}, ActReLU, ActIdentity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InputDim() != 3 || m.OutputDim() != 2 {
+		t.Errorf("dims = %d/%d, want 3/2", m.InputDim(), m.OutputDim())
+	}
+	if got, want := m.NumParams(), 3*8+8+8*2+2; got != want {
+		t.Errorf("NumParams = %d, want %d", got, want)
+	}
+}
+
+func TestForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, _ := NewMLP(rng, []int{2, 4, 3}, ActTanh, ActIdentity)
+	if _, _, err := m.Forward([]float64{1}); err == nil {
+		t.Error("wrong input dim accepted")
+	}
+	tape, out, err := m.Forward([]float64{0.5, -0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("output dim = %d, want 3", len(out))
+	}
+	if got := tape.Output(); &got[0] != &out[0] {
+		t.Error("Tape.Output should alias the forward output")
+	}
+}
+
+func TestActivations(t *testing.T) {
+	if ActReLU.apply(-1) != 0 || ActReLU.apply(2) != 2 {
+		t.Error("ReLU wrong")
+	}
+	if ActIdentity.apply(-3) != -3 {
+		t.Error("identity wrong")
+	}
+	if math.Abs(ActTanh.apply(0.5)-math.Tanh(0.5)) > 1e-15 {
+		t.Error("tanh wrong")
+	}
+	if ActReLU.derivative(-1, 0) != 0 || ActReLU.derivative(1, 1) != 1 {
+		t.Error("ReLU derivative wrong")
+	}
+	y := math.Tanh(0.3)
+	if math.Abs(ActTanh.derivative(0.3, y)-(1-y*y)) > 1e-15 {
+		t.Error("tanh derivative wrong")
+	}
+}
+
+// TestGradientCheck verifies backprop against finite differences for both
+// parameter and input gradients.
+func TestGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, _ := NewMLP(rng, []int{3, 5, 4, 1}, ActTanh, ActIdentity)
+	x := []float64{0.3, -0.7, 1.1}
+
+	// Loss = 0.5*out^2, so dL/dout = out.
+	loss := func() float64 {
+		_, out, err := m.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return 0.5 * out[0] * out[0]
+	}
+
+	tape, out, _ := m.Forward(x)
+	g := m.NewGrads()
+	gradIn, err := m.Backward(tape, []float64{out[0]}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const h = 1e-6
+	// Check a sample of weight gradients in every layer.
+	for l := range m.weights {
+		for _, idx := range []int{0, len(m.weights[l]) / 2, len(m.weights[l]) - 1} {
+			orig := m.weights[l][idx]
+			m.weights[l][idx] = orig + h
+			up := loss()
+			m.weights[l][idx] = orig - h
+			down := loss()
+			m.weights[l][idx] = orig
+			want := (up - down) / (2 * h)
+			got := g.weights[l][idx]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Errorf("layer %d weight %d grad = %g, finite diff %g", l, idx, got, want)
+			}
+		}
+		// And one bias per layer.
+		orig := m.biases[l][0]
+		m.biases[l][0] = orig + h
+		up := loss()
+		m.biases[l][0] = orig - h
+		down := loss()
+		m.biases[l][0] = orig
+		want := (up - down) / (2 * h)
+		if got := g.biases[l][0]; math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+			t.Errorf("layer %d bias grad = %g, finite diff %g", l, got, want)
+		}
+	}
+	// Input gradients.
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + h
+		up := loss()
+		x[i] = orig - h
+		down := loss()
+		x[i] = orig
+		want := (up - down) / (2 * h)
+		if math.Abs(gradIn[i]-want) > 1e-4*(1+math.Abs(want)) {
+			t.Errorf("input grad %d = %g, finite diff %g", i, gradIn[i], want)
+		}
+	}
+}
+
+func TestBackwardValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, _ := NewMLP(rng, []int{2, 3, 1}, ActReLU, ActIdentity)
+	tape, _, _ := m.Forward([]float64{1, 2})
+	g := m.NewGrads()
+	if _, err := m.Backward(tape, []float64{1, 2}, g); err == nil {
+		t.Error("wrong gradOut dim accepted")
+	}
+}
+
+func TestGradsZeroScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, _ := NewMLP(rng, []int{2, 3, 1}, ActReLU, ActIdentity)
+	tape, out, _ := m.Forward([]float64{1, 2})
+	g := m.NewGrads()
+	if _, err := m.Backward(tape, []float64{out[0]}, g); err != nil {
+		t.Fatal(err)
+	}
+	g.Scale(0.5)
+	g.Zero()
+	for l := range g.weights {
+		for _, v := range g.weights[l] {
+			if v != 0 {
+				t.Fatal("Zero did not clear weight grads")
+			}
+		}
+		for _, v := range g.biases[l] {
+			if v != 0 {
+				t.Fatal("Zero did not clear bias grads")
+			}
+		}
+	}
+}
+
+// TestTrainRegression trains y = sin(x) on [-2, 2] and checks the MSE
+// drops by >10x: end-to-end check of forward, backward, and Adam.
+func TestTrainRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m, _ := NewMLP(rng, []int{1, 32, 32, 1}, ActTanh, ActIdentity)
+	opt, err := NewAdam(m, 3e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.NewGrads()
+
+	mse := func() float64 {
+		var sum float64
+		for i := 0; i < 64; i++ {
+			x := -2 + 4*float64(i)/63
+			_, out, _ := m.Forward([]float64{x})
+			d := out[0] - math.Sin(x)
+			sum += d * d
+		}
+		return sum / 64
+	}
+
+	before := mse()
+	const batch = 32
+	for epoch := 0; epoch < 400; epoch++ {
+		g.Zero()
+		for i := 0; i < batch; i++ {
+			x := -2 + 4*rng.Float64()
+			tape, out, _ := m.Forward([]float64{x})
+			grad := out[0] - math.Sin(x) // d(0.5*(out-y)^2)/dout
+			if _, err := m.Backward(tape, []float64{grad}, g); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g.Scale(1.0 / batch)
+		if err := opt.Step(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := mse()
+	if after > before/10 {
+		t.Errorf("training did not converge: MSE %g -> %g", before, after)
+	}
+}
+
+func TestCloneAndCopyFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, _ := NewMLP(rng, []int{2, 4, 1}, ActReLU, ActIdentity)
+	b := a.Clone()
+	x := []float64{0.5, 0.25}
+	_, outA, _ := a.Forward(x)
+	_, outB, _ := b.Forward(x)
+	if outA[0] != outB[0] {
+		t.Error("clone differs from original")
+	}
+	// Mutating the clone must not affect the original.
+	b.weights[0][0] += 1
+	_, outA2, _ := a.Forward(x)
+	if outA2[0] != outA[0] {
+		t.Error("clone shares storage with original")
+	}
+	if err := a.CopyFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	_, outA3, _ := a.Forward(x)
+	_, outB2, _ := b.Forward(x)
+	if outA3[0] != outB2[0] {
+		t.Error("CopyFrom did not copy parameters")
+	}
+	c, _ := NewMLP(rng, []int{3, 4, 1}, ActReLU, ActIdentity)
+	if err := a.CopyFrom(c); err == nil {
+		t.Error("CopyFrom across architectures accepted")
+	}
+}
+
+func TestSoftUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	target, _ := NewMLP(rng, []int{1, 2, 1}, ActReLU, ActIdentity)
+	src, _ := NewMLP(rng, []int{1, 2, 1}, ActReLU, ActIdentity)
+	w0 := target.weights[0][0]
+	s0 := src.weights[0][0]
+	if err := target.SoftUpdate(src, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	want := 0.9*w0 + 0.1*s0
+	if got := target.weights[0][0]; math.Abs(got-want) > 1e-15 {
+		t.Errorf("SoftUpdate = %g, want %g", got, want)
+	}
+	if err := target.SoftUpdate(src, 1.5); err == nil {
+		t.Error("tau > 1 accepted")
+	}
+	// tau=1 equals CopyFrom.
+	if err := target.SoftUpdate(src, 1); err != nil {
+		t.Fatal(err)
+	}
+	if target.weights[0][0] != src.weights[0][0] {
+		t.Error("tau=1 SoftUpdate should copy exactly")
+	}
+}
+
+func TestNewAdamValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, _ := NewMLP(rng, []int{1, 1}, ActIdentity, ActIdentity)
+	if _, err := NewAdam(nil, 0.01); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewAdam(m, 0); err == nil {
+		t.Error("zero lr accepted")
+	}
+	if _, err := NewAdam(m, -1); err == nil {
+		t.Error("negative lr accepted")
+	}
+}
+
+func TestAdamStepShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a, _ := NewMLP(rng, []int{1, 2, 1}, ActReLU, ActIdentity)
+	b, _ := NewMLP(rng, []int{1, 3, 1}, ActReLU, ActIdentity)
+	opt, _ := NewAdam(a, 0.01)
+	if err := opt.Step(b.NewGrads()); err == nil {
+		t.Error("mismatched grads accepted")
+	}
+}
+
+func TestMLPSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m, _ := NewMLP(rng, []int{3, 8, 2}, ActReLU, ActTanh)
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MLP
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, -0.4, 2.2}
+	_, want, _ := m.Forward(x)
+	_, got, _ := back.Forward(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("restored output differs at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+	var bad MLP
+	if err := bad.UnmarshalJSON([]byte(`{"sizes":[2],"acts":[],"weights":[],"biases":[]}`)); err == nil {
+		t.Error("single-layer serialized MLP accepted")
+	}
+	if err := bad.UnmarshalJSON([]byte(`{"sizes":[2,3],"acts":[2],"weights":[[1,2,3]],"biases":[[1,2,3]]}`)); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// mlpJSON is the serialized form of an MLP.
+type mlpJSON struct {
+	Sizes   []int        `json:"sizes"`
+	Acts    []Activation `json:"acts"`
+	Weights [][]float64  `json:"weights"`
+	Biases  [][]float64  `json:"biases"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *MLP) MarshalJSON() ([]byte, error) {
+	return json.Marshal(mlpJSON{
+		Sizes:   m.sizes,
+		Acts:    m.acts,
+		Weights: m.weights,
+		Biases:  m.biases,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, replacing the receiver's
+// architecture and parameters.
+func (m *MLP) UnmarshalJSON(data []byte) error {
+	var j mlpJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("nn: unmarshal MLP: %w", err)
+	}
+	if len(j.Sizes) < 2 {
+		return fmt.Errorf("nn: serialized MLP needs at least 2 layer sizes, got %d", len(j.Sizes))
+	}
+	nLayers := len(j.Sizes) - 1
+	if len(j.Acts) != nLayers || len(j.Weights) != nLayers || len(j.Biases) != nLayers {
+		return fmt.Errorf("nn: serialized MLP shape mismatch")
+	}
+	for l := 0; l < nLayers; l++ {
+		in, out := j.Sizes[l], j.Sizes[l+1]
+		if in <= 0 || out <= 0 {
+			return fmt.Errorf("nn: serialized MLP layer %d has invalid size", l)
+		}
+		if len(j.Weights[l]) != in*out {
+			return fmt.Errorf("nn: serialized MLP layer %d has %d weights, want %d",
+				l, len(j.Weights[l]), in*out)
+		}
+		if len(j.Biases[l]) != out {
+			return fmt.Errorf("nn: serialized MLP layer %d has %d biases, want %d",
+				l, len(j.Biases[l]), out)
+		}
+	}
+	m.sizes = j.Sizes
+	m.acts = j.Acts
+	m.weights = j.Weights
+	m.biases = j.Biases
+	return nil
+}

@@ -1,0 +1,219 @@
+package pebs
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/dist"
+	"github.com/tieredmem/mtat/internal/mem"
+)
+
+func newTestSystem(t *testing.T) *mem.System {
+	t.Helper()
+	cfg := mem.Config{
+		PageSize:           1 << 20,
+		FMemBytes:          8 << 20,
+		SMemBytes:          32 << 20,
+		FMemLatency:        73 * time.Nanosecond,
+		SMemLatency:        202 * time.Nanosecond,
+		MigrationBandwidth: 8 << 20,
+	}
+	sys, err := mem.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewSamplerValidation(t *testing.T) {
+	sys := newTestSystem(t)
+	if _, err := NewSampler(nil, 0.5, 1); err == nil {
+		t.Error("nil system accepted")
+	}
+	for _, rate := range []float64{0, -0.1, 1.5, math.NaN()} {
+		if _, err := NewSampler(sys, rate, 1); err == nil {
+			t.Errorf("rate %g accepted", rate)
+		}
+	}
+	s, err := NewSampler(sys, 0.25, 1)
+	if err != nil {
+		t.Fatalf("valid sampler rejected: %v", err)
+	}
+	if s.Rate() != 0.25 {
+		t.Errorf("Rate() = %g, want 0.25", s.Rate())
+	}
+}
+
+func TestRecordAccessesCounts(t *testing.T) {
+	sys := newTestSystem(t)
+	w, _ := sys.AddWorkload(16<<20, mem.TierFMem) // 8 FMem + 8 SMem
+	s, _ := NewSampler(sys, 0.1, 42)
+	u, _ := dist.NewUniform(1600)
+
+	s.BeginTick()
+	const n = 100000
+	s.RecordAccesses(w, u, n)
+
+	total := s.TickFMemAccesses(w) + s.TickSMemAccesses(w)
+	// Expect ~ n*rate = 10000 samples, Poisson noise ~ ±3*sqrt(10000)=300.
+	if total < 9000 || total > 11000 {
+		t.Errorf("sampled %d accesses, want ~10000", total)
+	}
+	// Uniform access over half-FMem-resident pages: ratio ~0.5.
+	ratio := s.TickFMemAccessRatio(w)
+	if math.Abs(ratio-0.5) > 0.05 {
+		t.Errorf("FMem access ratio = %g, want ~0.5", ratio)
+	}
+	if s.TotalSamples() != total {
+		t.Errorf("TotalSamples = %d, want %d", s.TotalSamples(), total)
+	}
+}
+
+func TestRecordAccessesHotness(t *testing.T) {
+	sys := newTestSystem(t)
+	w, _ := sys.AddWorkload(4<<20, mem.TierSMem)
+	s, _ := NewSampler(sys, 1.0, 7)
+	z, _ := dist.NewZipf(400, 1.5)
+
+	s.BeginTick()
+	s.RecordAccesses(w, z, 10000)
+
+	pages := sys.WorkloadPages(w)
+	var counts [4]uint64
+	var sum uint64
+	for i, pid := range pages {
+		counts[i] = sys.Page(pid).Hotness
+		sum += counts[i]
+	}
+	if sum == 0 {
+		t.Fatal("no hotness recorded")
+	}
+	// Zipf theta=1.5: the first page (hottest ranks) must dominate.
+	if counts[0] <= counts[3] {
+		t.Errorf("hotness not skewed: first page %d, last page %d", counts[0], counts[3])
+	}
+}
+
+func TestBeginTickResets(t *testing.T) {
+	sys := newTestSystem(t)
+	w, _ := sys.AddWorkload(2<<20, mem.TierFMem)
+	s, _ := NewSampler(sys, 1.0, 3)
+	u, _ := dist.NewUniform(100)
+
+	s.BeginTick()
+	s.RecordAccesses(w, u, 100)
+	if s.TickFMemAccesses(w) == 0 {
+		t.Fatal("no accesses recorded")
+	}
+	s.BeginTick()
+	if s.TickFMemAccesses(w) != 0 || s.TickSMemAccesses(w) != 0 {
+		t.Error("BeginTick did not reset tick counters")
+	}
+}
+
+func TestTickCountersForNewWorkloads(t *testing.T) {
+	sys := newTestSystem(t)
+	s, _ := NewSampler(sys, 1.0, 3)
+	s.BeginTick()
+	// Workload added after BeginTick: counters must not panic.
+	w, _ := sys.AddWorkload(1<<20, mem.TierFMem)
+	if got := s.TickFMemAccesses(w); got != 0 {
+		t.Errorf("unseen workload counter = %d, want 0", got)
+	}
+	if got := s.TickFMemAccessRatio(w); got != 0 {
+		t.Errorf("unseen workload ratio = %g, want 0", got)
+	}
+	s.BeginTick() // now sized for the new workload
+	u, _ := dist.NewUniform(100)
+	s.RecordAccesses(w, u, 50)
+	if s.TickFMemAccesses(w) == 0 {
+		t.Error("accesses not recorded after resize")
+	}
+}
+
+func TestRecordAccessesZeroIsNoOp(t *testing.T) {
+	sys := newTestSystem(t)
+	w, _ := sys.AddWorkload(2<<20, mem.TierFMem)
+	s, _ := NewSampler(sys, 1.0, 3)
+	u, _ := dist.NewUniform(100)
+	s.BeginTick()
+	s.RecordAccesses(w, u, 0)
+	if s.TotalSamples() != 0 {
+		t.Error("zero accesses produced samples")
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		sys := newTestSystem(t)
+		w, _ := sys.AddWorkload(16<<20, mem.TierFMem)
+		s, _ := NewSampler(sys, 0.5, 12345)
+		z, _ := dist.NewZipf(1600, 0.9)
+		s.BeginTick()
+		s.RecordAccesses(w, z, 50000)
+		return s.TickFMemAccesses(w), s.TickSMemAccesses(w)
+	}
+	f1, s1 := run()
+	f2, s2 := run()
+	if f1 != f2 || s1 != s2 {
+		t.Errorf("same seed produced different samples: (%d,%d) vs (%d,%d)", f1, s1, f2, s2)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	sys := newTestSystem(t)
+	s, _ := NewSampler(sys, 1, 9)
+	for _, mean := range []float64{0, 3, 50, 5000} {
+		const trials = 2000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += float64(s.poisson(mean))
+		}
+		got := sum / trials
+		tol := 4 * math.Sqrt(mean/trials)
+		if mean == 0 {
+			if got != 0 {
+				t.Errorf("poisson(0) mean = %g, want 0", got)
+			}
+			continue
+		}
+		if math.Abs(got-mean) > tol {
+			t.Errorf("poisson(%g) empirical mean = %g (tol %g)", mean, got, tol)
+		}
+	}
+}
+
+func TestTickPages(t *testing.T) {
+	sys := newTestSystem(t)
+	a, _ := sys.AddWorkload(4<<20, mem.TierFMem)
+	b, _ := sys.AddWorkload(4<<20, mem.TierSMem)
+	s, _ := NewSampler(sys, 1.0, 21)
+	u, _ := dist.NewUniform(400)
+
+	s.BeginTick()
+	s.RecordAccesses(a, u, 500)
+	s.RecordAccesses(b, u, 500)
+	pa := s.TickPages(a)
+	pb := s.TickPages(b)
+	if len(pa) == 0 || len(pb) == 0 {
+		t.Fatal("no tick pages recorded")
+	}
+	seen := map[mem.PageID]bool{}
+	for _, pid := range pa {
+		if seen[pid] {
+			t.Fatalf("duplicate page %d in TickPages", pid)
+		}
+		seen[pid] = true
+		if sys.Page(pid).Owner != a {
+			t.Fatalf("page %d attributed to wrong workload", pid)
+		}
+	}
+	s.BeginTick()
+	if len(s.TickPages(a)) != 0 {
+		t.Error("BeginTick did not reset tick pages")
+	}
+	if got := s.TickPages(mem.WorkloadID(99)); got != nil {
+		t.Errorf("TickPages for unknown workload = %v, want nil", got)
+	}
+}

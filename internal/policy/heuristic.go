@@ -1,0 +1,131 @@
+package policy
+
+import (
+	"fmt"
+
+	"github.com/tieredmem/mtat/internal/mem"
+)
+
+// Heuristic is a PARTIES/Heracles-style latency-feedback controller
+// [Chen et al., ASPLOS'19; Lo et al., ISCA'15], included as the natural
+// non-learning comparator to MTAT's RL partitioner (the paper's §6 relates
+// MTAT to exactly this family): the LC workload's FMem partition grows by
+// a fixed step while its P99 sits above an upper latency threshold and
+// shrinks by a smaller step while it sits below a lower threshold; the
+// remaining FMem is shared among BE workloads by global hotness.
+//
+// Unlike MTAT's agent it has no load signal, so it cannot distinguish
+// "latency is low because allocation is ample" from "latency is low
+// because load is light" — it oscillates between slack and violation
+// whenever the load moves faster than its feedback loop.
+type Heuristic struct {
+	// UpperFrac and LowerFrac are the grow/shrink thresholds as
+	// fractions of the SLO.
+	UpperFrac float64
+	LowerFrac float64
+	// GrowPages and ShrinkPages are the per-decision step sizes.
+	GrowPages   int
+	ShrinkPages int
+	// IntervalSeconds is the decision cadence.
+	IntervalSeconds float64
+	// AgingInterval is how often (seconds) access counts are halved.
+	AgingInterval float64
+
+	slo          float64
+	lcTarget     int
+	lastDecision float64
+	lastAge      float64
+	pool         pool
+	bePool       pool
+	beIDs        []mem.WorkloadID
+}
+
+var _ Policy = (*Heuristic)(nil)
+
+// NewHeuristic returns a latency-feedback controller with thresholds at
+// 80%/40% of the SLO and step sizes sized like MTAT's action bound.
+func NewHeuristic() *Heuristic {
+	return &Heuristic{
+		UpperFrac:       0.8,
+		LowerFrac:       0.4,
+		IntervalSeconds: 2.5,
+		AgingInterval:   2,
+	}
+}
+
+// Name implements Policy.
+func (h *Heuristic) Name() string { return "Heuristic" }
+
+// Init implements Policy.
+func (h *Heuristic) Init(ctx *Context) error {
+	if ctx.LC == nil {
+		return fmt.Errorf("policy: Heuristic requires an LC workload")
+	}
+	if h.UpperFrac <= h.LowerFrac || h.LowerFrac <= 0 {
+		return fmt.Errorf("policy: Heuristic thresholds must satisfy 0 < lower < upper")
+	}
+	h.slo = ctx.LC.Config().SLOSeconds
+	h.lcTarget = ctx.Sys.FMemPages(ctx.LC.ID())
+	if h.GrowPages == 0 {
+		// Default the step to the migration-bandwidth bound M*t/2, like
+		// MTAT's action range (Eq. 1).
+		bytes := float64(ctx.Sys.Config().MigrationBandwidth) * h.IntervalSeconds / 2
+		h.GrowPages = int(bytes / float64(ctx.Sys.Config().PageSize))
+		if h.GrowPages < 1 {
+			h.GrowPages = 1
+		}
+	}
+	if h.ShrinkPages == 0 {
+		h.ShrinkPages = h.GrowPages / 4
+		if h.ShrinkPages < 1 {
+			h.ShrinkPages = 1
+		}
+	}
+	h.beIDs = h.beIDs[:0]
+	for _, be := range ctx.BEs {
+		h.beIDs = append(h.beIDs, be.ID())
+	}
+	h.lastDecision = 0
+	h.lastAge = 0
+	return nil
+}
+
+// Tick implements Policy.
+func (h *Heuristic) Tick(ctx *Context) error {
+	sys := ctx.Sys
+	lcID := ctx.LC.ID()
+
+	if ctx.Now-h.lastDecision >= h.IntervalSeconds {
+		p99 := ctx.LCResult.P99
+		switch {
+		case p99 > h.UpperFrac*h.slo:
+			h.lcTarget += h.GrowPages
+		case p99 < h.LowerFrac*h.slo:
+			h.lcTarget -= h.ShrinkPages
+		}
+		if h.lcTarget < 0 {
+			h.lcTarget = 0
+		}
+		if cap := sys.FMemCapacityPages(); h.lcTarget > cap {
+			h.lcTarget = cap
+		}
+		if total := sys.TotalPages(lcID); h.lcTarget > total {
+			h.lcTarget = total
+		}
+		h.lastDecision = ctx.Now
+	}
+
+	h.pool.pin(sys, lcID, h.lcTarget, h.beIDs...)
+	if len(h.beIDs) > 0 {
+		remaining := sys.FMemCapacityPages() - sys.FMemPages(lcID)
+		h.bePool.manage(sys, h.beIDs, remaining)
+	}
+	if ctx.Now-h.lastAge >= h.AgingInterval {
+		sys.AgeHotness()
+		h.lastAge = ctx.Now
+	}
+	return nil
+}
+
+// LCStall implements Policy.
+func (h *Heuristic) LCStall() float64 { return 0 }

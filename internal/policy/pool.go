@@ -1,0 +1,87 @@
+package policy
+
+import (
+	"github.com/tieredmem/mtat/internal/hist"
+	"github.com/tieredmem/mtat/internal/mem"
+)
+
+// pool manages a set of workloads sharing a hotness-ranked FMem budget: it
+// computes the globally hottest `capacity` pages across the workloads and
+// exchanges pages so those become FMem-resident, within the tick's
+// migration bandwidth. This is the shared mechanism behind MEMTIS's global
+// placement and the BE-side management of the static baselines.
+type pool struct {
+	h       hist.Histogram
+	promote []mem.PageID
+	demote  []mem.PageID
+}
+
+// manage drives the pool toward "hottest capacity pages resident" for the
+// given workloads and returns (promoted, demoted) page counts.
+func (p *pool) manage(sys *mem.System, ids []mem.WorkloadID, capacity int) (int, int) {
+	p.h.Reset()
+	for _, id := range ids {
+		for _, pid := range sys.WorkloadPages(id) {
+			p.h.Add(pid, sys.Page(pid).Hotness)
+		}
+	}
+	hot, cold := p.h.HotSplit(capacity)
+	p.promote = p.promote[:0]
+	for _, pid := range hot {
+		if sys.Page(pid).Tier == mem.TierSMem {
+			p.promote = append(p.promote, pid)
+		}
+	}
+	// cold is ordered hottest-first; demote coldest first so the cheapest
+	// pages leave FMem ahead of warmer ones when bandwidth runs out.
+	p.demote = p.demote[:0]
+	for i := len(cold) - 1; i >= 0; i-- {
+		if sys.Page(cold[i]).Tier == mem.TierFMem {
+			p.demote = append(p.demote, cold[i])
+		}
+	}
+	return sys.Exchange(p.promote, p.demote)
+}
+
+// pin drives a single workload toward exactly `target` FMem-resident
+// pages, promoting its hottest SMem pages or demoting its coldest FMem
+// pages. When FMem lacks free space for a grow, the coldest FMem pages of
+// the victim workloads are demoted to make room. Returns (promoted,
+// demoted).
+func (p *pool) pin(sys *mem.System, id mem.WorkloadID, target int, victims ...mem.WorkloadID) (int, int) {
+	cur := sys.FMemPages(id)
+	switch {
+	case cur < target:
+		p.h.Reset()
+		for _, pid := range sys.WorkloadPages(id) {
+			if sys.Page(pid).Tier == mem.TierSMem {
+				p.h.Add(pid, sys.Page(pid).Hotness)
+			}
+		}
+		p.promote = p.h.Hottest(p.promote[:0], target-cur)
+		p.demote = p.demote[:0]
+		if need := len(p.promote) - sys.FMemFreePages(); need > 0 && len(victims) > 0 {
+			p.h.Reset()
+			for _, vid := range victims {
+				for _, pid := range sys.WorkloadPages(vid) {
+					if sys.Page(pid).Tier == mem.TierFMem {
+						p.h.Add(pid, sys.Page(pid).Hotness)
+					}
+				}
+			}
+			p.demote = p.h.Coldest(p.demote, need)
+		}
+		return sys.Exchange(p.promote, p.demote)
+	case cur > target:
+		p.h.Reset()
+		for _, pid := range sys.WorkloadPages(id) {
+			if sys.Page(pid).Tier == mem.TierFMem {
+				p.h.Add(pid, sys.Page(pid).Hotness)
+			}
+		}
+		p.demote = p.h.Coldest(p.demote[:0], cur-target)
+		return sys.Exchange(nil, p.demote)
+	default:
+		return 0, 0
+	}
+}

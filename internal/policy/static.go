@@ -1,0 +1,79 @@
+package policy
+
+import (
+	"fmt"
+
+	"github.com/tieredmem/mtat/internal/mem"
+)
+
+// Static implements the paper's FMEM_ALL and SMEM_ALL baselines (§5): the
+// LC workload is pinned entirely into one tier, and whatever FMem remains
+// is hotness-managed across the BE workloads.
+type Static struct {
+	lcTier   mem.Tier
+	interval float64
+	lastAge  float64
+	pool     pool
+	bePool   pool
+	beIDs    []mem.WorkloadID
+}
+
+var _ Policy = (*Static)(nil)
+
+// NewFMemAll returns the FMEM_ALL baseline: the LC workload exclusively
+// occupies FMem (up to capacity), BE workloads share the rest.
+func NewFMemAll() *Static { return &Static{lcTier: mem.TierFMem, interval: 1} }
+
+// NewSMemAll returns the SMEM_ALL baseline: the LC workload is confined to
+// SMem and BE workloads share all of FMem.
+func NewSMemAll() *Static { return &Static{lcTier: mem.TierSMem, interval: 1} }
+
+// Name implements Policy.
+func (s *Static) Name() string {
+	if s.lcTier == mem.TierFMem {
+		return "FMEM_ALL"
+	}
+	return "SMEM_ALL"
+}
+
+// Init implements Policy.
+func (s *Static) Init(ctx *Context) error {
+	if ctx.LC == nil {
+		return fmt.Errorf("policy: %s requires an LC workload", s.Name())
+	}
+	s.beIDs = s.beIDs[:0]
+	for _, be := range ctx.BEs {
+		s.beIDs = append(s.beIDs, be.ID())
+	}
+	s.lastAge = 0
+	return nil
+}
+
+// Tick implements Policy.
+func (s *Static) Tick(ctx *Context) error {
+	sys := ctx.Sys
+	lcID := ctx.LC.ID()
+	lcTarget := 0
+	if s.lcTier == mem.TierFMem {
+		lcTarget = sys.TotalPages(lcID)
+		if cap := sys.FMemCapacityPages(); lcTarget > cap {
+			lcTarget = cap
+		}
+	}
+	s.pool.pin(sys, lcID, lcTarget, s.beIDs...)
+
+	// BE workloads share the remaining capacity by global hotness.
+	if len(s.beIDs) > 0 {
+		remaining := sys.FMemCapacityPages() - sys.FMemPages(lcID)
+		s.bePool.manage(sys, s.beIDs, remaining)
+	}
+
+	if ctx.Now-s.lastAge >= s.interval {
+		sys.AgeHotness()
+		s.lastAge = ctx.Now
+	}
+	return nil
+}
+
+// LCStall implements Policy; static placement adds no request-path stalls.
+func (s *Static) LCStall() float64 { return 0 }

@@ -1,0 +1,83 @@
+// Package profile produces the offline best-effort throughput profiles
+// PP-M consumes for BE partitioning (§4): per-workload throughput measured
+// under FMem allocations from 0 upward in fixed increments (the paper uses
+// 1 GB steps). Profiles assume a hotness-managed partition — the hottest
+// pages occupy whatever FMem the workload is granted — matching how PP-E
+// refines partitions between policy updates.
+package profile
+
+import (
+	"fmt"
+
+	"github.com/tieredmem/mtat/internal/workload"
+)
+
+// BEProfile is an offline throughput-vs-FMem curve for one BE workload.
+type BEProfile struct {
+	// Name is the workload name.
+	Name string
+	// StepPages is the allocation granularity in pages.
+	StepPages int
+	// TotalPages is the workload's page count; allocations beyond it
+	// add nothing.
+	TotalPages int
+	// Throughput[i] is work/second with i*StepPages pages of FMem.
+	Throughput []float64
+	// PerfFull is the throughput with the whole working set resident —
+	// Eq. 3's denominator.
+	PerfFull float64
+}
+
+// Measure profiles be at the given page-step granularity.
+func Measure(be *workload.BE, totalPages, stepPages int) (BEProfile, error) {
+	if be == nil {
+		return BEProfile{}, fmt.Errorf("profile: workload must not be nil")
+	}
+	if stepPages <= 0 {
+		return BEProfile{}, fmt.Errorf("profile: stepPages must be > 0, got %d", stepPages)
+	}
+	if totalPages <= 0 {
+		return BEProfile{}, fmt.Errorf("profile: totalPages must be > 0, got %d", totalPages)
+	}
+	steps := totalPages/stepPages + 2 // include 0 and beyond-full
+	p := BEProfile{
+		Name:       be.Config().Name,
+		StepPages:  stepPages,
+		TotalPages: totalPages,
+		Throughput: make([]float64, steps),
+		PerfFull:   be.PerfFull(),
+	}
+	for i := range p.Throughput {
+		pages := i * stepPages
+		if pages > totalPages {
+			pages = totalPages
+		}
+		p.Throughput[i] = be.ProfileThroughput(pages)
+	}
+	return p, nil
+}
+
+// At returns the profiled throughput for an allocation of pages, linearly
+// interpolated between measured steps and clamped to the profiled range.
+func (p BEProfile) At(pages int) float64 {
+	if len(p.Throughput) == 0 {
+		return 0
+	}
+	if pages <= 0 {
+		return p.Throughput[0]
+	}
+	idx := pages / p.StepPages
+	if idx >= len(p.Throughput)-1 {
+		return p.Throughput[len(p.Throughput)-1]
+	}
+	frac := float64(pages%p.StepPages) / float64(p.StepPages)
+	return p.Throughput[idx] + frac*(p.Throughput[idx+1]-p.Throughput[idx])
+}
+
+// NP returns the normalized performance (Eq. 3) at the given allocation.
+func (p BEProfile) NP(pages int) float64 {
+	if p.PerfFull <= 0 {
+		return 0
+	}
+	return p.At(pages) / p.PerfFull
+}

@@ -1,0 +1,110 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tieredmem/mtat/internal/mem"
+	"github.com/tieredmem/mtat/internal/workload"
+)
+
+func newBE(t *testing.T) (*workload.BE, int) {
+	t.Helper()
+	sys, err := mem.NewSystem(mem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := workload.NewBE(sys, workload.PRConfig(4), mem.TierSMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return be, sys.TotalPages(be.ID())
+}
+
+func TestMeasureValidation(t *testing.T) {
+	be, total := newBE(t)
+	if _, err := Measure(nil, total, 10); err == nil {
+		t.Error("nil workload accepted")
+	}
+	if _, err := Measure(be, total, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := Measure(be, 0, 10); err == nil {
+		t.Error("zero total accepted")
+	}
+}
+
+func TestMeasureEndpoints(t *testing.T) {
+	be, total := newBE(t)
+	p, err := Measure(be, total, 256) // 1 GiB steps at 4 MiB pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "pr" {
+		t.Errorf("profile name = %q, want pr", p.Name)
+	}
+	if got := p.At(0); math.Abs(got-be.ThroughputAt(0)) > 1e-9 {
+		t.Errorf("At(0) = %g, want zero-FMem throughput %g", got, be.ThroughputAt(0))
+	}
+	if got := p.At(total); math.Abs(got-p.PerfFull)/p.PerfFull > 1e-9 {
+		t.Errorf("At(total) = %g, want PerfFull %g", got, p.PerfFull)
+	}
+	// Beyond-total clamps.
+	if got := p.At(total * 2); math.Abs(got-p.PerfFull)/p.PerfFull > 1e-9 {
+		t.Errorf("At(2*total) = %g, want PerfFull %g", got, p.PerfFull)
+	}
+	if got := p.At(-5); got != p.Throughput[0] {
+		t.Errorf("At(-5) = %g, want %g", got, p.Throughput[0])
+	}
+}
+
+func TestProfileMonotone(t *testing.T) {
+	be, total := newBE(t)
+	p, err := Measure(be, total, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for pages := 0; pages <= total; pages += 64 {
+		v := p.At(pages)
+		if v < prev-1e-9 {
+			t.Fatalf("profile not monotone at %d pages: %g < %g", pages, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestProfileInterpolation(t *testing.T) {
+	be, total := newBE(t)
+	p, err := Measure(be, total, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Halfway between steps lies between the step values.
+	lo, hi := p.Throughput[1], p.Throughput[2]
+	mid := p.At(150)
+	if mid < math.Min(lo, hi)-1e-9 || mid > math.Max(lo, hi)+1e-9 {
+		t.Errorf("At(150) = %g outside [%g, %g]", mid, lo, hi)
+	}
+}
+
+func TestNP(t *testing.T) {
+	be, total := newBE(t)
+	p, err := Measure(be, total, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NP(total); math.Abs(got-1) > 1e-9 {
+		t.Errorf("NP(total) = %g, want 1", got)
+	}
+	if got := p.NP(0); got <= 0 || got >= 1 {
+		t.Errorf("NP(0) = %g, want in (0,1)", got)
+	}
+	var empty BEProfile
+	if got := empty.NP(10); got != 0 {
+		t.Errorf("NP on empty profile = %g, want 0", got)
+	}
+	if got := empty.At(10); got != 0 {
+		t.Errorf("At on empty profile = %g, want 0", got)
+	}
+}

@@ -1,0 +1,35 @@
+package queue
+
+import "testing"
+
+func BenchmarkTickStable(b *testing.B) {
+	m, _ := NewModel(8, 1)
+	svc := ExponentialService(10e-6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Tick(600000, 0.1, svc, 0.02); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTickOverload(b *testing.B) {
+	m, _ := NewModel(1, 1)
+	m.SetClientTimeout(0.1)
+	svc := DeterministicService(10e-6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Tick(150000, 0.1, svc, 0.02); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStationaryP99(b *testing.B) {
+	m, _ := NewModel(8, 1)
+	svc := ExponentialService(10e-6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.StationaryP99(700000, svc)
+	}
+}

@@ -1,0 +1,46 @@
+package rl
+
+import "testing"
+
+// BenchmarkSACUpdate measures one gradient step (batch 64, twin critics,
+// actor, temperature) — PP-M's training-round unit cost.
+func BenchmarkSACUpdate(b *testing.B) {
+	cfg := DefaultSACConfig()
+	cfg.UpdateEvery = 1 << 30 // no auto-updates during filling
+	agent, err := NewSAC(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		f := float64(i%10) / 10
+		if err := agent.Observe(Transition{
+			State: []float64{f, f, f}, Action: 0.1, Reward: 0.5,
+			NextState: []float64{f, f, f},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := agent.ForceUpdate(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectAction measures PP-M's per-decision inference cost.
+func BenchmarkSelectAction(b *testing.B) {
+	agent, err := NewSAC(DefaultSACConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := []float64{0.5, 0.5, 0.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.SelectAction(state, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package rl implements the reinforcement-learning machinery of PP-M's LC
+// partitioner (§3.2.1, Algorithm 1): a transition replay buffer and the
+// Soft Actor-Critic algorithm with twin Q-critics, a tanh-squashed
+// Gaussian policy, target networks, and optional automatic entropy
+// temperature tuning.
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Transition is one (s, a, r, s', done) tuple. Action is the normalized
+// scalar action in [-1, 1]; callers scale it to the physical range
+// ±M/(2t) outside the agent.
+type Transition struct {
+	State     []float64
+	Action    float64
+	Reward    float64
+	NextState []float64
+	Done      bool
+}
+
+// Replay is a fixed-capacity ring buffer of transitions.
+type Replay struct {
+	buf  []Transition
+	next int
+	full bool
+}
+
+// NewReplay returns a replay buffer holding up to capacity transitions.
+func NewReplay(capacity int) (*Replay, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("rl: replay capacity must be > 0, got %d", capacity)
+	}
+	return &Replay{buf: make([]Transition, 0, capacity)}, nil
+}
+
+// Len returns the number of stored transitions.
+func (r *Replay) Len() int {
+	if r.full {
+		return cap(r.buf)
+	}
+	return len(r.buf)
+}
+
+// Add stores a transition, evicting the oldest when full. State slices are
+// copied so callers may reuse their buffers.
+func (r *Replay) Add(t Transition) {
+	t.State = append([]float64(nil), t.State...)
+	t.NextState = append([]float64(nil), t.NextState...)
+	if !r.full && len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, t)
+		if len(r.buf) == cap(r.buf) {
+			r.full = true
+			r.next = 0
+		}
+		return
+	}
+	r.buf[r.next] = t
+	r.next++
+	if r.next == cap(r.buf) {
+		r.next = 0
+	}
+}
+
+// Sample draws n transitions uniformly with replacement into dst (reused
+// if non-nil) and returns it. It returns an error if the buffer is empty.
+func (r *Replay) Sample(rng *rand.Rand, n int, dst []Transition) ([]Transition, error) {
+	if r.Len() == 0 {
+		return nil, fmt.Errorf("rl: cannot sample from empty replay buffer")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("rl: sample size must be > 0, got %d", n)
+	}
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, r.buf[rng.Intn(r.Len())])
+	}
+	return dst, nil
+}

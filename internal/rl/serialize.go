@@ -1,0 +1,62 @@
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/tieredmem/mtat/internal/nn"
+)
+
+// sacJSON is the serialized form of a SAC agent's learnable state. Replay
+// contents and optimizer moments are not persisted: a restored agent is
+// meant for evaluation or continued training from fresh optimizer state.
+type sacJSON struct {
+	Actor    *nn.MLP `json:"actor"`
+	Q1       *nn.MLP `json:"q1"`
+	Q2       *nn.MLP `json:"q2"`
+	Q1Target *nn.MLP `json:"q1_target"`
+	Q2Target *nn.MLP `json:"q2_target"`
+	LogAlpha float64 `json:"log_alpha"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *SAC) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sacJSON{
+		Actor:    s.actor,
+		Q1:       s.q1,
+		Q2:       s.q2,
+		Q1Target: s.q1t,
+		Q2Target: s.q2t,
+		LogAlpha: s.logAlpha,
+	})
+}
+
+// LoadWeights restores network parameters and temperature from data
+// produced by MarshalJSON. The agent's configuration (and therefore
+// network architecture) must match.
+func (s *SAC) LoadWeights(data []byte) error {
+	var j sacJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("rl: load weights: %w", err)
+	}
+	if j.Actor == nil || j.Q1 == nil || j.Q2 == nil || j.Q1Target == nil || j.Q2Target == nil {
+		return fmt.Errorf("rl: load weights: missing networks")
+	}
+	if err := s.actor.CopyFrom(j.Actor); err != nil {
+		return fmt.Errorf("rl: load actor: %w", err)
+	}
+	if err := s.q1.CopyFrom(j.Q1); err != nil {
+		return fmt.Errorf("rl: load q1: %w", err)
+	}
+	if err := s.q2.CopyFrom(j.Q2); err != nil {
+		return fmt.Errorf("rl: load q2: %w", err)
+	}
+	if err := s.q1t.CopyFrom(j.Q1Target); err != nil {
+		return fmt.Errorf("rl: load q1 target: %w", err)
+	}
+	if err := s.q2t.CopyFrom(j.Q2Target); err != nil {
+		return fmt.Errorf("rl: load q2 target: %w", err)
+	}
+	s.logAlpha = j.LogAlpha
+	return nil
+}

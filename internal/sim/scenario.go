@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/tieredmem/mtat/internal/loadgen"
+	"github.com/tieredmem/mtat/internal/mem"
+	"github.com/tieredmem/mtat/internal/workload"
+)
+
+// PaperScenarioOpts parameterizes the §5 co-location setup.
+type PaperScenarioOpts struct {
+	// LCName selects the Table 1 workload (redis, memcached, mongodb,
+	// silo). Empty disables the LC workload.
+	LCName string
+	// LCServers overrides the LC thread count (Table 3's core sweeps);
+	// zero keeps the profile default.
+	LCServers int
+	// BENames selects Table 2 workloads; nil means all four.
+	BENames []string
+	// BECoresTotal is the core budget split evenly across BE workloads
+	// (the paper's methodology uses 16 for four workloads). Zero
+	// defaults to 4 per workload.
+	BECoresTotal int
+	// Load is the LC load pattern; nil defaults to the Figure 7 ramp.
+	Load loadgen.Pattern
+	// Scale divides every memory size by this factor, preserving all
+	// ratios — page-count reduction for fast tests. Zero or one keeps
+	// the paper's geometry.
+	Scale int
+	// Seed drives scenario randomness.
+	Seed int64
+}
+
+// PaperScenario builds the evaluation co-location of §5: the chosen LC
+// workload (initially occupying FMem, as in §5.1) plus the chosen BE
+// workloads, on the paper's 32 GiB + 256 GiB geometry.
+func PaperScenario(opts PaperScenarioOpts) (Scenario, error) {
+	scale := opts.Scale
+	if scale <= 1 {
+		scale = 1
+	}
+	memCfg := mem.DefaultConfig()
+	memCfg.FMemBytes /= int64(scale)
+	memCfg.SMemBytes /= int64(scale)
+	memCfg.MigrationBandwidth /= int64(scale)
+
+	scn := Scenario{
+		Mem:           memCfg,
+		LCInitialTier: mem.TierFMem,
+		Load:          opts.Load,
+		Seed:          opts.Seed,
+	}
+	if scn.Load == nil {
+		scn.Load = loadgen.Fig7()
+	}
+
+	if opts.LCName != "" {
+		lcCfg, ok := workload.LCConfigByName(opts.LCName)
+		if !ok {
+			return Scenario{}, fmt.Errorf("sim: unknown LC workload %q", opts.LCName)
+		}
+		lcCfg.RSSBytes /= int64(scale)
+		if opts.LCServers > 0 {
+			lcCfg.Servers = opts.LCServers
+		}
+		scn.LC = lcCfg
+		scn.HasLC = true
+	}
+
+	beNames := opts.BENames
+	if beNames == nil {
+		beNames = []string{"sssp", "bfs", "pr", "xsbench"}
+	}
+	coresTotal := opts.BECoresTotal
+	if coresTotal == 0 {
+		coresTotal = 4 * len(beNames)
+	}
+	if len(beNames) > 0 {
+		coresEach := coresTotal / len(beNames)
+		if coresEach < 1 {
+			coresEach = 1
+		}
+		for _, name := range beNames {
+			beCfg, ok := workload.BEConfigByName(name, coresEach)
+			if !ok {
+				return Scenario{}, fmt.Errorf("sim: unknown BE workload %q", name)
+			}
+			beCfg.RSSBytes /= int64(scale)
+			scn.BEs = append(scn.BEs, beCfg)
+		}
+	}
+	return scn, nil
+}

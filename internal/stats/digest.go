@@ -1,0 +1,258 @@
+// Package stats provides the statistical primitives used throughout the
+// MTAT simulator: streaming quantile digests for latency, fairness metrics
+// over best-effort workloads (Eq. 3 of the paper), aggregate summaries, and
+// time-series recording for the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Digest is a streaming quantile estimator over non-negative values
+// (typically latencies in seconds). It uses logarithmically spaced bins,
+// which bounds the relative quantile error by the bin growth factor while
+// using O(1) memory regardless of the number of observations.
+//
+// The zero value is not usable; construct with NewDigest. Digest is not
+// safe for concurrent use.
+type Digest struct {
+	min     float64 // smallest representable value; smaller values clamp
+	growth  float64 // per-bin multiplicative growth factor
+	logG    float64 // cached math.Log(growth)
+	bins    []uint64
+	count   uint64
+	sum     float64
+	maxSeen float64
+	minSeen float64
+}
+
+// DigestOpts configures a Digest.
+type DigestOpts struct {
+	// Min is the smallest distinguishable value. Observations below Min
+	// (including zero) land in the first bin. Must be > 0.
+	Min float64
+	// Max is the largest value the digest must represent without
+	// saturating its final bin. Must be > Min.
+	Max float64
+	// RelError bounds the relative error of quantile estimates; bin edges
+	// grow by (1 + 2*RelError). Must be in (0, 1).
+	RelError float64
+}
+
+// NewDigest returns a Digest covering [opts.Min, opts.Max] with relative
+// quantile error bounded by opts.RelError.
+func NewDigest(opts DigestOpts) (*Digest, error) {
+	if opts.Min <= 0 {
+		return nil, fmt.Errorf("stats: digest Min must be > 0, got %g", opts.Min)
+	}
+	if opts.Max <= opts.Min {
+		return nil, fmt.Errorf("stats: digest Max (%g) must exceed Min (%g)", opts.Max, opts.Min)
+	}
+	if opts.RelError <= 0 || opts.RelError >= 1 {
+		return nil, fmt.Errorf("stats: digest RelError must be in (0,1), got %g", opts.RelError)
+	}
+	growth := 1 + 2*opts.RelError
+	nbins := int(math.Ceil(math.Log(opts.Max/opts.Min)/math.Log(growth))) + 2
+	return &Digest{
+		min:     opts.Min,
+		growth:  growth,
+		logG:    math.Log(growth),
+		bins:    make([]uint64, nbins),
+		minSeen: math.Inf(1),
+	}, nil
+}
+
+// MustNewDigest is NewDigest but panics on invalid options. Intended for
+// package-level defaults whose options are compile-time constants.
+func MustNewDigest(opts DigestOpts) *Digest {
+	d, err := NewDigest(opts)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NewLatencyDigest returns a digest suitable for request latencies from
+// 100 ns up to 100 s with ~1% relative error.
+func NewLatencyDigest() *Digest {
+	return MustNewDigest(DigestOpts{Min: 100e-9, Max: 100, RelError: 0.01})
+}
+
+// binIndex maps a value to its bin, clamping at both ends.
+func (d *Digest) binIndex(v float64) int {
+	if v <= d.min {
+		return 0
+	}
+	idx := int(math.Log(v/d.min)/d.logG) + 1
+	if idx >= len(d.bins) {
+		idx = len(d.bins) - 1
+	}
+	return idx
+}
+
+// binValue returns the representative (geometric-mean) value of bin i.
+func (d *Digest) binValue(i int) float64 {
+	if i == 0 {
+		return d.min
+	}
+	lo := d.min * math.Pow(d.growth, float64(i-1))
+	return lo * math.Sqrt(d.growth)
+}
+
+// Add records one observation.
+func (d *Digest) Add(v float64) {
+	d.AddN(v, 1)
+}
+
+// AddN records n identical observations. Negative or NaN values are
+// treated as the digest minimum (they represent timer underflow in the
+// simulator, not meaningful latencies).
+func (d *Digest) AddN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if math.IsNaN(v) || v < 0 {
+		v = d.min
+	}
+	d.bins[d.binIndex(v)] += n
+	d.count += n
+	d.sum += v * float64(n)
+	if v > d.maxSeen {
+		d.maxSeen = v
+	}
+	if v < d.minSeen {
+		d.minSeen = v
+	}
+}
+
+// Count returns the number of observations recorded.
+func (d *Digest) Count() uint64 { return d.count }
+
+// Mean returns the arithmetic mean of the observations, or 0 if empty.
+func (d *Digest) Mean() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return d.sum / float64(d.count)
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (d *Digest) Max() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return d.maxSeen
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (d *Digest) Min() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return d.minSeen
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]). It returns
+// 0 for an empty digest. Estimates are exact at the recorded min/max and
+// within the configured relative error elsewhere.
+func (d *Digest) Quantile(q float64) float64 {
+	if d.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return d.minSeen
+	}
+	if q >= 1 {
+		return d.maxSeen
+	}
+	rank := uint64(math.Ceil(q * float64(d.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range d.bins {
+		cum += c
+		if cum >= rank {
+			v := d.binValue(i)
+			// The first bin holds every value at or below the digest
+			// minimum; the observed minimum is the best estimate there.
+			if i == 0 && d.minSeen < v {
+				v = d.minSeen
+			}
+			// Clamp interior estimates to the observed range so that
+			// single-bin digests report exact values.
+			if v < d.minSeen {
+				v = d.minSeen
+			}
+			if v > d.maxSeen {
+				v = d.maxSeen
+			}
+			return v
+		}
+	}
+	return d.maxSeen
+}
+
+// P99 is shorthand for Quantile(0.99).
+func (d *Digest) P99() float64 { return d.Quantile(0.99) }
+
+// P50 is shorthand for Quantile(0.50).
+func (d *Digest) P50() float64 { return d.Quantile(0.50) }
+
+// Reset clears all recorded observations, retaining the configuration.
+func (d *Digest) Reset() {
+	for i := range d.bins {
+		d.bins[i] = 0
+	}
+	d.count = 0
+	d.sum = 0
+	d.maxSeen = 0
+	d.minSeen = math.Inf(1)
+}
+
+// Merge adds all observations recorded in other into d. The two digests
+// must have identical configurations.
+func (d *Digest) Merge(other *Digest) error {
+	if other.min != d.min || other.growth != d.growth || len(other.bins) != len(d.bins) {
+		return fmt.Errorf("stats: cannot merge digests with different configurations")
+	}
+	for i, c := range other.bins {
+		d.bins[i] += c
+	}
+	d.count += other.count
+	d.sum += other.sum
+	if other.count > 0 {
+		if other.maxSeen > d.maxSeen {
+			d.maxSeen = other.maxSeen
+		}
+		if other.minSeen < d.minSeen {
+			d.minSeen = other.minSeen
+		}
+	}
+	return nil
+}
+
+// ExactQuantile computes the q-quantile of a sample exactly (by sorting a
+// copy). It is used in tests as ground truth and in the queue model for
+// small per-tick samples.
+func ExactQuantile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}

@@ -1,0 +1,251 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDigestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts DigestOpts
+	}{
+		{"zero min", DigestOpts{Min: 0, Max: 1, RelError: 0.01}},
+		{"negative min", DigestOpts{Min: -1, Max: 1, RelError: 0.01}},
+		{"max below min", DigestOpts{Min: 1, Max: 0.5, RelError: 0.01}},
+		{"max equals min", DigestOpts{Min: 1, Max: 1, RelError: 0.01}},
+		{"zero rel error", DigestOpts{Min: 1e-9, Max: 1, RelError: 0}},
+		{"rel error one", DigestOpts{Min: 1e-9, Max: 1, RelError: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewDigest(tc.opts); err == nil {
+				t.Fatalf("NewDigest(%+v) succeeded, want error", tc.opts)
+			}
+		})
+	}
+}
+
+func TestDigestEmpty(t *testing.T) {
+	d := NewLatencyDigest()
+	if got := d.Count(); got != 0 {
+		t.Errorf("Count() = %d, want 0", got)
+	}
+	if got := d.Quantile(0.99); got != 0 {
+		t.Errorf("Quantile(0.99) = %g, want 0", got)
+	}
+	if got := d.Mean(); got != 0 {
+		t.Errorf("Mean() = %g, want 0", got)
+	}
+	if got := d.Max(); got != 0 {
+		t.Errorf("Max() = %g, want 0", got)
+	}
+}
+
+func TestDigestSingleValue(t *testing.T) {
+	d := NewLatencyDigest()
+	d.Add(0.005)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := d.Quantile(q)
+		if math.Abs(got-0.005)/0.005 > 0.03 {
+			t.Errorf("Quantile(%g) = %g, want ~0.005", q, got)
+		}
+	}
+	if got := d.Mean(); got != 0.005 {
+		t.Errorf("Mean() = %g, want 0.005", got)
+	}
+}
+
+func TestDigestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d := NewLatencyDigest()
+	sample := make([]float64, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		// Log-uniform latencies between 1µs and 1s.
+		v := math.Exp(rng.Float64()*math.Log(1e6)) * 1e-6
+		d.Add(v)
+		sample = append(sample, v)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999} {
+		want := ExactQuantile(sample, q)
+		got := d.Quantile(q)
+		if relErr := math.Abs(got-want) / want; relErr > 0.05 {
+			t.Errorf("Quantile(%g) = %g, exact %g (rel err %.3f)", q, got, want, relErr)
+		}
+	}
+}
+
+func TestDigestExtremesExact(t *testing.T) {
+	d := NewLatencyDigest()
+	vals := []float64{1e-6, 3e-3, 0.5, 7.25}
+	for _, v := range vals {
+		d.Add(v)
+	}
+	if got := d.Quantile(0); got != 1e-6 {
+		t.Errorf("Quantile(0) = %g, want 1e-6", got)
+	}
+	if got := d.Quantile(1); got != 7.25 {
+		t.Errorf("Quantile(1) = %g, want 7.25", got)
+	}
+	if got := d.Min(); got != 1e-6 {
+		t.Errorf("Min() = %g, want 1e-6", got)
+	}
+	if got := d.Max(); got != 7.25 {
+		t.Errorf("Max() = %g, want 7.25", got)
+	}
+}
+
+func TestDigestClamping(t *testing.T) {
+	d := MustNewDigest(DigestOpts{Min: 1e-3, Max: 10, RelError: 0.01})
+	d.Add(1e-9) // below min: lands in first bin
+	d.Add(1e9)  // above max: lands in last bin
+	if d.Count() != 2 {
+		t.Fatalf("Count() = %d, want 2", d.Count())
+	}
+	// Quantiles stay within observed range.
+	if q := d.Quantile(0.25); q > 1e-8 {
+		t.Errorf("low quantile = %g, want clamped near 1e-9", q)
+	}
+}
+
+func TestDigestInvalidValues(t *testing.T) {
+	d := NewLatencyDigest()
+	d.Add(math.NaN())
+	d.Add(-5)
+	if d.Count() != 2 {
+		t.Fatalf("Count() = %d, want 2 (invalid values clamp, not drop)", d.Count())
+	}
+	if got := d.Quantile(0.5); got > 1e-6 {
+		t.Errorf("Quantile(0.5) = %g, want clamped to digest min", got)
+	}
+}
+
+func TestDigestAddN(t *testing.T) {
+	a := NewLatencyDigest()
+	b := NewLatencyDigest()
+	for i := 0; i < 7; i++ {
+		a.Add(0.01)
+	}
+	b.AddN(0.01, 7)
+	b.AddN(0.02, 0) // no-op
+	if a.Count() != b.Count() {
+		t.Fatalf("AddN count mismatch: %d vs %d", a.Count(), b.Count())
+	}
+	if a.Quantile(0.5) != b.Quantile(0.5) {
+		t.Errorf("AddN quantile mismatch: %g vs %g", a.Quantile(0.5), b.Quantile(0.5))
+	}
+}
+
+func TestDigestReset(t *testing.T) {
+	d := NewLatencyDigest()
+	d.Add(0.1)
+	d.Reset()
+	if d.Count() != 0 || d.Quantile(0.99) != 0 || d.Mean() != 0 {
+		t.Errorf("Reset did not clear digest: count=%d p99=%g mean=%g",
+			d.Count(), d.Quantile(0.99), d.Mean())
+	}
+	d.Add(0.2)
+	if got := d.Quantile(1); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("post-reset Quantile(1) = %g, want 0.2", got)
+	}
+}
+
+func TestDigestMerge(t *testing.T) {
+	a := NewLatencyDigest()
+	b := NewLatencyDigest()
+	c := NewLatencyDigest()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		v := rng.Float64()
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		c.Add(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Count() != c.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), c.Count())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		if got, want := a.Quantile(q), c.Quantile(q); math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("merged Quantile(%g) = %g, want %g", q, got, want)
+		}
+	}
+}
+
+func TestDigestMergeIncompatible(t *testing.T) {
+	a := NewLatencyDigest()
+	b := MustNewDigest(DigestOpts{Min: 1e-3, Max: 10, RelError: 0.1})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("Merge of incompatible digests succeeded, want error")
+	}
+}
+
+// Property: quantiles are monotone non-decreasing in q.
+func TestDigestQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewLatencyDigest()
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			d.Add(rng.Float64() * 10)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := d.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean lies within [min, max] of observations.
+func TestDigestMeanBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewLatencyDigest()
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			d.Add(rng.Float64())
+		}
+		m := d.Mean()
+		return m >= d.Min()-1e-12 && m <= d.Max()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactQuantile(t *testing.T) {
+	sample := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.4, 2}, {0.6, 3}, {0.8, 4}, {1, 5}, {0.5, 3},
+	}
+	for _, tc := range cases {
+		if got := ExactQuantile(sample, tc.q); got != tc.want {
+			t.Errorf("ExactQuantile(q=%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if got := ExactQuantile(nil, 0.5); got != 0 {
+		t.Errorf("ExactQuantile(nil) = %g, want 0", got)
+	}
+	// Input must not be mutated.
+	if sample[0] != 5 {
+		t.Error("ExactQuantile mutated its input")
+	}
+}

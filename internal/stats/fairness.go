@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// NP computes the normalized performance (performance degradation ratio) of
+// Eq. 3 in the paper: the throughput a workload achieves under the current
+// allocation divided by its throughput with exclusive access to all of
+// FMem. perfFull must be > 0.
+func NP(perfAlloc, perfFull float64) (float64, error) {
+	if perfFull <= 0 {
+		return 0, fmt.Errorf("stats: perfFull must be > 0, got %g", perfFull)
+	}
+	if perfAlloc < 0 {
+		return 0, fmt.Errorf("stats: perfAlloc must be >= 0, got %g", perfAlloc)
+	}
+	return perfAlloc / perfFull, nil
+}
+
+// Fairness is the paper's BE fairness metric (§5.1): the smallest
+// normalized-performance ratio across the provided workloads. A value of 1
+// means no workload is degraded; values near 0 mean at least one workload
+// is starved. Returns 0 for an empty slice.
+func Fairness(nps []float64) float64 {
+	if len(nps) == 0 {
+		return 0
+	}
+	min := math.Inf(1)
+	for _, v := range nps {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// MinMaxRatio returns min(nps)/max(nps), the pairwise fairness view used in
+// §3.2.2 ("the ratio NP_i/NP_j as close to 1 as possible"). Returns 1 for
+// empty or all-zero input so that a degenerate allocation does not divide
+// by zero.
+func MinMaxRatio(nps []float64) float64 {
+	if len(nps) == 0 {
+		return 1
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range nps {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max <= 0 {
+		return 1
+	}
+	return min / max
+}
+
+// GeoMean returns the geometric mean of strictly positive values; zero or
+// negative entries are skipped (they would otherwise collapse the mean to
+// zero and typically indicate a workload that did not run).
+func GeoMean(vs []float64) float64 {
+	var logSum float64
+	var n int
+	for _, v := range vs {
+		if v > 0 {
+			logSum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Sum returns the sum of vs.
+func Sum(vs []float64) float64 {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of vs, or 0 for empty input.
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	return Sum(vs) / float64(len(vs))
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNP(t *testing.T) {
+	got, err := NP(50, 100)
+	if err != nil {
+		t.Fatalf("NP: %v", err)
+	}
+	if got != 0.5 {
+		t.Errorf("NP(50,100) = %g, want 0.5", got)
+	}
+	if _, err := NP(50, 0); err == nil {
+		t.Error("NP with perfFull=0 succeeded, want error")
+	}
+	if _, err := NP(-1, 100); err == nil {
+		t.Error("NP with negative perfAlloc succeeded, want error")
+	}
+}
+
+func TestFairness(t *testing.T) {
+	cases := []struct {
+		name string
+		nps  []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{0.7}, 0.7},
+		{"min of many", []float64{0.9, 0.3, 0.6}, 0.3},
+		{"all equal", []float64{0.5, 0.5}, 0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Fairness(tc.nps); got != tc.want {
+				t.Errorf("Fairness(%v) = %g, want %g", tc.nps, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMinMaxRatio(t *testing.T) {
+	if got := MinMaxRatio([]float64{0.5, 1.0}); got != 0.5 {
+		t.Errorf("MinMaxRatio = %g, want 0.5", got)
+	}
+	if got := MinMaxRatio(nil); got != 1 {
+		t.Errorf("MinMaxRatio(nil) = %g, want 1", got)
+	}
+	if got := MinMaxRatio([]float64{0, 0}); got != 1 {
+		t.Errorf("MinMaxRatio(zeros) = %g, want 1", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %g, want 4", got)
+	}
+	if got := GeoMean([]float64{0, 4}); got != 4 {
+		t.Errorf("GeoMean skips zeros: got %g, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %g, want 0", got)
+	}
+}
+
+func TestSumMean(t *testing.T) {
+	if got := Sum([]float64{1, 2, 3}); got != 6 {
+		t.Errorf("Sum = %g, want 6", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g, want 0", got)
+	}
+}
+
+// Property: fairness is never above any individual NP and equals one of them.
+func TestFairnessProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return Fairness(raw) == 0
+		}
+		nps := make([]float64, len(raw))
+		for i, v := range raw {
+			nps[i] = math.Abs(math.Mod(v, 2)) // bounded, non-negative
+		}
+		fair := Fairness(nps)
+		found := false
+		for _, v := range nps {
+			if fair > v {
+				return false
+			}
+			if fair == v {
+				found = true
+			}
+		}
+		return found
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Series is a named time series of (time, value) points recorded during a
+// simulation run. The experiment harness renders series as CSV columns.
+type Series struct {
+	Name   string
+	Times  []float64
+	Values []float64
+}
+
+// Append records one point. Times are expected to be non-decreasing; the
+// harness relies on this for CSV alignment but Append does not enforce it.
+func (s *Series) Append(t, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of recorded points.
+func (s *Series) Len() int { return len(s.Times) }
+
+// At returns the value recorded at or immediately before time t. It
+// returns 0 if the series is empty or t precedes the first sample.
+func (s *Series) At(t float64) float64 {
+	i := sort.SearchFloat64s(s.Times, t)
+	if i < len(s.Times) && s.Times[i] == t {
+		return s.Values[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return s.Values[i-1]
+}
+
+// Max returns the maximum value in the series, or 0 if empty.
+func (s *Series) Max() float64 {
+	var max float64
+	for i, v := range s.Values {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Mean returns the arithmetic mean of the series values, or 0 if empty.
+func (s *Series) Mean() float64 { return Mean(s.Values) }
+
+// SeriesSet is a collection of time series sharing (approximately) a common
+// time base, e.g. the per-policy FMem-ratio traces of Figure 5.
+type SeriesSet struct {
+	series []*Series
+	byName map[string]*Series
+}
+
+// NewSeriesSet returns an empty series set.
+func NewSeriesSet() *SeriesSet {
+	return &SeriesSet{byName: make(map[string]*Series)}
+}
+
+// Get returns the series with the given name, creating it if absent.
+func (ss *SeriesSet) Get(name string) *Series {
+	if s, ok := ss.byName[name]; ok {
+		return s
+	}
+	s := &Series{Name: name}
+	ss.byName[name] = s
+	ss.series = append(ss.series, s)
+	return s
+}
+
+// Names returns the series names in insertion order.
+func (ss *SeriesSet) Names() []string {
+	names := make([]string, len(ss.series))
+	for i, s := range ss.series {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Series returns the series in insertion order.
+func (ss *SeriesSet) Series() []*Series { return ss.series }
+
+// WriteCSV renders the set as CSV with a shared time column taken from the
+// union of all sample times; each series contributes its value at-or-before
+// each time point.
+func (ss *SeriesSet) WriteCSV(w io.Writer) error {
+	timeSet := make(map[float64]struct{})
+	for _, s := range ss.series {
+		for _, t := range s.Times {
+			timeSet[t] = struct{}{}
+		}
+	}
+	times := make([]float64, 0, len(timeSet))
+	for t := range timeSet {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+
+	var b strings.Builder
+	b.WriteString("time")
+	for _, s := range ss.series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("stats: write csv header: %w", err)
+	}
+	for _, t := range times {
+		b.Reset()
+		b.WriteString(strconv.FormatFloat(t, 'g', -1, 64))
+		for _, s := range ss.series {
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(s.At(t), 'g', -1, 64))
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return fmt.Errorf("stats: write csv row: %w", err)
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesAppendAt(t *testing.T) {
+	var s Series
+	s.Append(0, 1)
+	s.Append(1, 2)
+	s.Append(2, 3)
+	cases := []struct {
+		t, want float64
+	}{
+		{-1, 0}, {0, 1}, {0.5, 1}, {1, 2}, {1.9, 2}, {2, 3}, {100, 3},
+	}
+	for _, tc := range cases {
+		if got := s.At(tc.t); got != tc.want {
+			t.Errorf("At(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", s.Len())
+	}
+}
+
+func TestSeriesMaxMean(t *testing.T) {
+	var s Series
+	if s.Max() != 0 || s.Mean() != 0 {
+		t.Error("empty series Max/Mean should be 0")
+	}
+	s.Append(0, -5)
+	s.Append(1, 3)
+	if got := s.Max(); got != 3 {
+		t.Errorf("Max() = %g, want 3", got)
+	}
+	if got := s.Mean(); got != -1 {
+		t.Errorf("Mean() = %g, want -1", got)
+	}
+}
+
+func TestSeriesSet(t *testing.T) {
+	ss := NewSeriesSet()
+	a := ss.Get("a")
+	a2 := ss.Get("a")
+	if a != a2 {
+		t.Error("Get returned a new series for an existing name")
+	}
+	ss.Get("b")
+	names := ss.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names() = %v, want [a b]", names)
+	}
+}
+
+func TestSeriesSetWriteCSV(t *testing.T) {
+	ss := NewSeriesSet()
+	a := ss.Get("p99")
+	a.Append(0, 1)
+	a.Append(2, 3)
+	b := ss.Get("load,kr") // name needing escaping
+	b.Append(1, 10)
+
+	var sb strings.Builder
+	if err := ss.WriteCSV(&sb); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got := sb.String()
+	want := "time,p99,\"load,kr\"\n0,1,0\n1,1,10\n2,3,10\n"
+	if got != want {
+		t.Errorf("WriteCSV output:\n%q\nwant:\n%q", got, want)
+	}
+}

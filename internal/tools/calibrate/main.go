@@ -1,0 +1,57 @@
+// Command calibrate solves each LC workload profile's CPUSeconds so that
+// its maximum SLO-compliant load at the highest achievable FMem hit ratio
+// lands 2% above Table 1's Max Load (the FMEM_ALL headroom), and prints
+// the resulting SMem-only ratios for comparison against Figure 8's
+// SMEM_ALL band. Run it after changing the queueing model or the memory
+// latencies, and copy the printed CPU values into
+// internal/workload/profiles.go.
+package main
+
+import (
+	"fmt"
+
+	"github.com/tieredmem/mtat/internal/mem"
+	"github.com/tieredmem/mtat/internal/workload"
+)
+
+func main() {
+	for _, cfg := range workload.LCConfigs() {
+		sys, err := mem.NewSystem(mem.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		lc, err := workload.NewLC(sys, cfg, mem.TierSMem, 1)
+		if err != nil {
+			panic(err)
+		}
+		total := sys.TotalPages(lc.ID())
+		hmax := float64(sys.FMemCapacityPages()) / float64(total)
+		if hmax > 1 {
+			hmax = 1
+		}
+		// Bisect CPUSeconds so MaxStableLoadFrac(hmax) = 1.02.
+		lo, hi := 1e-7, 1e-3
+		for i := 0; i < 60; i++ {
+			mid := (lo + hi) / 2
+			c := cfg
+			c.CPUSeconds = mid
+			sys2, _ := mem.NewSystem(mem.DefaultConfig())
+			lc2, err := workload.NewLC(sys2, c, mem.TierSMem, 1)
+			if err != nil {
+				panic(err)
+			}
+			if lc2.MaxStableLoadFrac(hmax, 0) > 1.02 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		c := cfg
+		c.CPUSeconds = lo
+		sys3, _ := mem.NewSystem(mem.DefaultConfig())
+		lc3, _ := workload.NewLC(sys3, c, mem.TierSMem, 1)
+		fmt.Printf("%-10s hmax=%.4f CPU=%.4gus maxFrac(hmax)=%.4f maxFrac(0)=%.4f ratio=%.3f\n",
+			cfg.Name, hmax, lo*1e6, lc3.MaxStableLoadFrac(hmax, 0),
+			lc3.MaxStableLoadFrac(0, 0), lc3.MaxStableLoadFrac(0, 0)/lc3.MaxStableLoadFrac(hmax, 0))
+	}
+}

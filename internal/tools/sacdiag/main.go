@@ -1,0 +1,46 @@
+// Command sacdiag sanity-checks the Soft Actor-Critic implementation on a
+// single-state MDP with a known optimum (reward = -|action|): after
+// training, Q must peak at action 0 with a gap of ~1 against the extremes
+// and the deterministic policy must sit near 0. Run it when touching
+// internal/rl or internal/nn.
+package main
+
+import (
+	"fmt"
+
+	"github.com/tieredmem/mtat/internal/rl"
+)
+
+// Single-state continuing MDP: reward = -|a|. Optimal action 0.
+// Q(s,0) - Q(s,±1) should approach ~1/(1-γ)*0... well Q(0)-Q(1) ≈ 1.
+func main() {
+	cfg := rl.DefaultSACConfig()
+	cfg.Seed = 2
+	agent, err := rl.NewSAC(cfg)
+	if err != nil {
+		panic(err)
+	}
+	st := []float64{0.5, 0.5, 0.5}
+	for i := 0; i < 3000; i++ {
+		a, _ := agent.SelectAction(st, false)
+		r := -abs(a)
+		if err := agent.Observe(rl.Transition{State: st, Action: a, Reward: r, NextState: st}); err != nil {
+			panic(err)
+		}
+	}
+	for _, a := range []float64{-1, -0.5, 0, 0.5, 1} {
+		q, _ := agent.QValue(st, a)
+		fmt.Printf("Q(%+.1f) = %+.3f\n", a, q)
+	}
+	mean, logStd, _ := agent.PolicyParams(st)
+	det, _ := agent.SelectAction(st, true)
+	fmt.Printf("mean=%+.3f logStd=%+.3f det=%+.3f alpha=%.3f updates=%d\n",
+		mean, logStd, det, agent.Alpha(), agent.TotalUpdates())
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
