@@ -15,12 +15,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"github.com/tieredmem/mtat"
 	"github.com/tieredmem/mtat/internal/stats"
 )
+
+// policyNames lists every value accepted by -policy.
+var policyNames = []string{"fmem-all", "smem-all", "memtis", "tpp", "mtat-full", "mtat-lconly"}
 
 func main() {
 	if err := run(); err != nil {
@@ -33,7 +38,7 @@ func run() error {
 	var (
 		lcName    = flag.String("lc", "redis", "latency-critical workload (redis, memcached, mongodb, silo)")
 		beNames   = flag.String("bes", "sssp,bfs,pr,xsbench", "comma-separated best-effort workloads")
-		polName   = flag.String("policy", "memtis", "policy: fmem-all, smem-all, memtis, tpp, mtat-full, mtat-lconly")
+		polName   = flag.String("policy", "memtis", "policy: "+strings.Join(policyNames, ", "))
 		loadSpec  = flag.Float64("load", 0, "constant load fraction; 0 uses the Figure 7 ramp")
 		duration  = flag.Float64("duration", 0, "run length in seconds (0 = load pattern length)")
 		scale     = flag.Int("scale", 1, "memory scale divisor")
@@ -42,6 +47,9 @@ func run() error {
 		agentPath = flag.String("agent", "", "pre-trained MTAT agent weights (from mtattrain)")
 		csvPath   = flag.String("csv", "", "write the run's time series to this CSV file")
 		timeline  = flag.Bool("timeline", true, "print a 20 s-resolution timeline")
+		tracePath = flag.String("trace", "", "write the structured event trace as JSONL to this file")
+		dumpMet   = flag.Bool("metrics-dump", false, "print the metrics registry as JSON after the run")
+		httpAddr  = flag.String("http", "", "serve live metrics, trace, and pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -70,9 +78,40 @@ func run() error {
 		scn.DurationSeconds = *duration
 	}
 
+	// Open the trace file before training and the (possibly hour-long)
+	// run so a bad path fails now, not after the work is done.
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		defer traceFile.Close()
+	}
+
 	pol, err := buildPolicy(*polName, scn, *agentPath, *episodes)
 	if err != nil {
 		return err
+	}
+
+	// Attach the sink only after buildPolicy so in-process pretraining
+	// does not flood the trace; the recorded run starts clean.
+	var tel *mtat.Telemetry
+	if *tracePath != "" || *dumpMet || *httpAddr != "" {
+		tel = mtat.NewTelemetry()
+		scn.Telemetry = tel
+	}
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("-http: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics/trace/pprof on http://%s/\n", ln.Addr())
+		go func() {
+			_ = http.Serve(ln, tel.Handler())
+		}()
 	}
 
 	res, err := mtat.Run(scn, pol)
@@ -121,6 +160,24 @@ func run() error {
 			return err
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+
+	if traceFile != nil {
+		if err := tel.Tracer().WriteJSONL(traceFile); err != nil {
+			return err
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events, %d dropped)\n",
+			*tracePath, tel.Tracer().Len(), tel.Tracer().Dropped())
+	}
+	if *dumpMet {
+		fmt.Println()
+		if err := tel.Metrics().WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
 	}
 	return nil
 }
@@ -173,7 +230,8 @@ func buildPolicy(name string, scn mtat.Scenario, agentPath string, episodes int)
 		m.ResetEpisode()
 		return m, nil
 	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
+		return nil, fmt.Errorf("unknown policy %q (valid policies: %s)",
+			name, strings.Join(policyNames, ", "))
 	}
 }
 

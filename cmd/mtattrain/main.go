@@ -9,6 +9,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
@@ -31,6 +33,7 @@ func run() error {
 		scale    = flag.Int("scale", 1, "memory scale divisor")
 		seed     = flag.Int64("seed", 1, "random seed")
 		outPath  = flag.String("o", "mtat-agent.json", "output weights file")
+		httpAddr = flag.String("http", "", "serve live metrics, trace, and pprof on this address during training (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -65,6 +68,21 @@ func run() error {
 		v, *lcName, *beNames, *episodes, *scale)
 	trainScn := scn
 	trainScn.TickSeconds = 0.25
+	if *httpAddr != "" {
+		// Live introspection while training: the ring buffer and metrics
+		// registry accumulate across episodes and are served read-only.
+		tel := mtat.NewTelemetry()
+		trainScn.Telemetry = tel
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("-http: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics/trace/pprof on http://%s/\n", ln.Addr())
+		go func() {
+			_ = http.Serve(ln, tel.Handler())
+		}()
+	}
 	if err := mtat.Pretrain(m, trainScn, *episodes); err != nil {
 		return err
 	}

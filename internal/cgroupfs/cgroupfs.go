@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"github.com/tieredmem/mtat/internal/telemetry"
 )
 
 // FS is a flat, hierarchical-path key-value store with file semantics.
@@ -20,6 +22,20 @@ type FS struct {
 	files map[string][]byte
 	// gen counts writes, letting pollers detect changes cheaply.
 	gen map[string]uint64
+
+	// Interface traffic counters (nil-safe no-ops until Attach).
+	reads    *telemetry.Counter
+	writes   *telemetry.Counter
+	notFound *telemetry.Counter
+}
+
+// Attach registers the interface-traffic counters (cgroupfs_reads_total,
+// cgroupfs_writes_total, cgroupfs_notfound_total) with reg. A nil registry
+// leaves the no-op counters in place.
+func (fs *FS) Attach(reg *telemetry.Registry) {
+	fs.reads = reg.Counter(telemetry.MetricFSReads)
+	fs.writes = reg.Counter(telemetry.MetricFSWrites)
+	fs.notFound = reg.Counter(telemetry.MetricFSNotFound)
 }
 
 // New returns an empty filesystem.
@@ -56,6 +72,7 @@ func (fs *FS) WriteFile(path string, data []byte) error {
 	defer fs.mu.Unlock()
 	fs.files[p] = cp
 	fs.gen[p]++
+	fs.writes.Inc()
 	return nil
 }
 
@@ -71,8 +88,10 @@ func (fs *FS) ReadFile(path string) ([]byte, error) {
 	defer fs.mu.RUnlock()
 	data, ok := fs.files[p]
 	if !ok {
+		fs.notFound.Inc()
 		return nil, &NotFoundError{Path: p}
 	}
+	fs.reads.Inc()
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	return cp, nil

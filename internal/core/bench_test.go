@@ -7,6 +7,7 @@ import (
 	"github.com/tieredmem/mtat/internal/mem"
 	"github.com/tieredmem/mtat/internal/pebs"
 	"github.com/tieredmem/mtat/internal/policy"
+	"github.com/tieredmem/mtat/internal/telemetry"
 	"github.com/tieredmem/mtat/internal/workload"
 )
 
@@ -82,7 +83,33 @@ func BenchmarkPPMDecide(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := m.PPM().Decide(); err != nil {
+		if err := m.PPM().Decide(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPPETickTelemetry measures the same tick with a live telemetry
+// sink attached — the delta over BenchmarkPPETick is the enabled
+// instrumentation cost. BenchmarkPPETick itself runs with a nil sink and
+// pins the no-op path: it must allocate no more than the uninstrumented
+// seed did.
+func BenchmarkPPETickTelemetry(b *testing.B) {
+	ctx, sys := benchRig(b)
+	ctx.Telemetry = telemetry.New()
+	m, err := New(VariantFull, DefaultPPMConfig(0.020, 80000*30))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Init(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.BeginTick(100 * time.Millisecond)
+		ctx.Now = float64(i) * 0.1
+		if err := m.PPE().Tick(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}

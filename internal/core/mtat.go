@@ -102,8 +102,12 @@ func (m *MTAT) ResetEpisode() {
 }
 
 // Init implements policy.Policy: it profiles the BE workloads offline
-// (§4), binds PP-M to the topology, and seeds PP-E.
+// (§4), binds PP-M to the topology, and seeds PP-E. The context's
+// telemetry sink (if any) is attached to both daemons and to the cgroup
+// interface between them.
 func (m *MTAT) Init(ctx *policy.Context) error {
+	m.ppm.AttachTelemetry(ctx.Telemetry)
+	m.fs.Attach(ctx.Telemetry.Metrics())
 	if err := m.ppe.Init(ctx); err != nil {
 		return err
 	}
@@ -150,7 +154,7 @@ func (m *MTAT) Tick(ctx *policy.Context) error {
 		return err
 	}
 	if ctx.Now-m.lastDecision >= m.cfg.IntervalSeconds {
-		if err := m.ppm.Decide(); err != nil {
+		if err := m.ppm.Decide(ctx.Now); err != nil {
 			return err
 		}
 		m.ppe.ResetInterval()

@@ -7,6 +7,7 @@ import (
 	"github.com/tieredmem/mtat/internal/hist"
 	"github.com/tieredmem/mtat/internal/mem"
 	"github.com/tieredmem/mtat/internal/policy"
+	"github.com/tieredmem/mtat/internal/telemetry"
 )
 
 // PPE is the Partition Policy Enforcer (§3.3, the paper's kernel-space
@@ -38,6 +39,11 @@ type PPE struct {
 	promote []mem.PageID
 	demote  []mem.PageID
 	bePool  []mem.WorkloadID
+
+	// tel holds the observability handles (zero value = no-op); now is
+	// the current tick's simulation time, for event timestamps.
+	tel ppeTel
+	now float64
 }
 
 // NewPPE returns an enforcer communicating over fs. sharedBE selects the
@@ -75,6 +81,7 @@ func (e *PPE) Init(ctx *policy.Context) error {
 		e.acc[id] = &workloadStat{}
 	}
 	e.policyGen = e.fs.Generation(policyPath)
+	e.tel = bindPPETel(ctx.Telemetry)
 	return nil
 }
 
@@ -92,6 +99,7 @@ func (e *PPE) Targets() map[mem.WorkloadID]int { return e.targets }
 
 // Tick runs one enforcement step.
 func (e *PPE) Tick(ctx *policy.Context) error {
+	e.now = ctx.Now
 	e.accumulate(ctx)
 	if err := e.publish(); err != nil {
 		return err
@@ -146,15 +154,39 @@ func (e *PPE) pollPolicy() {
 	e.policyGen = gen
 	data, err := e.fs.ReadString(policyPath)
 	if err != nil {
-		return // file raced away; keep current targets
+		// File raced away; keep current targets.
+		e.tel.policyErrors.Inc()
+		if tr := e.tel.tr; tr != nil {
+			tr.Emit(e.now, telemetry.EvPPEPolicyError, telemetry.WLNone,
+				telemetry.F("generation", float64(gen)))
+		}
+		return
 	}
 	targets, err := decodePolicy(data)
 	if err != nil {
-		return // malformed policy; keep current targets
+		// Malformed policy; keep current targets.
+		e.tel.policyErrors.Inc()
+		if tr := e.tel.tr; tr != nil {
+			tr.Emit(e.now, telemetry.EvPPEPolicyError, telemetry.WLNone,
+				telemetry.F("generation", float64(gen)))
+		}
+		return
 	}
-	for id, pages := range targets {
-		if _, ok := e.targets[id]; ok {
-			e.targets[id] = pages
+	e.tel.policyOK.Inc()
+	for _, id := range e.ids {
+		pages, ok := targets[id]
+		if !ok {
+			continue
+		}
+		prev := e.targets[id]
+		e.targets[id] = pages
+		// Emit every adopted target (delta records change vs. hold) so
+		// the trace shows the partition plan even when PP-M stands pat.
+		if tr := e.tel.tr; tr != nil {
+			tr.Emit(e.now, telemetry.EvPPETarget, int(id),
+				telemetry.I("target_pages", pages),
+				telemetry.I("prev_pages", prev),
+				telemetry.I("delta", pages-prev))
 		}
 	}
 }
@@ -222,7 +254,21 @@ func (e *PPE) enforce(ctx *policy.Context) {
 		e.appendProportionalDemotes(sys, demoteSet, demoteSum, min(p, demoteSum))
 	}
 	if len(e.promote) > 0 || len(e.demote) > 0 {
-		sys.Exchange(e.promote, e.demote)
+		promoted, demoted := sys.Exchange(e.promote, e.demote)
+		e.tel.slices.Inc()
+		e.tel.promoted.Add(int64(promoted))
+		e.tel.demoted.Add(int64(demoted))
+		e.tel.migBytes.Add(sys.PagesToBytes(promoted + demoted))
+		if tr := e.tel.tr; tr != nil {
+			tr.Emit(e.now, telemetry.EvPPESlice, telemetry.WLNone,
+				telemetry.I("delta_lc", deltaLC),
+				telemetry.I("budget_pages", pmax),
+				telemetry.I("promote_req", len(e.promote)),
+				telemetry.I("demote_req", len(e.demote)),
+				telemetry.I("promoted", promoted),
+				telemetry.I("demoted", demoted),
+				telemetry.F("bytes", float64(sys.PagesToBytes(promoted+demoted))))
+		}
 		return // adjustment continues next tick; defer refinement
 	}
 
@@ -262,7 +308,8 @@ func (e *PPE) refineWorkload(sys *mem.System, id mem.WorkloadID, target int) {
 			e.demote = append(e.demote, cold[i])
 		}
 	}
-	sys.Exchange(e.promote, e.demote)
+	promoted, demoted := sys.Exchange(e.promote, e.demote)
+	e.recordRefine(sys, int(id), target, promoted, demoted, unified)
 }
 
 // refinePool keeps the globally hottest `capacity` pages of a workload set
@@ -287,7 +334,43 @@ func (e *PPE) refinePool(sys *mem.System, ids []mem.WorkloadID, capacity int) {
 			e.demote = append(e.demote, cold[i])
 		}
 	}
-	sys.Exchange(e.promote, e.demote)
+	promoted, demoted := sys.Exchange(e.promote, e.demote)
+	e.recordRefine(sys, telemetry.WLNone, capacity, promoted, demoted, &e.h)
+}
+
+// recordRefine folds one refinement pass into the telemetry sink: page
+// movement counters, a ppe.refine event, and a ppe.hist occupancy summary
+// of the histogram that drove the split. Quiet passes (no movement) emit
+// nothing.
+func (e *PPE) recordRefine(sys *mem.System, wl, target, promoted, demoted int, h *hist.Histogram) {
+	if promoted == 0 && demoted == 0 {
+		return
+	}
+	e.tel.refines.Inc()
+	e.tel.promoted.Add(int64(promoted))
+	e.tel.demoted.Add(int64(demoted))
+	e.tel.migBytes.Add(sys.PagesToBytes(promoted + demoted))
+	tr := e.tel.tr
+	if tr == nil {
+		return
+	}
+	tr.Emit(e.now, telemetry.EvPPERefine, wl,
+		telemetry.I("target_pages", target),
+		telemetry.I("promoted", promoted),
+		telemetry.I("demoted", demoted),
+		telemetry.F("bytes", float64(sys.PagesToBytes(promoted+demoted))))
+	occupied, topBin := 0, 0
+	for b := 0; b < hist.NumBins; b++ {
+		if h.BinLen(b) > 0 {
+			occupied++
+			topBin = b
+		}
+	}
+	tr.Emit(e.now, telemetry.EvPPEHist, wl,
+		telemetry.I("pages", h.Len()),
+		telemetry.I("occupied_bins", occupied),
+		telemetry.I("top_bin", topBin),
+		telemetry.I("top_len", h.BinLen(topBin)))
 }
 
 // appendHottestSMem appends up to n of id's hottest SMem pages to promote.

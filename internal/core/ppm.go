@@ -9,6 +9,7 @@ import (
 	"github.com/tieredmem/mtat/internal/mem"
 	"github.com/tieredmem/mtat/internal/profile"
 	"github.com/tieredmem/mtat/internal/rl"
+	"github.com/tieredmem/mtat/internal/telemetry"
 )
 
 // PPMConfig configures the Partition Policy Maker.
@@ -134,6 +135,9 @@ type PPM struct {
 	computeTime  time.Duration
 	saIters      int
 	lastLCTarget int
+
+	// tel holds the observability handles (zero value = no-op).
+	tel ppmTel
 }
 
 // NewPPM returns a policy maker communicating over fs.
@@ -178,6 +182,10 @@ func (m *PPM) Bind(lcID mem.WorkloadID, hasLC bool, beIDs []mem.WorkloadID,
 // deterministic evaluation (true).
 func (m *PPM) SetEvalMode(eval bool) { m.eval = eval }
 
+// AttachTelemetry resolves PP-M's metric handles against tel (nil detaches
+// back to the no-op default).
+func (m *PPM) AttachTelemetry(tel *telemetry.Telemetry) { m.tel = bindPPMTel(tel) }
+
 // ResetEpisode clears the pending transition between runs (RL weights are
 // kept — that is the point of pre-training).
 func (m *PPM) ResetEpisode() {
@@ -197,12 +205,15 @@ func (m *PPM) ComputeTime() time.Duration { return m.computeTime }
 
 // Decide reads the interval statistics from the cgroup interface, makes a
 // partition decision, and writes the policy file. Called once per
-// decision interval.
-func (m *PPM) Decide() error {
+// decision interval; now is the simulation time stamped onto telemetry.
+func (m *PPM) Decide(now float64) error {
 	start := time.Now()
 	defer func() {
-		m.computeTime += time.Since(start)
+		elapsed := time.Since(start)
+		m.computeTime += elapsed
 		m.decisions++
+		m.tel.decisions.Inc()
+		m.tel.decideTime.Observe(elapsed.Seconds())
 	}()
 
 	targets := make(map[mem.WorkloadID]int, len(m.beIDs)+1)
@@ -210,9 +221,10 @@ func (m *PPM) Decide() error {
 	if m.hasLC {
 		stat, err := readStat(m.fs, m.lcID)
 		if err != nil {
+			m.tel.statErrors.Inc()
 			return fmt.Errorf("core: PPM read LC stat: %w", err)
 		}
-		lcTarget = m.decideLC(stat)
+		lcTarget = m.decideLC(now, stat)
 		targets[m.lcID] = lcTarget
 	}
 
@@ -221,7 +233,7 @@ func (m *PPM) Decide() error {
 		if remaining < 0 {
 			remaining = 0
 		}
-		alloc, err := m.decideBE(remaining)
+		alloc, err := m.decideBE(now, remaining)
 		if err != nil {
 			return err
 		}
@@ -235,12 +247,12 @@ func (m *PPM) Decide() error {
 
 // decideLC runs one RL step (state observation, reward assignment for the
 // previous action, action selection) and returns the new LC target.
-func (m *PPM) decideLC(stat workloadStat) int {
+func (m *PPM) decideLC(now float64, stat workloadStat) int {
 	state := m.lcState(stat)
 
+	reward := 0.0
 	if m.hasPrev && !m.eval {
 		// Reward for the previous interval's action (Eq. 2).
-		var reward float64
 		if stat.P99 <= m.cfg.SLOSeconds {
 			reward = 1 - state[0] // 1 - FMem usage ratio
 		} else {
@@ -265,20 +277,26 @@ func (m *PPM) decideLC(stat workloadStat) int {
 
 	cur := stat.FMemPages
 	scaled := action
+	shrinkScaled, hold := false, false
 	if scaled < 0 {
 		scaled *= m.cfg.ShrinkFactor
+		shrinkScaled = m.cfg.ShrinkFactor < 1
 		if state[2] >= m.cfg.HighLoadHold {
 			scaled = 0 // high-load hold: do not release LC memory at peak
+			hold = true
 		}
 	}
 	target := cur + int(scaled*float64(m.maxDeltaPages))
+	guarded := false
 	if m.cfg.ReactiveGuard && stat.P99 > 0.8*m.cfg.SLOSeconds {
 		// The last interval violated the SLO or came within 20% of it:
 		// grow by the full action bound.
 		if grown := cur + m.maxDeltaPages; target < grown {
 			target = grown
+			guarded = true
 		}
 	}
+	unclamped := target
 	if target < m.cfg.MinLCPages {
 		target = m.cfg.MinLCPages
 	}
@@ -288,6 +306,7 @@ func (m *PPM) decideLC(stat workloadStat) int {
 	if target > stat.TotalPages {
 		target = stat.TotalPages
 	}
+	clamped := target != unclamped
 	// Record the *applied* action, not the raw policy output: the guard
 	// and the clamps may have overridden it, and crediting outcomes to an
 	// action that was not executed would corrupt the value estimates.
@@ -305,6 +324,35 @@ func (m *PPM) decideLC(stat workloadStat) int {
 	m.prevAction = applied
 	m.hasPrev = true
 	m.lastLCTarget = target
+
+	if shrinkScaled {
+		m.tel.clipShrink.Inc()
+	}
+	if hold {
+		m.tel.clipHold.Inc()
+	}
+	if guarded {
+		m.tel.guard.Inc()
+	}
+	if clamped {
+		m.tel.clamped.Inc()
+	}
+	m.tel.lcTarget.Set(float64(target))
+	if tr := m.tel.tr; tr != nil {
+		tr.Emit(now, telemetry.EvPPMDecision, int(m.lcID),
+			telemetry.F("usage", state[0]),
+			telemetry.F("acc_ratio", state[1]),
+			telemetry.F("load", state[2]),
+			telemetry.F("raw", action),
+			telemetry.F("applied", applied),
+			telemetry.F("reward", reward),
+			telemetry.I("cur_pages", cur),
+			telemetry.I("target_pages", target),
+			telemetry.F("shrink_scaled", b01(shrinkScaled)),
+			telemetry.F("hold", b01(hold)),
+			telemetry.F("guard", b01(guarded)),
+			telemetry.F("clamped", b01(clamped)))
+	}
 	return target
 }
 
@@ -328,7 +376,7 @@ func (m *PPM) lcState(stat workloadStat) []float64 {
 
 // decideBE runs the simulated-annealing fairness search (Algorithm 2)
 // over the remaining FMem, returning per-BE page allocations.
-func (m *PPM) decideBE(remainingPages int) ([]int, error) {
+func (m *PPM) decideBE(now float64, remainingPages int) ([]int, error) {
 	n := len(m.beIDs)
 	units := remainingPages / m.cfg.BEUnitPages
 	obj := func(alloc []int) float64 {
@@ -346,6 +394,14 @@ func (m *PPM) decideBE(remainingPages int) ([]int, error) {
 		return nil, fmt.Errorf("core: BE annealing: %w", err)
 	}
 	m.saIters += res.Iters
+	m.tel.annealIters.Add(int64(res.Iters))
+	if tr := m.tel.tr; tr != nil {
+		tr.Emit(now, telemetry.EvPPMAnneal, telemetry.WLNone,
+			telemetry.I("iters", res.Iters),
+			telemetry.F("score", res.Score),
+			telemetry.I("units", units),
+			telemetry.I("workloads", n))
+	}
 	pages := make([]int, n)
 	used := 0
 	for i, u := range res.Alloc {

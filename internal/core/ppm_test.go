@@ -96,7 +96,7 @@ func TestDecideBEEqualizesNP(t *testing.T) {
 	if err := m.Bind(0, false, []mem.WorkloadID{1, 2}, profs, 64, 8); err != nil {
 		t.Fatal(err)
 	}
-	alloc, err := m.decideBE(48)
+	alloc, err := m.decideBE(0, 48)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestDecideLCActionBounded(t *testing.T) {
 	stat := workloadStat{FMemPages: 50, TotalPages: 120, FMemAcc: 10, SMemAcc: 10,
 		Accesses: 1000, P99: 0.001}
 	for i := 0; i < 20; i++ {
-		target := m.decideLC(stat)
+		target := m.decideLC(0, stat)
 		if target < stat.FMemPages-maxDelta || target > stat.FMemPages+maxDelta {
 			t.Fatalf("target %d outside action bound [%d, %d]",
 				target, stat.FMemPages-maxDelta, stat.FMemPages+maxDelta)
@@ -138,7 +138,7 @@ func TestDecideLCActionBounded(t *testing.T) {
 	// Target never exceeds the workload's own size.
 	statSmall := workloadStat{FMemPages: 4, TotalPages: 5, P99: 0.001}
 	for i := 0; i < 20; i++ {
-		if target := m.decideLC(statSmall); target > 5 {
+		if target := m.decideLC(0, statSmall); target > 5 {
 			t.Fatalf("target %d exceeds workload size 5", target)
 		}
 	}
@@ -153,25 +153,25 @@ func TestDecideLCFeedsAgent(t *testing.T) {
 		t.Fatal(err)
 	}
 	stat := workloadStat{FMemPages: 50, TotalPages: 100, P99: 0.001}
-	m.decideLC(stat) // first decision: no transition yet
+	m.decideLC(0, stat) // first decision: no transition yet
 	if got := m.Agent().ReplayLen(); got != 0 {
 		t.Fatalf("replay after first decision = %d, want 0", got)
 	}
-	m.decideLC(stat) // second decision: one transition
+	m.decideLC(0, stat) // second decision: one transition
 	if got := m.Agent().ReplayLen(); got != 1 {
 		t.Errorf("replay after second decision = %d, want 1", got)
 	}
 	// Eval mode freezes training.
 	m.SetEvalMode(true)
-	m.decideLC(stat)
-	m.decideLC(stat)
+	m.decideLC(0, stat)
+	m.decideLC(0, stat)
 	if got := m.Agent().ReplayLen(); got != 1 {
 		t.Errorf("eval mode still trains: replay = %d, want 1", got)
 	}
 	// ResetEpisode forgets the pending transition.
 	m.SetEvalMode(false)
 	m.ResetEpisode()
-	m.decideLC(stat)
+	m.decideLC(0, stat)
 	if got := m.Agent().ReplayLen(); got != 1 {
 		t.Errorf("first decision after reset stored a transition: %d", got)
 	}
@@ -197,7 +197,7 @@ func TestPPMDecideWritesPolicy(t *testing.T) {
 	}).encode()); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Decide(); err != nil {
+	if err := m.Decide(0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := fs.ReadString(policyPath)
@@ -236,7 +236,7 @@ func TestPPMDecideMissingStats(t *testing.T) {
 	if err := m.Bind(0, true, nil, nil, 64, 8); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Decide(); err == nil {
+	if err := m.Decide(0); err == nil {
 		t.Error("Decide without published stats succeeded")
 	}
 }

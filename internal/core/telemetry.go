@@ -1,0 +1,71 @@
+package core
+
+import "github.com/tieredmem/mtat/internal/telemetry"
+
+// ppmTel holds PP-M's pre-resolved telemetry handles. The zero value (all
+// nil) is the no-op default: counter/gauge/histogram updates vanish in a
+// nil-receiver check and event emission is guarded on tr.
+type ppmTel struct {
+	tr          *telemetry.Tracer
+	decisions   *telemetry.Counter
+	clipShrink  *telemetry.Counter
+	clipHold    *telemetry.Counter
+	guard       *telemetry.Counter
+	clamped     *telemetry.Counter
+	annealIters *telemetry.Counter
+	statErrors  *telemetry.Counter
+	lcTarget    *telemetry.Gauge
+	decideTime  *telemetry.Histogram
+}
+
+func bindPPMTel(tel *telemetry.Telemetry) ppmTel {
+	reg := tel.Metrics()
+	return ppmTel{
+		tr:          tel.Tracer(),
+		decisions:   reg.Counter(telemetry.MetricPPMDecisions),
+		clipShrink:  reg.Counter(telemetry.MetricPPMClipShrink),
+		clipHold:    reg.Counter(telemetry.MetricPPMClipHold),
+		guard:       reg.Counter(telemetry.MetricPPMGuard),
+		clamped:     reg.Counter(telemetry.MetricPPMClamped),
+		annealIters: reg.Counter(telemetry.MetricPPMAnnealIters),
+		statErrors:  reg.Counter(telemetry.MetricPPMStatErrors),
+		lcTarget:    reg.Gauge(telemetry.MetricPPMLCTarget),
+		decideTime:  reg.Histogram(telemetry.MetricPPMDecideTime),
+	}
+}
+
+// ppeTel holds PP-E's pre-resolved telemetry handles (same no-op contract
+// as ppmTel; BenchmarkPPETickNoopTelemetry pins the disabled path at
+// +0 allocs over the uninstrumented tick).
+type ppeTel struct {
+	tr           *telemetry.Tracer
+	promoted     *telemetry.Counter
+	demoted      *telemetry.Counter
+	migBytes     *telemetry.Counter
+	slices       *telemetry.Counter
+	refines      *telemetry.Counter
+	policyOK     *telemetry.Counter
+	policyErrors *telemetry.Counter
+}
+
+func bindPPETel(tel *telemetry.Telemetry) ppeTel {
+	reg := tel.Metrics()
+	return ppeTel{
+		tr:           tel.Tracer(),
+		promoted:     reg.Counter(telemetry.MetricPPEPromoted),
+		demoted:      reg.Counter(telemetry.MetricPPEDemoted),
+		migBytes:     reg.Counter(telemetry.MetricPPEMigBytes),
+		slices:       reg.Counter(telemetry.MetricPPESlices),
+		refines:      reg.Counter(telemetry.MetricPPERefines),
+		policyOK:     reg.Counter(telemetry.MetricPPEPolicyOK),
+		policyErrors: reg.Counter(telemetry.MetricPPEPolicyErrors),
+	}
+}
+
+// b01 encodes a flag as a 0/1 event attribute value.
+func b01(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tieredmem/mtat/internal/cgroupfs"
+	"github.com/tieredmem/mtat/internal/mem"
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+// TestPPETelemetryEvents pins the PP-E side of the trace schema
+// deterministically: a policy file demanding partition movement must
+// produce ppe.target adoption events, ppe.slice migration events with
+// page accounting that matches the counters, and a ppe.policy_error
+// event when the file is malformed.
+func TestPPETelemetryEvents(t *testing.T) {
+	rig := newCoreRig(t, mem.TierFMem) // LC holds all 16 of its pages in FMem
+	fs := cgroupfs.New()
+	tel := telemetry.New()
+	rig.ctx.Telemetry = tel
+	e := NewPPE(fs, false)
+	if err := e.Init(rig.ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Demand movement: shrink LC 16 -> 4, grow BEs into the freed pages.
+	targets := map[mem.WorkloadID]int{
+		rig.lc.ID():     4,
+		rig.bes[0].ID(): 20,
+		rig.bes[1].ID(): 8,
+	}
+	if err := fs.WriteString(policyPath, encodePolicy(targets)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		rig.tick(t, e)
+	}
+
+	types := make(map[string]int)
+	var slicedLC int64
+	for _, ev := range tel.Tracer().Events() {
+		types[ev.Type]++
+		if ev.Type == telemetry.EvPPESlice {
+			if v, ok := ev.Attr("promoted"); ok {
+				slicedLC += int64(v)
+			}
+			if v, ok := ev.Attr("demoted"); ok {
+				slicedLC += int64(v)
+			}
+		}
+	}
+	if types[telemetry.EvPPETarget] == 0 {
+		t.Errorf("no %s events (have %v)", telemetry.EvPPETarget, types)
+	}
+	if types[telemetry.EvPPESlice] == 0 {
+		t.Errorf("no %s events (have %v)", telemetry.EvPPESlice, types)
+	}
+
+	snap := tel.Metrics().Snapshot()
+	moved := snap.Counters[telemetry.MetricPPEPromoted] + snap.Counters[telemetry.MetricPPEDemoted]
+	if moved == 0 {
+		t.Error("PP-E counters recorded no page movement")
+	}
+	if slicedLC == 0 {
+		t.Error("ppe.slice events recorded no page movement")
+	}
+	if snap.Counters[telemetry.MetricPPEMigBytes] < moved*int64(rig.sys.Config().PageSize) {
+		t.Errorf("migrated bytes %d < moved pages %d * page size",
+			snap.Counters[telemetry.MetricPPEMigBytes], moved)
+	}
+
+	// A malformed policy file must be counted and traced, not applied.
+	if err := fs.WriteString(policyPath, "not a policy"); err != nil {
+		t.Fatal(err)
+	}
+	rig.tick(t, e)
+	snap = tel.Metrics().Snapshot()
+	if snap.Counters[telemetry.MetricPPEPolicyErrors] == 0 {
+		t.Error("malformed policy not counted")
+	}
+	errEvents := 0
+	for _, ev := range tel.Tracer().Events() {
+		if ev.Type == telemetry.EvPPEPolicyError {
+			errEvents++
+		}
+	}
+	if errEvents == 0 {
+		t.Error("malformed policy not traced")
+	}
+	if got := e.Targets()[rig.lc.ID()]; got != 4 {
+		t.Errorf("malformed policy changed LC target to %d, want 4 kept", got)
+	}
+}

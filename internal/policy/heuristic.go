@@ -66,6 +66,8 @@ func (h *Heuristic) Init(ctx *Context) error {
 	}
 	h.slo = ctx.LC.Config().SLOSeconds
 	h.lcTarget = ctx.Sys.FMemPages(ctx.LC.ID())
+	h.pool.attach(ctx)
+	h.bePool.attach(ctx)
 	if h.GrowPages == 0 {
 		// Default the step to the migration-bandwidth bound M*t/2, like
 		// MTAT's action range (Eq. 1).

@@ -22,7 +22,10 @@ func NewMEMTIS() *MEMTIS { return &MEMTIS{AgingInterval: 2} }
 func (m *MEMTIS) Name() string { return "MEMTIS" }
 
 // Init implements Policy.
-func (m *MEMTIS) Init(*Context) error { return nil }
+func (m *MEMTIS) Init(ctx *Context) error {
+	m.pool.attach(ctx)
+	return nil
+}
 
 // Tick implements Policy: one global hotness-ranked pool over all
 // workloads, sized to the whole of FMem.

@@ -9,6 +9,7 @@ package policy
 import (
 	"github.com/tieredmem/mtat/internal/mem"
 	"github.com/tieredmem/mtat/internal/pebs"
+	"github.com/tieredmem/mtat/internal/telemetry"
 	"github.com/tieredmem/mtat/internal/workload"
 )
 
@@ -32,6 +33,10 @@ type Context struct {
 	// BEResults are the BE results for the tick that just ran, indexed
 	// like BEs.
 	BEResults []workload.BETickResult
+	// Telemetry is the observability sink, nil when none is attached.
+	// Policies resolve metric handles from it at Init; every handle is
+	// nil-safe, so instrumentation is a no-op without a sink.
+	Telemetry *telemetry.Telemetry
 }
 
 // Policy is a tiered-memory page placement/partitioning policy.

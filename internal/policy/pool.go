@@ -3,6 +3,7 @@ package policy
 import (
 	"github.com/tieredmem/mtat/internal/hist"
 	"github.com/tieredmem/mtat/internal/mem"
+	"github.com/tieredmem/mtat/internal/telemetry"
 )
 
 // pool manages a set of workloads sharing a hotness-ranked FMem budget: it
@@ -14,6 +15,28 @@ type pool struct {
 	h       hist.Histogram
 	promote []mem.PageID
 	demote  []mem.PageID
+
+	// Migration traffic counters shared by every pool-based baseline
+	// (nil-safe no-ops until attach).
+	promotedPages *telemetry.Counter
+	demotedPages  *telemetry.Counter
+}
+
+// attach resolves the pool's traffic counters from the context's sink
+// (policy_promoted_pages_total / policy_demoted_pages_total). Call from
+// the owning policy's Init.
+func (p *pool) attach(ctx *Context) {
+	reg := ctx.Telemetry.Metrics()
+	p.promotedPages = reg.Counter("policy_promoted_pages_total")
+	p.demotedPages = reg.Counter("policy_demoted_pages_total")
+}
+
+// record folds one exchange into the traffic counters and passes the
+// counts through.
+func (p *pool) record(promoted, demoted int) (int, int) {
+	p.promotedPages.Add(int64(promoted))
+	p.demotedPages.Add(int64(demoted))
+	return promoted, demoted
 }
 
 // manage drives the pool toward "hottest capacity pages resident" for the
@@ -40,7 +63,7 @@ func (p *pool) manage(sys *mem.System, ids []mem.WorkloadID, capacity int) (int,
 			p.demote = append(p.demote, cold[i])
 		}
 	}
-	return sys.Exchange(p.promote, p.demote)
+	return p.record(sys.Exchange(p.promote, p.demote))
 }
 
 // pin drives a single workload toward exactly `target` FMem-resident
@@ -71,7 +94,7 @@ func (p *pool) pin(sys *mem.System, id mem.WorkloadID, target int, victims ...me
 			}
 			p.demote = p.h.Coldest(p.demote, need)
 		}
-		return sys.Exchange(p.promote, p.demote)
+		return p.record(sys.Exchange(p.promote, p.demote))
 	case cur > target:
 		p.h.Reset()
 		for _, pid := range sys.WorkloadPages(id) {
@@ -80,7 +103,7 @@ func (p *pool) pin(sys *mem.System, id mem.WorkloadID, target int, victims ...me
 			}
 		}
 		p.demote = p.h.Coldest(p.demote[:0], cur-target)
-		return sys.Exchange(nil, p.demote)
+		return p.record(sys.Exchange(nil, p.demote))
 	default:
 		return 0, 0
 	}

@@ -46,6 +46,8 @@ func (s *Static) Init(ctx *Context) error {
 		s.beIDs = append(s.beIDs, be.ID())
 	}
 	s.lastAge = 0
+	s.pool.attach(ctx)
+	s.bePool.attach(ctx)
 	return nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"github.com/tieredmem/mtat/internal/pebs"
 	"github.com/tieredmem/mtat/internal/policy"
 	"github.com/tieredmem/mtat/internal/stats"
+	"github.com/tieredmem/mtat/internal/telemetry"
 	"github.com/tieredmem/mtat/internal/workload"
 )
 
@@ -51,6 +52,10 @@ type Scenario struct {
 	SampleRate float64
 	// Seed drives all scenario randomness.
 	Seed int64
+	// Telemetry is an optional observability sink: the runner and the
+	// policy record metrics and trace events into it. Nil (the default)
+	// keeps all instrumentation on its zero-cost no-op path.
+	Telemetry *telemetry.Telemetry
 }
 
 // withDefaults fills unset fields.
@@ -192,6 +197,7 @@ func NewRunner(scn Scenario, pol policy.Policy) (*Runner, error) {
 		LC:        r.lc,
 		BEs:       r.bes,
 		BEResults: make([]workload.BETickResult, len(r.bes)),
+		Telemetry: scn.Telemetry,
 	}
 	if err := pol.Init(r.ctx); err != nil {
 		return nil, err
@@ -223,6 +229,35 @@ func (r *Runner) Run() (*Result, error) {
 	dt := scn.TickSeconds
 	ticks := int(math.Round(scn.DurationSeconds / dt))
 	tickDur := time.Duration(dt * float64(time.Second))
+
+	// Observability handles — all nil-safe no-ops without a sink.
+	reg := scn.Telemetry.Metrics()
+	tr := scn.Telemetry.Tracer()
+	mTicks := reg.Counter(telemetry.MetricSimTicks)
+	mViolations := reg.Counter(telemetry.MetricSimViolations)
+	mP99 := reg.Histogram(telemetry.MetricSimP99)
+	mLoad := reg.Gauge(telemetry.MetricSimLoad)
+	mFMem := reg.Gauge(telemetry.MetricSimFMemRatio)
+	if tr != nil {
+		slo := 0.0
+		if scn.HasLC {
+			slo = scn.LC.SLOSeconds
+		}
+		tr.EmitMsg(0, telemetry.EvRunStart, telemetry.WLNone, res.Policy,
+			telemetry.F("duration_s", scn.DurationSeconds),
+			telemetry.F("tick_s", dt),
+			telemetry.F("slo_s", slo))
+		if r.lc != nil {
+			tr.EmitMsg(0, telemetry.EvRunWorkload, int(r.lc.ID()), scn.LC.Name,
+				telemetry.F("is_lc", 1),
+				telemetry.I("total_pages", r.sys.TotalPages(r.lc.ID())))
+		}
+		for _, be := range r.bes {
+			tr.EmitMsg(0, telemetry.EvRunWorkload, int(be.ID()), be.Config().Name,
+				telemetry.F("is_lc", 0),
+				telemetry.I("total_pages", r.sys.TotalPages(be.ID())))
+		}
+	}
 
 	type beAgg struct {
 		work      float64
@@ -259,11 +294,27 @@ func (r *Runner) Run() (*Result, error) {
 			}
 			r.sampler.RecordAccesses(r.lc.ID(), r.lc.Dist(), lcRes.Accesses)
 			r.ctx.LCResult = lcRes
+			fmemRatio := r.sys.FMemUsageRatio(r.lc.ID())
+
+			mP99.Observe(lcRes.P99)
+			mLoad.Set(frac)
+			mFMem.Set(fmemRatio)
+			if lcRes.ViolationFrac > 0 {
+				vios := lcRes.ViolationFrac * (lcRes.Completed + lcRes.Dropped)
+				mViolations.Add(int64(math.Round(vios)))
+				if tr != nil {
+					tr.Emit(now, telemetry.EvSLOViolation, int(r.lc.ID()),
+						telemetry.F("p99_s", lcRes.P99),
+						telemetry.F("frac", lcRes.ViolationFrac),
+						telemetry.F("load", frac),
+						telemetry.F("fmem_ratio", fmemRatio))
+				}
+			}
 
 			res.Time.Append(now, now)
 			res.LCP99.Append(now, lcRes.P99)
 			res.LCLoadKRPS.Append(now, frac*scn.LC.MaxLoadRPS/1000)
-			res.LCFMemRatio.Append(now, r.sys.FMemUsageRatio(r.lc.ID()))
+			res.LCFMemRatio.Append(now, fmemRatio)
 			if measuring {
 				res.LCRequests += lcRes.Completed + lcRes.Dropped
 				res.LCViolations += lcRes.ViolationFrac * (lcRes.Completed + lcRes.Dropped)
@@ -296,6 +347,7 @@ func (r *Runner) Run() (*Result, error) {
 		if err := r.pol.Tick(r.ctx); err != nil {
 			return nil, err
 		}
+		mTicks.Inc()
 	}
 
 	res.Ticks = ticks
@@ -325,8 +377,24 @@ func (r *Runner) Run() (*Result, error) {
 			res.BEs = append(res.BEs, out)
 			nps = append(nps, out.NP)
 			res.BEThroughput += tput
+			reg.Gauge("sim_be_np." + out.Name).Set(out.NP)
 		}
 		res.BEFairness = stats.Fairness(nps)
+	}
+	if tr != nil {
+		sloMet := 0.0
+		if res.SLOMet {
+			sloMet = 1
+		}
+		tr.EmitMsg(scn.DurationSeconds, telemetry.EvRunEnd, telemetry.WLNone, res.Policy,
+			telemetry.F("violation_rate", res.LCViolationRate),
+			telemetry.F("max_p99_s", res.LCMaxP99),
+			telemetry.F("mean_p99_s", res.LCMeanP99),
+			telemetry.F("fairness", res.BEFairness),
+			telemetry.F("be_throughput", res.BEThroughput),
+			telemetry.F("migrated_bytes", float64(res.MigratedBytes)),
+			telemetry.I("ticks", res.Ticks),
+			telemetry.F("slo_met", sloMet))
 	}
 	return res, nil
 }

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/tieredmem/mtat/internal/core"
+	"github.com/tieredmem/mtat/internal/policy"
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+// TestRunEmitsTelemetry runs a short MTAT scenario with a sink attached
+// and checks that the whole control loop reported: PP-M decisions, PP-E
+// movement, cgroup interface traffic, and simulator aggregates — and that
+// the exported trace is valid JSONL.
+func TestRunEmitsTelemetry(t *testing.T) {
+	scn := testScenario(t, 1)
+	scn.DurationSeconds = 30
+	scn.TickSeconds = 0.25
+	tel := telemetry.New()
+	scn.Telemetry = tel
+
+	m, err := core.New(core.VariantFull, core.DefaultPPMConfig(
+		scn.LC.SLOSeconds, scn.LC.MaxLoadRPS*float64(scn.LC.MemTouches)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunScenario(scn, m); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := tel.Metrics().Snapshot()
+	for _, name := range []string{
+		telemetry.MetricPPMDecisions,
+		telemetry.MetricPPEPolicyOK,
+		telemetry.MetricFSReads,
+		telemetry.MetricFSWrites,
+		telemetry.MetricSimTicks,
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	if snap.Counters[telemetry.MetricPPEPromoted]+snap.Counters[telemetry.MetricPPEDemoted] <= 0 {
+		t.Error("PP-E moved no pages according to telemetry")
+	}
+	if hs := snap.Histograms[telemetry.MetricSimP99]; hs.Count == 0 || hs.P99 <= 0 {
+		t.Errorf("P99 histogram empty: %+v", hs)
+	}
+
+	types := make(map[string]int)
+	for _, ev := range tel.Tracer().Events() {
+		types[ev.Type]++
+	}
+	for _, typ := range []string{
+		telemetry.EvRunStart, telemetry.EvRunEnd, telemetry.EvRunWorkload,
+		telemetry.EvPPMDecision, telemetry.EvPPMAnneal, telemetry.EvPPETarget,
+	} {
+		if types[typ] == 0 {
+			t.Errorf("no %s events in trace (have %v)", typ, types)
+		}
+	}
+	if types[telemetry.EvPPESlice]+types[telemetry.EvPPERefine] == 0 {
+		t.Errorf("no PP-E movement events in trace (have %v)", types)
+	}
+
+	var buf bytes.Buffer
+	if err := tel.Tracer().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("trace line %d invalid: %v\n%s", lines+1, err, sc.Text())
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("empty JSONL trace")
+	}
+}
+
+// TestRunNilTelemetry pins the default: no sink, no panic, no recording.
+func TestRunNilTelemetry(t *testing.T) {
+	scn := testScenario(t, 1)
+	scn.DurationSeconds = 5
+	scn.TickSeconds = 0.25
+	if scn.Telemetry != nil {
+		t.Fatal("scenario unexpectedly carries a sink")
+	}
+	if _, err := RunScenario(scn, policy.NewMEMTIS()); err != nil {
+		t.Fatal(err)
+	}
+}

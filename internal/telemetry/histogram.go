@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Histogram is a sliding-window sample reservoir: it retains the most
+// recent `window` observations and snapshots exact quantiles over them.
+// Windowing (rather than all-time aggregation) matches how the paper's
+// evaluation reads tail latency — "what is P99 right now" — and bounds
+// memory for arbitrarily long runs. All methods are safe for concurrent
+// use and are no-ops on a nil receiver.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64 // ring buffer, filled to len(samples) then wrapping
+	next    int       // next write position
+	filled  int       // number of valid samples (<= cap)
+	count   uint64    // total observations ever
+	sum     float64   // all-time sum (for the all-time mean)
+	scratch []float64 // reused sort buffer for snapshots
+}
+
+// NewHistogram returns a histogram retaining the last window samples
+// (<= 0 selects DefaultHistWindow).
+func NewHistogram(window int) *Histogram {
+	if window <= 0 {
+		window = DefaultHistWindow
+	}
+	return &Histogram{samples: make([]float64, window)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.samples[h.next] = v
+	h.next++
+	if h.next == len(h.samples) {
+		h.next = 0
+	}
+	if h.filled < len(h.samples) {
+		h.filled++
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the total number of observations ever recorded.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// HistSnapshot summarizes a histogram window.
+type HistSnapshot struct {
+	// Count is the all-time observation count; Window is how many of
+	// those the quantiles below are computed over.
+	Count  uint64  `json:"count"`
+	Window int     `json:"window"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	// Mean is the mean over the current window; AllTimeMean covers every
+	// observation ever made.
+	Mean        float64 `json:"mean"`
+	AllTimeMean float64 `json:"all_time_mean"`
+	P50         float64 `json:"p50"`
+	P90         float64 `json:"p90"`
+	P99         float64 `json:"p99"`
+}
+
+// Snapshot computes the current window summary. Quantiles are exact over
+// the window (linear interpolation between order statistics). An empty
+// histogram yields a zero snapshot.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{Count: h.count, Window: h.filled}
+	if h.filled == 0 {
+		return s
+	}
+	if cap(h.scratch) < h.filled {
+		h.scratch = make([]float64, h.filled)
+	}
+	buf := h.scratch[:h.filled]
+	copy(buf, h.samples[:h.filled])
+	sort.Float64s(buf)
+	s.Min = buf[0]
+	s.Max = buf[len(buf)-1]
+	sum := 0.0
+	for _, v := range buf {
+		sum += v
+	}
+	s.Mean = sum / float64(len(buf))
+	s.AllTimeMean = h.sum / float64(h.count)
+	s.P50 = quantileSorted(buf, 0.50)
+	s.P90 = quantileSorted(buf, 0.90)
+	s.P99 = quantileSorted(buf, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (q in [0,1]) over the current window,
+// 0 if empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.filled == 0 {
+		return 0
+	}
+	if cap(h.scratch) < h.filled {
+		h.scratch = make([]float64, h.filled)
+	}
+	buf := h.scratch[:h.filled]
+	copy(buf, h.samples[:h.filled])
+	sort.Float64s(buf)
+	return quantileSorted(buf, q)
+}
+
+// quantileSorted returns the q-quantile of a sorted, non-empty sample via
+// linear interpolation between closest order statistics (the "R-7"
+// definition used by numpy's default percentile).
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

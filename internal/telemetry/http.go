@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the sink over HTTP for runtime introspection:
+//
+//	/metrics       registry snapshot as JSON (expvar-style)
+//	/trace         retained events as JSONL
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// Wire it with an http.Server on the address of your choice (cmd/mtatsim
+// and cmd/mtattrain expose it via -http). A nil *Telemetry serves empty
+// snapshots, so the endpoint is always safe to mount.
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "mtat telemetry\n\n/metrics\n/trace\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.Metrics().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if tr := t.Tracer(); tr != nil {
+			if err := tr.WriteJSONL(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		}
+	})
+	// Explicit pprof wiring: importing net/http/pprof registers on the
+	// DefaultServeMux, but this handler must be self-contained.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

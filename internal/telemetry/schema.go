@@ -1,0 +1,83 @@
+package telemetry
+
+// Event types emitted by the instrumented control loop. Every event
+// carries {seq, t, wl} plus the attributes listed here; attribute values
+// are numeric (booleans encode as 0/1).
+const (
+	// EvRunStart opens a scenario run. msg=policy name;
+	// attrs: duration_s, tick_s, slo_s (0 without an LC workload).
+	EvRunStart = "run.start"
+	// EvRunEnd closes a scenario run. msg=policy name; attrs:
+	// violation_rate, max_p99_s, mean_p99_s, fairness, be_throughput,
+	// migrated_bytes, ticks, slo_met.
+	EvRunEnd = "run.end"
+	// EvRunWorkload maps a workload ID to its name (msg) at run start;
+	// attrs: is_lc, total_pages.
+	EvRunWorkload = "run.workload"
+
+	// EvSLOViolation marks a tick in which LC requests exceeded the SLO.
+	// attrs: p99_s, frac (fraction of the tick's requests beyond SLO),
+	// load (offered fraction of max load), fmem_ratio.
+	EvSLOViolation = "slo.violation"
+
+	// EvPPMDecision is one PP-M partition decision (one RL step).
+	// attrs: usage, acc_ratio, load (the state vector §3.2.1), raw
+	// (policy action), applied (action after guards/clamps), reward
+	// (assigned to the *previous* action, Eq. 2), cur_pages,
+	// target_pages, shrink_scaled, hold, guard, clamped (0/1 flags).
+	EvPPMDecision = "ppm.decision"
+	// EvPPMAnneal is one BE fairness search (Algorithm 2).
+	// attrs: iters, score (best min-NP), units, workloads.
+	EvPPMAnneal = "ppm.anneal"
+
+	// EvPPESlice is one Algorithm 3 bandwidth-sliced adjustment step.
+	// attrs: delta_lc (outstanding LC delta in pages), budget_pages,
+	// promote_req, demote_req (pages the slice asked to move),
+	// promoted, demoted (pages actually moved), bytes.
+	EvPPESlice = "ppe.slice"
+	// EvPPERefine is one Figure 4b refinement pass that moved pages.
+	// attrs: target_pages, promoted, demoted, bytes.
+	EvPPERefine = "ppe.refine"
+	// EvPPEHist summarizes a workload's unified access histogram at
+	// refinement time. attrs: pages, occupied_bins, top_bin, top_len.
+	EvPPEHist = "ppe.hist"
+	// EvPPETarget reports one workload's partition target after PP-E
+	// adopts a new policy file. attrs: target_pages, prev_pages, delta.
+	EvPPETarget = "ppe.target"
+	// EvPPEPolicyError marks a policy file PP-E could not apply.
+	// attrs: generation.
+	EvPPEPolicyError = "ppe.policy_error"
+)
+
+// Metric names. Counters end in _total; gauges and histograms carry a
+// unit suffix where meaningful. Per-workload metrics append ".<id>" (and
+// BE outcome gauges ".<name>").
+const (
+	MetricPPMDecisions   = "ppm_decisions_total"
+	MetricPPMClipShrink  = "ppm_clip_shrink_total"
+	MetricPPMClipHold    = "ppm_clip_hold_total"
+	MetricPPMGuard       = "ppm_guard_total"
+	MetricPPMClamped     = "ppm_clamped_total"
+	MetricPPMAnnealIters = "ppm_anneal_iters_total"
+	MetricPPMStatErrors  = "ppm_stat_errors_total"
+	MetricPPMLCTarget    = "ppm_lc_target_pages"
+	MetricPPMDecideTime  = "ppm_decide_seconds"
+
+	MetricPPEPromoted     = "ppe_promoted_pages_total"
+	MetricPPEDemoted      = "ppe_demoted_pages_total"
+	MetricPPEMigBytes     = "ppe_migrated_bytes_total"
+	MetricPPESlices       = "ppe_slices_total"
+	MetricPPERefines      = "ppe_refines_total"
+	MetricPPEPolicyOK     = "ppe_policy_updates_total"
+	MetricPPEPolicyErrors = "ppe_policy_errors_total"
+
+	MetricFSReads    = "cgroupfs_reads_total"
+	MetricFSWrites   = "cgroupfs_writes_total"
+	MetricFSNotFound = "cgroupfs_notfound_total"
+
+	MetricSimTicks      = "sim_ticks_total"
+	MetricSimViolations = "sim_slo_violations_total"
+	MetricSimP99        = "sim_lc_p99_seconds"
+	MetricSimLoad       = "sim_lc_load_frac"
+	MetricSimFMemRatio  = "sim_lc_fmem_ratio"
+)

@@ -1,0 +1,267 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSinkIsSafe(t *testing.T) {
+	var tel *Telemetry
+	reg := tel.Metrics()
+	if reg != nil {
+		t.Fatalf("nil sink Metrics() = %v, want nil", reg)
+	}
+	reg.Counter("c").Add(3)
+	reg.Counter("c").Inc()
+	reg.Gauge("g").Set(1.5)
+	reg.Histogram("h").Observe(2)
+	if got := reg.Counter("c").Value(); got != 0 {
+		t.Errorf("nil counter value = %d, want 0", got)
+	}
+	if got := reg.Gauge("g").Value(); got != 0 {
+		t.Errorf("nil gauge value = %g, want 0", got)
+	}
+	if snap := reg.Histogram("h").Snapshot(); snap.Count != 0 {
+		t.Errorf("nil histogram count = %d, want 0", snap.Count)
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", snap)
+	}
+
+	tr := tel.Tracer()
+	tr.Emit(1, EvPPMDecision, 0, F("a", 1))
+	if tr.Enabled() {
+		t.Error("nil tracer reports Enabled")
+	}
+	if tr.Len() != 0 || tr.Count() != 0 || len(tr.Events()) != 0 {
+		t.Error("nil tracer retained events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("nil tracer WriteJSONL: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil tracer wrote %q", buf.String())
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	reg := NewRegistry(0)
+	c := reg.Counter("x_total")
+	c.Add(5)
+	c.Inc()
+	if got := c.Value(); got != 6 {
+		t.Errorf("counter = %d, want 6", got)
+	}
+	if c2 := reg.Counter("x_total"); c2 != c {
+		t.Error("Counter lookup did not return the registered instance")
+	}
+	g := reg.Gauge("y")
+	g.Set(-2.5)
+	if got := g.Value(); got != -2.5 {
+		t.Errorf("gauge = %g, want -2.5", got)
+	}
+}
+
+// TestConcurrentCounters exercises the registry and counters from many
+// goroutines; run under -race it verifies the synchronization contract.
+func TestConcurrentCounters(t *testing.T) {
+	reg := NewRegistry(0)
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("shared_total").Inc()
+				reg.Gauge("shared_gauge").Set(float64(i))
+				reg.Histogram("shared_hist").Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared_total").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Histogram("shared_hist").Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(256)
+	// 1..100 in shuffled-ish order; quantiles are order-independent.
+	for i := 100; i >= 1; i-- {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Window != 100 {
+		t.Fatalf("count/window = %d/%d, want 100/100", s.Count, s.Window)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Errorf("min/max = %g/%g, want 1/100", s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-9 {
+		t.Errorf("mean = %g, want 50.5", s.Mean)
+	}
+	// R-7 interpolated quantiles over 1..100.
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {0.5, 50.5}, {0.9, 90.1}, {0.99, 99.01}, {1, 100},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if math.Abs(s.P50-50.5) > 1e-9 || math.Abs(s.P99-99.01) > 1e-9 {
+		t.Errorf("snapshot p50/p99 = %g/%g, want 50.5/99.01", s.P50, s.P99)
+	}
+}
+
+func TestHistogramWindowSlides(t *testing.T) {
+	h := NewHistogram(10)
+	for i := 1; i <= 25; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 25 || s.Window != 10 {
+		t.Fatalf("count/window = %d/%d, want 25/10", s.Count, s.Window)
+	}
+	// Window holds 16..25.
+	if s.Min != 16 || s.Max != 25 {
+		t.Errorf("windowed min/max = %g/%g, want 16/25", s.Min, s.Max)
+	}
+	if math.Abs(s.AllTimeMean-13) > 1e-9 { // mean of 1..25
+		t.Errorf("all-time mean = %g, want 13", s.AllTimeMean)
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 1; i <= 10; i++ {
+		tr.Emit(float64(i), EvPPESlice, i, I("n", i))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("retained = %d, want 4", tr.Len())
+	}
+	if tr.Count() != 10 || tr.Dropped() != 6 {
+		t.Fatalf("count/dropped = %d/%d, want 10/6", tr.Count(), tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, ev := range evs {
+		wantSeq := uint64(7 + i)
+		if ev.Seq != wantSeq || ev.WL != int(wantSeq) {
+			t.Errorf("event %d: seq=%d wl=%d, want seq=wl=%d", i, ev.Seq, ev.WL, wantSeq)
+		}
+		if n, ok := ev.Attr("n"); !ok || n != float64(wantSeq) {
+			t.Errorf("event %d: attr n = %g (%v), want %d", i, n, ok, wantSeq)
+		}
+	}
+}
+
+func TestTracerPartialRing(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(1, EvRunStart, WLNone)
+	tr.Emit(2, EvRunEnd, WLNone)
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Type != EvRunStart || evs[1].Type != EvRunEnd {
+		t.Fatalf("events = %+v", evs)
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", tr.Dropped())
+	}
+}
+
+func TestTracerAttrOverflowDropped(t *testing.T) {
+	tr := NewTracer(2)
+	attrs := make([]Attr, MaxAttrs+3)
+	for i := range attrs {
+		attrs[i] = I("a", i)
+	}
+	tr.Emit(0, EvPPMDecision, 0, attrs...)
+	if got := len(tr.Events()[0].Attrs()); got != MaxAttrs {
+		t.Errorf("retained attrs = %d, want %d", got, MaxAttrs)
+	}
+}
+
+func TestWriteJSONLValid(t *testing.T) {
+	tr := NewTracer(16)
+	tr.EmitMsg(0.1, EvRunStart, WLNone, `policy "x"`, F("duration_s", 240))
+	tr.Emit(2.5, EvPPMDecision, 0, F("usage", 0.8125), F("reward", -1), I("guard", 1))
+	tr.Emit(2.6, EvPPESlice, WLNone, F("nan", math.NaN()), F("inf", math.Inf(1)))
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		lines++
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		for _, key := range []string{"seq", "t", "type", "wl"} {
+			if _, ok := obj[key]; !ok {
+				t.Errorf("line %d missing %q: %s", lines, key, sc.Text())
+			}
+		}
+	}
+	if lines != 3 {
+		t.Fatalf("wrote %d lines, want 3", lines)
+	}
+}
+
+func TestRegistryWriteJSON(t *testing.T) {
+	reg := NewRegistry(16)
+	reg.Counter(MetricPPEPromoted).Add(42)
+	reg.Gauge(MetricPPMLCTarget).Set(1024)
+	reg.Histogram(MetricSimP99).Observe(0.015)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("registry JSON not parseable: %v\n%s", err, buf.String())
+	}
+	if snap.Counters[MetricPPEPromoted] != 42 {
+		t.Errorf("counter roundtrip = %d, want 42", snap.Counters[MetricPPEPromoted])
+	}
+	if snap.Histograms[MetricSimP99].Count != 1 {
+		t.Errorf("histogram roundtrip count = %d, want 1", snap.Histograms[MetricSimP99].Count)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	tel := NewWithConfig(Config{TraceCapacity: 8, HistWindow: 8})
+	tel.Metrics().Counter("c_total").Inc()
+	tel.Tracer().Emit(1, EvRunStart, WLNone)
+	h := tel.Handler()
+
+	get := func(path string) string {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s = %d", path, rec.Code)
+		}
+		return rec.Body.String()
+	}
+	if body := get("/metrics"); !strings.Contains(body, "c_total") {
+		t.Errorf("/metrics missing counter: %s", body)
+	}
+	if body := get("/trace"); !strings.Contains(body, EvRunStart) {
+		t.Errorf("/trace missing event: %s", body)
+	}
+	if body := get("/"); !strings.Contains(body, "/debug/pprof/") {
+		t.Errorf("index missing pprof link: %s", body)
+	}
+}

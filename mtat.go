@@ -45,6 +45,7 @@ import (
 	"github.com/tieredmem/mtat/internal/mem"
 	"github.com/tieredmem/mtat/internal/policy"
 	"github.com/tieredmem/mtat/internal/sim"
+	"github.com/tieredmem/mtat/internal/telemetry"
 	"github.com/tieredmem/mtat/internal/workload"
 )
 
@@ -82,6 +83,14 @@ type (
 	ExperimentSuite = experiments.Suite
 	// Experiment is one reproducible table or figure.
 	Experiment = experiments.Experiment
+	// Telemetry is the observability sink: a metrics registry plus a
+	// bounded event tracer. Attach one to Scenario.Telemetry to record
+	// the control loop's decisions; a nil sink costs nothing.
+	Telemetry = telemetry.Telemetry
+	// TelemetryConfig sizes the telemetry buffers.
+	TelemetryConfig = telemetry.Config
+	// TraceEvent is one structured record in the telemetry event trace.
+	TraceEvent = telemetry.Event
 )
 
 // MTAT variants (§5's two configurations).
@@ -153,6 +162,17 @@ func NewRunner(scn Scenario, pol Policy) (*Runner, error) {
 // NewMTAT constructs an MTAT policy of the given variant.
 func NewMTAT(variant Variant, cfg MTATConfig) (*MTAT, error) {
 	return core.New(variant, cfg)
+}
+
+// NewTelemetry returns an observability sink with default buffer sizes.
+// Set it as Scenario.Telemetry before running; read metrics via
+// Metrics().Snapshot()/WriteJSON, the event trace via
+// Tracer().WriteJSONL, or serve both over HTTP with Handler().
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// NewTelemetryWithConfig returns a sink with custom buffer sizes.
+func NewTelemetryWithConfig(cfg TelemetryConfig) *Telemetry {
+	return telemetry.NewWithConfig(cfg)
 }
 
 // MTATConfigFor returns an MTAT configuration sized for the scenario: the
