@@ -1,0 +1,260 @@
+// Command mtatctl drives a running mtatd: it submits scenario run specs,
+// polls status, streams per-run traces, and cancels runs.
+//
+// Usage:
+//
+//	mtatctl [-addr host:port] <command> [flags] [args]
+//
+//	mtatctl submit -lc redis -policy memtis -scale 64        # print run ID
+//	mtatctl submit -f spec.json -wait                        # spec file, block until done
+//	mtatctl status                                           # list runs
+//	mtatctl status r000001                                   # one run's JSON
+//	mtatctl wait -timeout 2m r000001                         # block until terminal
+//	mtatctl logs r000001                                     # stream trace JSONL
+//	mtatctl cancel r000001
+//
+// The daemon address comes from -addr, then $MTATD_ADDR, then
+// 127.0.0.1:7070.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/server"
+	"github.com/tieredmem/mtat/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mtatctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage(fs *flag.FlagSet) func() {
+	return func() {
+		fmt.Fprint(os.Stderr, "usage: mtatctl [-addr host:port] <command> [flags] [args]\n\n"+
+			"commands:\n"+
+			"  submit   submit a run spec (-f file, or -lc/-bes/-policy/... flags)\n"+
+			"  status   list runs, or show one run's status JSON\n"+
+			"  wait     block until a run reaches a terminal state\n"+
+			"  logs     stream a run's trace as JSONL\n"+
+			"  cancel   cancel a queued or running run\n\n"+
+			"flags:\n")
+		fs.PrintDefaults()
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mtatctl", flag.ContinueOnError)
+	addr := fs.String("addr", defaultAddr(), "mtatd address (host:port or URL; also $MTATD_ADDR)")
+	fs.Usage = usage(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing command")
+	}
+	c := server.NewClient(*addr)
+	ctx := context.Background()
+	switch rest[0] {
+	case "submit":
+		return cmdSubmit(ctx, c, rest[1:])
+	case "status":
+		return cmdStatus(ctx, c, rest[1:])
+	case "wait":
+		return cmdWait(ctx, c, rest[1:])
+	case "logs":
+		return cmdLogs(ctx, c, rest[1:])
+	case "cancel":
+		return cmdCancel(ctx, c, rest[1:])
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+}
+
+func defaultAddr() string {
+	if a := os.Getenv("MTATD_ADDR"); a != "" {
+		return a
+	}
+	return "127.0.0.1:7070"
+}
+
+func cmdSubmit(ctx context.Context, c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("mtatctl submit", flag.ContinueOnError)
+	var (
+		specPath = fs.String("f", "", `run spec JSON file ("-" for stdin; overrides workload flags)`)
+		lcName   = fs.String("lc", "", "latency-critical workload")
+		beNames  = fs.String("bes", "", "comma-separated best-effort workloads (empty = all four)")
+		polName  = fs.String("policy", "memtis", "management policy")
+		loadSpec = fs.Float64("load", 0, "constant load fraction; 0 uses the Figure 7 ramp")
+		duration = fs.Float64("duration", 0, "run length in seconds (0 = load pattern length)")
+		scale    = fs.Int("scale", 1, "memory scale divisor")
+		seed     = fs.Int64("seed", 1, "random seed")
+		episodes = fs.Int("episodes", 0, "MTAT in-process training episodes (0 = server default)")
+		wait     = fs.Bool("wait", false, "block until the run finishes and report the outcome")
+		timeout  = fs.Duration("timeout", 0, "give up waiting after this long (0 = forever; implies -wait)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var spec sim.RunSpec
+	if *specPath != "" {
+		data, err := readSpecFile(*specPath)
+		if err != nil {
+			return err
+		}
+		spec, err = sim.ParseRunSpec(data)
+		if err != nil {
+			return err
+		}
+	} else {
+		spec = sim.RunSpec{
+			LC:              *lcName,
+			BEs:             splitList(*beNames),
+			Policy:          *polName,
+			Scale:           *scale,
+			Seed:            *seed,
+			DurationSeconds: *duration,
+			Episodes:        *episodes,
+		}
+		if *loadSpec > 0 {
+			d := *duration
+			if d == 0 {
+				d = 120
+			}
+			spec.Load = &sim.LoadSpec{Kind: "constant", Frac: *loadSpec, DurationSeconds: d}
+		}
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	// The bare run ID on stdout is the scripting contract; context goes
+	// to stderr.
+	fmt.Fprintf(os.Stderr, "submitted %s (%s, policy %s)\n", st.ID, st.State, spec.PolicyName())
+	fmt.Println(st.ID)
+	if !*wait && *timeout == 0 {
+		return nil
+	}
+	return waitAndReport(ctx, c, st.ID, *timeout, 0)
+}
+
+func cmdStatus(ctx context.Context, c *server.Client, args []string) error {
+	if len(args) == 0 {
+		runs, err := c.Runs(ctx)
+		if err != nil {
+			return err
+		}
+		if len(runs) == 0 {
+			fmt.Println("no runs")
+			return nil
+		}
+		fmt.Printf("%-10s %-10s %-12s %-8s %s\n", "ID", "STATE", "POLICY", "LC", "SUBMITTED")
+		for _, st := range runs {
+			fmt.Printf("%-10s %-10s %-12s %-8s %s\n",
+				st.ID, st.State, st.Spec.PolicyName(), orDash(st.Spec.LC),
+				st.SubmittedAt.Format(time.RFC3339))
+		}
+		return nil
+	}
+	st, err := c.Run(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func cmdWait(ctx context.Context, c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("mtatctl wait", flag.ContinueOnError)
+	timeout := fs.Duration("timeout", 0, "give up after this long (0 = forever)")
+	poll := fs.Duration("poll", server.DefaultPollInterval, "status poll interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("wait: exactly one run ID required")
+	}
+	return waitAndReport(ctx, c, fs.Arg(0), *timeout, *poll)
+}
+
+// waitAndReport blocks until the run is terminal, prints the outcome, and
+// fails unless the run completed successfully.
+func waitAndReport(ctx context.Context, c *server.Client, id string, timeout, poll time.Duration) error {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	st, err := c.Wait(ctx, id, poll)
+	if err != nil {
+		return fmt.Errorf("wait %s: %w", id, err)
+	}
+	if st.State != server.StateDone {
+		return fmt.Errorf("run %s %s: %s", st.ID, st.State, orDash(st.Error))
+	}
+	fmt.Fprintf(os.Stderr, "run %s done\n", st.ID)
+	return printJSON(st)
+}
+
+func cmdLogs(ctx context.Context, c *server.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("logs: exactly one run ID required")
+	}
+	return c.Events(ctx, args[0], os.Stdout)
+}
+
+func cmdCancel(ctx context.Context, c *server.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("cancel: exactly one run ID required")
+	}
+	st, err := c.Cancel(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("run %s %s\n", st.ID, st.State)
+	return nil
+}
+
+func readSpecFile(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func printJSON(v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+// Command mtatd is the scenario-as-a-service control plane: a long-lived
+// daemon that accepts JSON run specs over a REST API, executes them on a
+// bounded worker pool, and retains per-run results and traces for
+// inspection. cmd/mtatctl is the matching client.
+//
+// Usage:
+//
+//	mtatd                         # listen on 127.0.0.1:7070
+//	mtatd -addr :0                # pick a free port (printed on stdout)
+//	mtatd -workers 4 -queue 128
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the daemon stops accepting
+// submissions and drains queued and running work for -drain, then cancels
+// whatever is left.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/server"
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mtatd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address (use :0 for a free port)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queueCap = flag.Int("queue", server.DefaultQueueCap, "submission queue capacity")
+		maxRuns  = flag.Int("max-runs", server.DefaultMaxRuns, "retained finished runs before eviction")
+		traceCap = flag.Int("run-trace-cap", server.DefaultRunTraceCapacity, "per-run trace ring capacity (events)")
+		episodes = flag.Int("episodes", 0, "default MTAT in-process training episodes for specs that omit it")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+
+	tel := telemetry.New()
+	mgr := server.NewManager(server.Config{
+		Workers:          *workers,
+		QueueCap:         *queueCap,
+		MaxRuns:          *maxRuns,
+		RunTraceCapacity: *traceCap,
+		DefaultEpisodes:  *episodes,
+		Telemetry:        tel,
+	})
+
+	srv, err := telemetry.Serve(*addr, server.NewHandler(mgr, tel))
+	if err != nil {
+		return fmt.Errorf("-addr: %w", err)
+	}
+	// The listen line is the machine-readable contract: scripts (and the
+	// CI smoke test) parse the bound address from it.
+	fmt.Printf("mtatd: listening on http://%s (workers %d, queue %d)\n",
+		srv.Addr(), mgr.Workers(), *queueCap)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	fmt.Fprintf(os.Stderr, "mtatd: shutting down (drain %s)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := mgr.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "mtatd: drain deadline hit, outstanding runs cancelled\n")
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	return srv.Shutdown(httpCtx)
+}

@@ -13,19 +13,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/tieredmem/mtat"
 	"github.com/tieredmem/mtat/internal/stats"
 )
-
-// policyNames lists every value accepted by -policy.
-var policyNames = []string{"fmem-all", "smem-all", "memtis", "tpp", "mtat-full", "mtat-lconly"}
 
 func main() {
 	if err := run(); err != nil {
@@ -38,7 +35,7 @@ func run() error {
 	var (
 		lcName    = flag.String("lc", "redis", "latency-critical workload (redis, memcached, mongodb, silo)")
 		beNames   = flag.String("bes", "sssp,bfs,pr,xsbench", "comma-separated best-effort workloads")
-		polName   = flag.String("policy", "memtis", "policy: "+strings.Join(policyNames, ", "))
+		polName   = flag.String("policy", "memtis", "policy: "+strings.Join(mtat.PolicyNames(), ", "))
 		loadSpec  = flag.Float64("load", 0, "constant load fraction; 0 uses the Figure 7 ramp")
 		duration  = flag.Float64("duration", 0, "run length in seconds (0 = load pattern length)")
 		scale     = flag.Int("scale", 1, "memory scale divisor")
@@ -103,15 +100,16 @@ func run() error {
 		scn.Telemetry = tel
 	}
 	if *httpAddr != "" {
-		ln, err := net.Listen("tcp", *httpAddr)
+		srv, err := mtat.ServeTelemetry(*httpAddr, tel)
 		if err != nil {
 			return fmt.Errorf("-http: %w", err)
 		}
-		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "serving metrics/trace/pprof on http://%s/\n", ln.Addr())
-		go func() {
-			_ = http.Serve(ln, tel.Handler())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
 		}()
+		fmt.Fprintf(os.Stderr, "serving metrics/trace/pprof on %s/\n", srv.URL())
 	}
 
 	res, err := mtat.Run(scn, pol)
@@ -186,14 +184,6 @@ func run() error {
 // agents as needed.
 func buildPolicy(name string, scn mtat.Scenario, agentPath string, episodes int) (mtat.Policy, error) {
 	switch name {
-	case "fmem-all":
-		return mtat.NewFMemAll(), nil
-	case "smem-all":
-		return mtat.NewSMemAll(), nil
-	case "memtis":
-		return mtat.NewMEMTIS(), nil
-	case "tpp":
-		return mtat.NewTPP(), nil
 	case "mtat-full", "mtat-lconly":
 		variant := mtat.VariantFull
 		if name == "mtat-lconly" {
@@ -230,8 +220,9 @@ func buildPolicy(name string, scn mtat.Scenario, agentPath string, episodes int)
 		m.ResetEpisode()
 		return m, nil
 	default:
-		return nil, fmt.Errorf("unknown policy %q (valid policies: %s)",
-			name, strings.Join(policyNames, ", "))
+		// Baselines need no training; NewPolicyByName rejects unknown
+		// names with the full valid list.
+		return mtat.NewPolicyByName(context.Background(), name, scn, 0)
 	}
 }
 

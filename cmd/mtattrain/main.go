@@ -7,12 +7,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/tieredmem/mtat"
 )
@@ -73,15 +73,16 @@ func run() error {
 		// registry accumulate across episodes and are served read-only.
 		tel := mtat.NewTelemetry()
 		trainScn.Telemetry = tel
-		ln, err := net.Listen("tcp", *httpAddr)
+		srv, err := mtat.ServeTelemetry(*httpAddr, tel)
 		if err != nil {
 			return fmt.Errorf("-http: %w", err)
 		}
-		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "serving metrics/trace/pprof on http://%s/\n", ln.Addr())
-		go func() {
-			_ = http.Serve(ln, tel.Handler())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
 		}()
+		fmt.Fprintf(os.Stderr, "serving metrics/trace/pprof on %s/\n", srv.URL())
 	}
 	if err := mtat.Pretrain(m, trainScn, *episodes); err != nil {
 		return err

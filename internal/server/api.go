@@ -1,0 +1,161 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/tieredmem/mtat/internal/sim"
+	"github.com/tieredmem/mtat/internal/telemetry"
+	"github.com/tieredmem/mtat/internal/workload"
+)
+
+// MaxSpecBytes bounds a submitted run spec's JSON body.
+const MaxSpecBytes = 1 << 20
+
+// Meta describes the service's vocabulary — the valid names a spec may
+// use. Served at GET /api/v1/meta so clients can print helpful errors
+// without hardcoding the lists.
+type Meta struct {
+	LCWorkloads []string `json:"lc_workloads"`
+	BEWorkloads []string `json:"be_workloads"`
+	Policies    []string `json:"policies"`
+	LoadKinds   []string `json:"load_kinds"`
+	Workers     int      `json:"workers"`
+}
+
+// NewHandler builds the control-plane HTTP API around a manager:
+//
+//	POST   /api/v1/runs             submit a RunSpec (202; 400 invalid, 429 queue full, 503 draining)
+//	GET    /api/v1/runs             list retained runs
+//	GET    /api/v1/runs/{id}        one run's status and result summary
+//	GET    /api/v1/runs/{id}/events the run's private trace as JSONL
+//	DELETE /api/v1/runs/{id}        cancel a queued or running run
+//	GET    /api/v1/meta             valid workload/policy/load names
+//
+// tel is the daemon-level telemetry sink; its handler is mounted at
+// /metrics, /trace, and /debug/pprof/ (nil serves empty snapshots).
+func NewHandler(m *Manager, tel *telemetry.Telemetry) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /api/v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, MaxSpecBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+			return
+		}
+		spec, err := sim.ParseRunSpec(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		st, err := m.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrShuttingDown):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+		default:
+			writeJSON(w, http.StatusAccepted, st)
+		}
+	})
+
+	mux.HandleFunc("GET /api/v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+
+	mux.HandleFunc("GET /api/v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /api/v1/runs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		tr, err := m.Events(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := tr.WriteJSONL(w); err != nil {
+			// Headers are gone; nothing useful left to send.
+			return
+		}
+	})
+
+	mux.HandleFunc("DELETE /api/v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /api/v1/meta", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Meta{
+			LCWorkloads: workload.LCNames(),
+			BEWorkloads: workload.BENames(),
+			Policies:    sim.PolicyNames(),
+			LoadKinds:   sim.LoadKinds(),
+			Workers:     m.Workers(),
+		})
+	})
+
+	// Daemon-level observability: the existing telemetry handler serves
+	// the debug surface (/metrics and /trace snapshots, pprof under
+	// /debug/pprof/).
+	th := tel.Handler()
+	mux.Handle("/metrics", th)
+	mux.Handle("/trace", th)
+	mux.Handle("/debug/", th)
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			writeError(w, http.StatusNotFound, errors.New("no such endpoint"))
+			return
+		}
+		fmt.Fprint(w, "mtatd control plane\n\n"+
+			"POST   /api/v1/runs\n"+
+			"GET    /api/v1/runs\n"+
+			"GET    /api/v1/runs/{id}\n"+
+			"GET    /api/v1/runs/{id}/events\n"+
+			"DELETE /api/v1/runs/{id}\n"+
+			"GET    /api/v1/meta\n"+
+			"GET    /metrics\n"+
+			"GET    /trace\n"+
+			"GET    /debug/pprof/\n")
+	})
+
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	msg := "unknown error"
+	if err != nil {
+		msg = strings.TrimSpace(err.Error())
+	}
+	writeJSON(w, code, apiError{Error: msg})
+}

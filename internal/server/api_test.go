@@ -1,0 +1,164 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+func newTestAPI(t *testing.T, cfg Config) (*Client, *Manager) {
+	t.Helper()
+	tel := telemetry.New()
+	cfg.Telemetry = tel
+	m := NewManager(cfg)
+	srv := httptest.NewServer(NewHandler(m, tel))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		_ = m.Shutdown(ctx)
+		srv.Close()
+	})
+	return NewClient(srv.URL), m
+}
+
+func TestAPISubmitWaitEvents(t *testing.T) {
+	c, _ := newTestAPI(t, Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	st, err := c.Submit(ctx, shortSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" {
+		t.Fatalf("no run ID in %+v", st)
+	}
+	final, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.Result == nil || final.Result.Ticks != 100 {
+		t.Fatalf("bad final status: %+v", final)
+	}
+
+	var buf bytes.Buffer
+	if err := c.Events(ctx, st.ID, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"type":"run.start"`) ||
+		!strings.Contains(buf.String(), `"type":"run.end"`) {
+		t.Errorf("events stream missing run markers:\n%.200s", buf.String())
+	}
+
+	runs, err := c.Runs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].ID != st.ID {
+		t.Errorf("Runs() = %+v", runs)
+	}
+
+	meta, err := c.Meta(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Policies) == 0 || len(meta.LCWorkloads) == 0 || meta.Workers != 2 {
+		t.Errorf("bad meta: %+v", meta)
+	}
+}
+
+func TestAPIValidationAndNotFound(t *testing.T) {
+	c, _ := newTestAPI(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	bad := shortSpec(1)
+	bad.Policy = "lru"
+	_, err := c.Submit(ctx, bad)
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad policy submit: %v", err)
+	}
+	if !strings.Contains(apiErr.Message, "memtis") {
+		t.Errorf("error does not list valid policies: %q", apiErr.Message)
+	}
+
+	for _, probe := range []func() error{
+		func() error { _, err := c.Run(ctx, "r999999"); return err },
+		func() error { _, err := c.Cancel(ctx, "r999999"); return err },
+		func() error { return c.Events(ctx, "r999999", &bytes.Buffer{}) },
+	} {
+		err := probe()
+		apiErr, ok := err.(*APIError)
+		if !ok || apiErr.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown run probe: %v", err)
+		}
+	}
+}
+
+func TestAPIQueueFull429(t *testing.T) {
+	c, m := newTestAPI(t, Config{Workers: 1, QueueCap: 1})
+	ctx := context.Background()
+
+	running, err := c.Submit(ctx, longSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID, StateRunning)
+	queued, err := c.Submit(ctx, longSpec(2))
+	if err != nil {
+		t.Fatalf("queue slot submit: %v", err)
+	}
+	_, err = c.Submit(ctx, longSpec(3))
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: %v, want HTTP 429", err)
+	}
+
+	// Cancel both so the deferred shutdown drains fast; the running one
+	// round-trips through DELETE.
+	st, err := c.Cancel(ctx, queued.ID)
+	if err != nil || st.State != StateCancelled {
+		t.Fatalf("cancel queued: %+v %v", st, err)
+	}
+	if _, err := c.Cancel(ctx, running.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, running.ID, 10*time.Millisecond)
+	if err != nil || final.State != StateCancelled {
+		t.Fatalf("cancelled run final = %+v %v", final, err)
+	}
+}
+
+func TestAPIDebugSurface(t *testing.T) {
+	c, _ := newTestAPI(t, Config{Workers: 1})
+	for _, path := range []string{"/metrics", "/trace", "/debug/pprof/", "/api/v1/meta", "/"} {
+		resp, err := http.Get(c.BaseURL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestAPIShutdown503(t *testing.T) {
+	c, m := newTestAPI(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Submit(ctx, shortSpec(1))
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown submit: %v, want HTTP 503", err)
+	}
+}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/sim"
+)
+
+// Client drives the mtatd control plane over HTTP — the library behind
+// cmd/mtatctl, usable directly by tests and tooling.
+type Client struct {
+	// BaseURL is the daemon's root URL (e.g. "http://127.0.0.1:7070").
+	BaseURL string
+	// HTTPClient overrides the transport; nil uses http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for addr, which may be a bare host:port or a
+// full http:// URL.
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{BaseURL: strings.TrimRight(addr, "/")}
+}
+
+// APIError is a non-2xx response decoded from the server's error
+// envelope.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("mtatd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues the request and decodes a JSON response into out (skipped
+// when out is nil). Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env apiError
+	if json.Unmarshal(data, &env) == nil && env.Error != "" {
+		return &APIError{StatusCode: resp.StatusCode, Message: env.Error}
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+}
+
+// Submit enqueues a run spec and returns the queued run's status.
+func (c *Client) Submit(ctx context.Context, spec sim.RunSpec) (RunStatus, error) {
+	var st RunStatus
+	err := c.do(ctx, http.MethodPost, "/api/v1/runs", spec, &st)
+	return st, err
+}
+
+// Run fetches one run's status.
+func (c *Client) Run(ctx context.Context, id string) (RunStatus, error) {
+	var st RunStatus
+	err := c.do(ctx, http.MethodGet, "/api/v1/runs/"+id, nil, &st)
+	return st, err
+}
+
+// Runs lists every retained run.
+func (c *Client) Runs(ctx context.Context) ([]RunStatus, error) {
+	var out []RunStatus
+	err := c.do(ctx, http.MethodGet, "/api/v1/runs", nil, &out)
+	return out, err
+}
+
+// Cancel stops a queued or running run.
+func (c *Client) Cancel(ctx context.Context, id string) (RunStatus, error) {
+	var st RunStatus
+	err := c.do(ctx, http.MethodDelete, "/api/v1/runs/"+id, nil, &st)
+	return st, err
+}
+
+// Meta fetches the service vocabulary.
+func (c *Client) Meta(ctx context.Context) (Meta, error) {
+	var meta Meta
+	err := c.do(ctx, http.MethodGet, "/api/v1/meta", nil, &meta)
+	return meta, err
+}
+
+// Events streams the run's trace (JSONL) into w.
+func (c *Client) Events(ctx context.Context, id string, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/api/v1/runs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// DefaultPollInterval paces Wait's status polling.
+const DefaultPollInterval = 500 * time.Millisecond
+
+// Wait polls the run until it reaches a terminal state or ctx is done,
+// returning the final status. poll <= 0 selects DefaultPollInterval.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (RunStatus, error) {
+	if poll <= 0 {
+		poll = DefaultPollInterval
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Run(ctx, id)
+		if err != nil {
+			return RunStatus{}, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,407 @@
+// Package server turns the simulator into a long-lived, multi-tenant
+// service: a run manager owning a bounded submission queue with
+// backpressure, a worker pool executing scenario runs under per-run
+// cancellation contexts, a run registry with lifecycle states, and a
+// capped in-memory result store. Each run records into its own telemetry
+// sink so metrics and traces never bleed across tenants. The HTTP API in
+// api.go exposes the manager; cmd/mtatd serves it and cmd/mtatctl (via
+// client.go) drives it.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/sim"
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+// State is a run's lifecycle phase: queued → running → done | failed |
+// cancelled.
+type State string
+
+// Run lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Manager sizing defaults.
+const (
+	DefaultQueueCap = 64
+	DefaultMaxRuns  = 256
+	// DefaultRunTraceCapacity bounds each run's private trace ring. The
+	// telemetry default (1<<16 events) is sized for one process-wide
+	// sink; a service retaining hundreds of runs wants a smaller ring.
+	DefaultRunTraceCapacity = 1 << 12
+)
+
+// Config sizes the run manager.
+type Config struct {
+	// Workers is the worker pool size (<= 0 selects GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the submission queue; submissions beyond it are
+	// rejected with ErrQueueFull (<= 0 selects DefaultQueueCap).
+	QueueCap int
+	// MaxRuns caps retained finished runs; the oldest finished run (its
+	// registry entry, result, and telemetry) is evicted beyond the cap
+	// (<= 0 selects DefaultMaxRuns).
+	MaxRuns int
+	// RunTraceCapacity sizes each run's private trace ring (<= 0 selects
+	// DefaultRunTraceCapacity).
+	RunTraceCapacity int
+	// DefaultEpisodes is the MTAT in-process training budget for specs
+	// that omit episodes (<= 0 selects sim.DefaultPretrainEpisodes).
+	DefaultEpisodes int
+	// Telemetry is the daemon-level sink for the manager's own metrics
+	// (submissions, completions, queue depth). Nil disables them.
+	Telemetry *telemetry.Telemetry
+}
+
+// Submission errors.
+var (
+	// ErrQueueFull rejects a submission when the queue is at capacity —
+	// the HTTP layer maps it to 429.
+	ErrQueueFull = errors.New("server: submission queue full")
+	// ErrShuttingDown rejects submissions after Shutdown began — mapped
+	// to 503.
+	ErrShuttingDown = errors.New("server: shutting down")
+	// ErrNotFound reports an unknown run ID — mapped to 404.
+	ErrNotFound = errors.New("server: run not found")
+)
+
+// run is the registry entry. All mutable fields are guarded by the
+// manager's mutex; done is closed exactly once when the run reaches a
+// terminal state.
+type run struct {
+	id        string
+	spec      sim.RunSpec
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	errMsg    string
+	result    *sim.Result
+	tel       *telemetry.Telemetry
+	ctx       context.Context
+	cancel    context.CancelFunc
+	done      chan struct{}
+}
+
+// Manager owns the submission queue, the worker pool, and the run
+// registry. All methods are safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	runs     map[string]*run
+	order    []string // submission order, for List
+	finished []string // finish order, for result-store eviction
+	closed   bool
+	nextID   int
+
+	queue chan *run
+	wg    sync.WaitGroup
+
+	mSubmitted, mRejected *telemetry.Counter
+	mDone, mFailed        *telemetry.Counter
+	mCancelled            *telemetry.Counter
+	gQueued, gRunning     *telemetry.Gauge
+}
+
+// NewManager builds a manager and starts its worker pool.
+func NewManager(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = DefaultMaxRuns
+	}
+	if cfg.RunTraceCapacity <= 0 {
+		cfg.RunTraceCapacity = DefaultRunTraceCapacity
+	}
+	m := &Manager{
+		cfg:   cfg,
+		runs:  make(map[string]*run),
+		queue: make(chan *run, cfg.QueueCap),
+	}
+	reg := cfg.Telemetry.Metrics()
+	m.mSubmitted = reg.Counter("server_runs_submitted_total")
+	m.mRejected = reg.Counter("server_runs_rejected_total")
+	m.mDone = reg.Counter("server_runs_done_total")
+	m.mFailed = reg.Counter("server_runs_failed_total")
+	m.mCancelled = reg.Counter("server_runs_cancelled_total")
+	m.gQueued = reg.Gauge("server_queue_depth")
+	m.gRunning = reg.Gauge("server_runs_running")
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Workers returns the worker pool size.
+func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// Submit validates the spec and enqueues it, returning the queued run's
+// status. It fails fast with ErrQueueFull when the queue is at capacity
+// and ErrShuttingDown after Shutdown began.
+func (m *Manager) Submit(spec sim.RunSpec) (RunStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return RunStatus{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		m.mRejected.Inc()
+		return RunStatus{}, ErrShuttingDown
+	}
+	m.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &run{
+		id:        fmt.Sprintf("r%06d", m.nextID),
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		tel:       telemetry.NewWithConfig(telemetry.Config{TraceCapacity: m.cfg.RunTraceCapacity}),
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+	}
+	select {
+	case m.queue <- r:
+	default:
+		cancel()
+		m.mRejected.Inc()
+		return RunStatus{}, ErrQueueFull
+	}
+	m.runs[r.id] = r
+	m.order = append(m.order, r.id)
+	m.mSubmitted.Inc()
+	m.gQueued.Set(float64(len(m.queue)))
+	return r.status(), nil
+}
+
+// Get returns a run's status snapshot.
+func (m *Manager) Get(id string) (RunStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.runs[id]
+	if !ok {
+		return RunStatus{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return r.status(), nil
+}
+
+// List returns every retained run in submission order.
+func (m *Manager) List() []RunStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]RunStatus, 0, len(m.order))
+	for _, id := range m.order {
+		if r, ok := m.runs[id]; ok {
+			out = append(out, r.status())
+		}
+	}
+	return out
+}
+
+// Result returns a finished run's full simulation result (nil until the
+// run is done).
+func (m *Manager) Result(id string) (*sim.Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.runs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return r.result, nil
+}
+
+// Events returns a run's private trace for streaming. The tracer is safe
+// for concurrent use, so callers may read it while the run is live.
+func (m *Manager) Events(id string) (*telemetry.Tracer, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.runs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return r.tel.Tracer(), nil
+}
+
+// Cancel stops a run: a queued run is marked cancelled immediately (the
+// worker will skip it), a running run's context is cancelled and the
+// worker marks it once the tick loop observes the cancellation. Terminal
+// runs are left untouched. The returned status reflects the
+// post-cancellation view.
+func (m *Manager) Cancel(id string) (RunStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.runs[id]
+	if !ok {
+		return RunStatus{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	switch r.state {
+	case StateQueued:
+		r.cancel()
+		m.finishLocked(r, StateCancelled, "cancelled while queued", nil)
+	case StateRunning:
+		r.cancel()
+	}
+	return r.status(), nil
+}
+
+// WaitRun blocks until the run reaches a terminal state or ctx is done,
+// then returns the final status.
+func (m *Manager) WaitRun(ctx context.Context, id string) (RunStatus, error) {
+	m.mu.Lock()
+	r, ok := m.runs[id]
+	m.mu.Unlock()
+	if !ok {
+		return RunStatus{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	select {
+	case <-r.done:
+		return m.Get(id)
+	case <-ctx.Done():
+		return RunStatus{}, ctx.Err()
+	}
+}
+
+// Shutdown drains the service: it stops accepting submissions, lets
+// queued and running work finish, and returns once every worker has
+// exited. If ctx expires first, every outstanding run is cancelled, the
+// workers are still waited for (cancellation stops runs between ticks),
+// and ctx's error is returned.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		for _, r := range m.runs {
+			if !r.state.Terminal() {
+				r.cancel()
+			}
+		}
+		m.mu.Unlock()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until it is closed.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for r := range m.queue {
+		m.runOne(r)
+	}
+}
+
+// runOne executes a single queued run through its lifecycle.
+func (m *Manager) runOne(r *run) {
+	m.mu.Lock()
+	if r.state != StateQueued { // cancelled while queued
+		m.gQueued.Set(float64(len(m.queue)))
+		m.mu.Unlock()
+		return
+	}
+	r.state = StateRunning
+	r.started = time.Now()
+	m.gQueued.Set(float64(len(m.queue)))
+	m.gRunning.Set(m.gRunning.Value() + 1)
+	m.mu.Unlock()
+
+	res, err := execute(r.ctx, r.spec, r.tel, m.cfg.DefaultEpisodes)
+
+	m.mu.Lock()
+	m.gRunning.Set(m.gRunning.Value() - 1)
+	switch {
+	case err == nil:
+		m.finishLocked(r, StateDone, "", res)
+	case errors.Is(err, context.Canceled):
+		m.finishLocked(r, StateCancelled, "cancelled", nil)
+	default:
+		m.finishLocked(r, StateFailed, err.Error(), nil)
+	}
+	m.mu.Unlock()
+}
+
+// finishLocked moves a run to a terminal state and evicts the oldest
+// finished runs beyond the result-store cap. Callers hold m.mu.
+func (m *Manager) finishLocked(r *run, st State, msg string, res *sim.Result) {
+	r.state = st
+	r.errMsg = msg
+	r.result = res
+	r.finished = time.Now()
+	r.cancel() // release the context's resources in every path
+	close(r.done)
+	switch st {
+	case StateDone:
+		m.mDone.Inc()
+	case StateFailed:
+		m.mFailed.Inc()
+	case StateCancelled:
+		m.mCancelled.Inc()
+	}
+	m.finished = append(m.finished, r.id)
+	for len(m.finished) > m.cfg.MaxRuns {
+		evict := m.finished[0]
+		m.finished = m.finished[1:]
+		delete(m.runs, evict)
+		for i, id := range m.order {
+			if id == evict {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// execute materializes and runs one spec: scenario build, policy
+// construction (including in-process MTAT pre-training, cancellable via
+// ctx), then the tick loop under the run's private telemetry sink.
+func execute(ctx context.Context, spec sim.RunSpec, tel *telemetry.Telemetry, defaultEpisodes int) (*sim.Result, error) {
+	scn, err := spec.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	episodes := spec.Episodes
+	if episodes <= 0 {
+		episodes = defaultEpisodes
+	}
+	pol, err := sim.NewPolicy(ctx, spec.PolicyName(), scn, episodes)
+	if err != nil {
+		return nil, err
+	}
+	scn.Telemetry = tel
+	return sim.RunScenarioContext(ctx, scn, pol)
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"time"
+
+	"github.com/tieredmem/mtat/internal/sim"
+)
+
+// RunStatus is the JSON view of one run's lifecycle — what the API
+// returns for status and list requests.
+type RunStatus struct {
+	ID          string      `json:"id"`
+	State       State       `json:"state"`
+	Spec        sim.RunSpec `json:"spec"`
+	SubmittedAt time.Time   `json:"submitted_at"`
+	StartedAt   *time.Time  `json:"started_at,omitempty"`
+	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
+	Error       string      `json:"error,omitempty"`
+	Result      *RunResult  `json:"result,omitempty"`
+}
+
+// RunResult is the JSON summary of a finished run — the aggregate slice
+// of sim.Result (the full time series stay in memory, reachable through
+// Manager.Result; the trace streams via the events endpoint).
+type RunResult struct {
+	Policy          string      `json:"policy"`
+	SLOMet          bool        `json:"slo_met"`
+	LCViolationRate float64     `json:"lc_violation_rate"`
+	LCMaxP99        float64     `json:"lc_max_p99_s"`
+	LCMeanP99       float64     `json:"lc_mean_p99_s"`
+	BEFairness      float64     `json:"be_fairness"`
+	BEThroughput    float64     `json:"be_throughput"`
+	BEs             []BEOutcome `json:"bes,omitempty"`
+	MigratedBytes   int64       `json:"migrated_bytes"`
+	Ticks           int         `json:"ticks"`
+}
+
+// BEOutcome is one best-effort workload's aggregate in a RunResult.
+type BEOutcome struct {
+	Name         string  `json:"name"`
+	NP           float64 `json:"np"`
+	Throughput   float64 `json:"throughput"`
+	AvgFMemPages float64 `json:"avg_fmem_pages"`
+}
+
+// status snapshots the run under the manager's lock.
+func (r *run) status() RunStatus {
+	st := RunStatus{
+		ID:          r.id,
+		State:       r.state,
+		Spec:        r.spec,
+		SubmittedAt: r.submitted,
+		Error:       r.errMsg,
+	}
+	if !r.started.IsZero() {
+		t := r.started
+		st.StartedAt = &t
+	}
+	if !r.finished.IsZero() {
+		t := r.finished
+		st.FinishedAt = &t
+	}
+	if r.result != nil {
+		st.Result = summarize(r.result)
+	}
+	return st
+}
+
+// summarize projects a sim.Result onto its JSON view.
+func summarize(res *sim.Result) *RunResult {
+	out := &RunResult{
+		Policy:          res.Policy,
+		SLOMet:          res.SLOMet,
+		LCViolationRate: res.LCViolationRate,
+		LCMaxP99:        res.LCMaxP99,
+		LCMeanP99:       res.LCMeanP99,
+		BEFairness:      res.BEFairness,
+		BEThroughput:    res.BEThroughput,
+		MigratedBytes:   res.MigratedBytes,
+		Ticks:           res.Ticks,
+	}
+	for _, be := range res.BEs {
+		out.BEs = append(out.BEs, BEOutcome{
+			Name:         be.Name,
+			NP:           be.NP,
+			Throughput:   be.Throughput,
+			AvgFMemPages: be.AvgFMemPages,
+		})
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/tieredmem/mtat/internal/loadgen"
 	"github.com/tieredmem/mtat/internal/mem"
@@ -58,7 +59,8 @@ func PaperScenario(opts PaperScenarioOpts) (Scenario, error) {
 	if opts.LCName != "" {
 		lcCfg, ok := workload.LCConfigByName(opts.LCName)
 		if !ok {
-			return Scenario{}, fmt.Errorf("sim: unknown LC workload %q", opts.LCName)
+			return Scenario{}, fmt.Errorf("sim: unknown LC workload %q (valid: %s)",
+				opts.LCName, strings.Join(workload.LCNames(), ", "))
 		}
 		lcCfg.RSSBytes /= int64(scale)
 		if opts.LCServers > 0 {
@@ -84,7 +86,8 @@ func PaperScenario(opts PaperScenarioOpts) (Scenario, error) {
 		for _, name := range beNames {
 			beCfg, ok := workload.BEConfigByName(name, coresEach)
 			if !ok {
-				return Scenario{}, fmt.Errorf("sim: unknown BE workload %q", name)
+				return Scenario{}, fmt.Errorf("sim: unknown BE workload %q (valid: %s)",
+					name, strings.Join(workload.BENames(), ", "))
 			}
 			beCfg.RSSBytes /= int64(scale)
 			scn.BEs = append(scn.BEs, beCfg)

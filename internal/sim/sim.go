@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -216,6 +217,16 @@ func (r *Runner) BEs() []*workload.BE { return r.bes }
 
 // Run advances the scenario to completion and returns the result.
 func (r *Runner) Run() (*Result, error) {
+	return r.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the tick loop checks
+// ctx between ticks and returns ctx.Err() once it is done, discarding the
+// partial result. A nil ctx behaves like context.Background().
+func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	scn := r.scn
 	res := &Result{
 		Policy:      r.pol.Name(),
@@ -271,6 +282,9 @@ func (r *Runner) Run() (*Result, error) {
 	settleUntil := 0.0
 	var lcMeasuredTicks float64
 	for i := 0; i < ticks; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		now := float64(i) * dt
 		measuring := now >= scn.WarmupSeconds
 		r.sys.BeginTick(tickDur)
@@ -401,11 +415,16 @@ func (r *Runner) Run() (*Result, error) {
 
 // RunScenario is the one-shot convenience: build a runner and run it.
 func RunScenario(scn Scenario, pol policy.Policy) (*Result, error) {
+	return RunScenarioContext(context.Background(), scn, pol)
+}
+
+// RunScenarioContext is RunScenario with cooperative cancellation.
+func RunScenarioContext(ctx context.Context, scn Scenario, pol policy.Policy) (*Result, error) {
 	r, err := NewRunner(scn, pol)
 	if err != nil {
 		return nil, err
 	}
-	return r.Run()
+	return r.RunContext(ctx)
 }
 
 // PretrainMTAT trains an MTAT policy's RL agent by running the scenario
@@ -413,6 +432,15 @@ func RunScenario(scn Scenario, pol policy.Policy) (*Result, error) {
 // agent in deterministic evaluation mode. Fresh runner state is built per
 // episode; the agent's replay buffer and weights persist across episodes.
 func PretrainMTAT(m *core.MTAT, scn Scenario, episodes int) error {
+	return PretrainMTATContext(context.Background(), m, scn, episodes)
+}
+
+// PretrainMTATContext is PretrainMTAT with cooperative cancellation:
+// training stops between ticks as soon as ctx is done.
+func PretrainMTATContext(ctx context.Context, m *core.MTAT, scn Scenario, episodes int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if episodes <= 0 {
 		return fmt.Errorf("sim: episodes must be > 0, got %d", episodes)
 	}
@@ -425,7 +453,7 @@ func PretrainMTAT(m *core.MTAT, scn Scenario, episodes int) error {
 		if err != nil {
 			return fmt.Errorf("sim: pretrain episode %d: %w", ep, err)
 		}
-		if _, err := r.Run(); err != nil {
+		if _, err := r.RunContext(ctx); err != nil {
 			return fmt.Errorf("sim: pretrain episode %d: %w", ep, err)
 		}
 	}

@@ -1,7 +1,9 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 )
@@ -46,4 +48,58 @@ func (t *Telemetry) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// Server is a background HTTP listener with clean shutdown — the shared
+// wiring behind every -http flag (cmd/mtatsim, cmd/mtattrain) and the
+// mtatd API listener. Construct it with Serve; stop it with Shutdown (or
+// Close for an immediate stop). Unlike a bare `go http.Serve(ln, h)`,
+// stopping it terminates the serve goroutine, so repeated start/stop
+// cycles (tests, long-lived daemons) do not leak.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve binds addr (e.g. ":6060", "127.0.0.1:0") and serves h on it in a
+// background goroutine. The returned Server reports the bound address —
+// use ":0" to pick a free port.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: h},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Shutdown gracefully stops the server: it stops accepting connections,
+// waits for in-flight requests up to ctx's deadline, then waits for the
+// serve goroutine to exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+// Close stops the server immediately, dropping in-flight requests.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
 }

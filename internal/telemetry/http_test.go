@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestServeAndShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	tel := New()
+	tel.Metrics().Counter("test_total").Inc()
+	srv, err := Serve("127.0.0.1:0", tel.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("GET /metrics = %d, %d bytes", resp.StatusCode, len(body))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The serve goroutine must be gone — the helper exists so -http
+	// listeners stop leaking until process exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked after Shutdown: %d before, %d after", before, n)
+	}
+	// The port is released: a fresh server can bind and stop again.
+	srv2, err := Serve(srv.Addr(), tel.Handler())
+	if err != nil {
+		t.Fatalf("rebind %s: %v", srv.Addr(), err)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}

@@ -181,3 +181,25 @@ func BEConfigByName(name string, cores int) (BEConfig, bool) {
 	}
 	return BEConfig{}, false
 }
+
+// LCNames returns the valid latency-critical workload names in paper
+// order — the values accepted by LCConfigByName.
+func LCNames() []string {
+	cfgs := LCConfigs()
+	names := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// BENames returns the valid best-effort workload names in paper order —
+// the values accepted by BEConfigByName.
+func BENames() []string {
+	cfgs := BEConfigs(1)
+	names := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		names[i] = c.Name
+	}
+	return names
+}

@@ -37,7 +37,7 @@
 package mtat
 
 import (
-	"fmt"
+	"context"
 
 	"github.com/tieredmem/mtat/internal/core"
 	"github.com/tieredmem/mtat/internal/experiments"
@@ -91,6 +91,15 @@ type (
 	TelemetryConfig = telemetry.Config
 	// TraceEvent is one structured record in the telemetry event trace.
 	TraceEvent = telemetry.Event
+	// TelemetryServer is a background HTTP listener with clean shutdown
+	// (see ServeTelemetry).
+	TelemetryServer = telemetry.Server
+	// RunSpec is the JSON-serializable description of one scenario run —
+	// the wire format of the mtatd control plane (see cmd/mtatd).
+	RunSpec = sim.RunSpec
+	// LoadSpec is the JSON-serializable form of a load pattern inside a
+	// RunSpec.
+	LoadSpec = sim.LoadSpec
 )
 
 // MTAT variants (§5's two configurations).
@@ -175,28 +184,30 @@ func NewTelemetryWithConfig(cfg TelemetryConfig) *Telemetry {
 	return telemetry.NewWithConfig(cfg)
 }
 
+// ServeTelemetry serves t's introspection handler (/metrics, /trace,
+// /debug/pprof/) on addr in the background. Stop it with Shutdown for a
+// clean exit — unlike a bare `go http.Serve(...)`, no goroutine outlives
+// the server.
+func ServeTelemetry(addr string, t *Telemetry) (*TelemetryServer, error) {
+	return telemetry.Serve(addr, t.Handler())
+}
+
+// PolicyNames returns every policy name accepted by NewPolicyByName (and
+// by the mtatd control plane's run specs), baselines first.
+var PolicyNames = sim.PolicyNames
+
+// NewPolicyByName constructs the named policy for the scenario. MTAT
+// variants are pre-trained in-process (episodes <= 0 selects the default
+// budget); ctx cancels training between ticks.
+func NewPolicyByName(ctx context.Context, name string, scn Scenario, episodes int) (Policy, error) {
+	return sim.NewPolicy(ctx, name, scn, episodes)
+}
+
 // MTATConfigFor returns an MTAT configuration sized for the scenario: the
 // LC workload's SLO and peak access rate drive the RL state/reward, and
 // the BE allocation unit scales with the memory geometry.
 func MTATConfigFor(scn Scenario) (MTATConfig, error) {
-	if !scn.HasLC {
-		return MTATConfig{}, fmt.Errorf("mtat: scenario has no LC workload")
-	}
-	cfg := core.DefaultPPMConfig(scn.LC.SLOSeconds,
-		scn.LC.MaxLoadRPS*float64(scn.LC.MemTouches))
-	if scn.Mem.PageSize > 0 {
-		unit := int((1 << 30) / scn.Mem.PageSize) // 1 GiB in pages
-		// Keep the paper's ~32 allocation units across FMem even on
-		// scaled-down geometries.
-		if units := scn.Mem.FMemBytes / (1 << 30); units < 32 {
-			unit = int(scn.Mem.FMemBytes / 32 / scn.Mem.PageSize)
-		}
-		if unit < 1 {
-			unit = 1
-		}
-		cfg.BEUnitPages = unit
-	}
-	return cfg, nil
+	return sim.MTATConfigFor(scn)
 }
 
 // Pretrain trains an MTAT agent on the scenario's load pattern for the
