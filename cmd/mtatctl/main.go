@@ -1,5 +1,7 @@
 // Command mtatctl drives a running mtatd: it submits scenario run specs,
-// polls status, streams per-run traces, and cancels runs.
+// polls status, streams per-run traces, and cancels runs. The sweep
+// subcommands drive a mtatfleet scheduler instead, sharding parameter
+// sweeps across many mtatd nodes.
 //
 // Usage:
 //
@@ -13,8 +15,18 @@
 //	mtatctl logs r000001                                     # stream trace JSONL
 //	mtatctl cancel r000001
 //
-// The daemon address comes from -addr, then $MTATD_ADDR, then
-// 127.0.0.1:7070.
+//	mtatctl sweep submit -f sweep.json -wait                 # shard a sweep across the fleet
+//	mtatctl sweep status [s000001]                           # list sweeps / one sweep's JSON
+//	mtatctl sweep wait -timeout 10m s000001
+//	mtatctl sweep results -format csv s000001                # export settled cell summaries
+//	mtatctl sweep nodes                                      # fleet node pool with health
+//	mtatctl sweep nodes -add 127.0.0.1:7070                  # register a mtatd node
+//	mtatctl sweep cancel s000001
+//
+// The mtatd address comes from -addr, then $MTATD_ADDR, then
+// 127.0.0.1:7070. Sweep subcommands talk to the fleet daemon instead:
+// -addr (when set explicitly), then $MTATFLEET_ADDR, then
+// 127.0.0.1:7171.
 package main
 
 import (
@@ -27,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/tieredmem/mtat/internal/cluster"
 	"github.com/tieredmem/mtat/internal/server"
 	"github.com/tieredmem/mtat/internal/sim"
 )
@@ -46,7 +59,8 @@ func usage(fs *flag.FlagSet) func() {
 			"  status   list runs, or show one run's status JSON\n"+
 			"  wait     block until a run reaches a terminal state\n"+
 			"  logs     stream a run's trace as JSONL\n"+
-			"  cancel   cancel a queued or running run\n\n"+
+			"  cancel   cancel a queued or running run\n"+
+			"  sweep    drive a mtatfleet scheduler (submit|status|wait|results|nodes|cancel)\n\n"+
 			"flags:\n")
 		fs.PrintDefaults()
 	}
@@ -64,8 +78,23 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("missing command")
 	}
-	c := server.NewClient(*addr)
 	ctx := context.Background()
+	if rest[0] == "sweep" {
+		// The sweep family talks to mtatfleet, not mtatd, so the bare
+		// default addr must not leak through — only an explicit -addr wins.
+		addrSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "addr" {
+				addrSet = true
+			}
+		})
+		fleetAddr := *addr
+		if !addrSet {
+			fleetAddr = defaultFleetAddr()
+		}
+		return cmdSweep(ctx, cluster.NewClient(fleetAddr), rest[1:])
+	}
+	c := server.NewClient(*addr)
 	switch rest[0] {
 	case "submit":
 		return cmdSubmit(ctx, c, rest[1:])
@@ -88,6 +117,13 @@ func defaultAddr() string {
 		return a
 	}
 	return "127.0.0.1:7070"
+}
+
+func defaultFleetAddr() string {
+	if a := os.Getenv("MTATFLEET_ADDR"); a != "" {
+		return a
+	}
+	return "127.0.0.1:7171"
 }
 
 func cmdSubmit(ctx context.Context, c *server.Client, args []string) error {

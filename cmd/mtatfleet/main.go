@@ -1,0 +1,123 @@
+// Command mtatfleet is the fleet scheduler: a daemon that shards
+// parameter sweeps across many mtatd nodes. It tracks node health,
+// places each sweep cell on the least-loaded healthy node, retries
+// across nodes when one dies mid-run, and aggregates per-cell summaries
+// for JSON/JSONL/CSV export. cmd/mtatctl's sweep subcommands are the
+// matching client.
+//
+// Usage:
+//
+//	mtatfleet -nodes 127.0.0.1:7070,127.0.0.1:7071
+//	mtatfleet -addr :0 -nodes 127.0.0.1:7070     # free port, printed on stdout
+//	mtatfleet -strategy round-robin -parallel 16
+//
+// Nodes can also be registered at runtime via POST /api/v1/nodes (see
+// mtatctl sweep nodes -add). SIGINT/SIGTERM drains running sweeps for
+// -drain, then cancels whatever is left.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/cluster"
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mtatfleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7171", "listen address (use :0 for a free port)")
+		nodes        = flag.String("nodes", "", "comma-separated mtatd addresses to register at startup")
+		strategyName = flag.String("strategy", "", "placement strategy: "+strings.Join(cluster.StrategyNames(), ", "))
+		parallel     = flag.Int("parallel", cluster.DefaultSweepParallelism, "concurrently dispatched cells per sweep")
+		inflight     = flag.Int("inflight", 0, "in-flight runs per node (0 = each node's worker count)")
+		retries      = flag.Int("retries", cluster.DefaultMaxNodeAttempts, "distinct nodes to try per cell before giving up")
+		probe        = flag.Duration("probe", cluster.DefaultProbeInterval, "node health-probe interval")
+		probeTimeout = flag.Duration("probe-timeout", cluster.DefaultProbeTimeout, "per-probe timeout")
+		markdown     = flag.Int("markdown-after", cluster.DefaultMarkdownAfter, "consecutive probe failures before a node is marked down")
+		maxSweeps    = flag.Int("max-sweeps", cluster.DefaultMaxSweeps, "retained finished sweeps before eviction")
+		drain        = flag.Duration("drain", 60*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+
+	strategy, err := cluster.StrategyByName(*strategyName)
+	if err != nil {
+		return err
+	}
+
+	tel := telemetry.New()
+	fleet := cluster.NewFleet(cluster.FleetConfig{
+		Registry: cluster.RegistryConfig{
+			ProbeInterval:   *probe,
+			ProbeTimeout:    *probeTimeout,
+			MarkdownAfter:   *markdown,
+			InflightPerNode: *inflight,
+		},
+		Dispatcher: cluster.DispatcherConfig{
+			Strategy:        strategy,
+			MaxNodeAttempts: *retries,
+		},
+		SweepParallelism: *parallel,
+		MaxSweeps:        *maxSweeps,
+		Telemetry:        tel,
+	})
+
+	for _, nodeAddr := range splitList(*nodes) {
+		info, err := fleet.Reg.Add(nodeAddr, 1)
+		if err != nil {
+			return fmt.Errorf("-nodes %s: %w", nodeAddr, err)
+		}
+		state := "healthy"
+		if !info.Healthy {
+			state = "down"
+		}
+		fmt.Fprintf(os.Stderr, "mtatfleet: node %s = %s (%s)\n", info.Name, info.Addr, state)
+	}
+
+	srv, err := telemetry.Serve(*addr, cluster.NewHandler(fleet, tel))
+	if err != nil {
+		return fmt.Errorf("-addr: %w", err)
+	}
+	// The listen line is the machine-readable contract: scripts (and the
+	// CI fleet-smoke test) parse the bound address from it.
+	fmt.Printf("mtatfleet: listening on http://%s (%d nodes, parallel %d)\n",
+		srv.Addr(), len(fleet.Reg.Nodes()), *parallel)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	fmt.Fprintf(os.Stderr, "mtatfleet: shutting down (drain %s)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := fleet.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "mtatfleet: drain deadline hit, running sweeps cancelled\n")
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	return srv.Shutdown(httpCtx)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}

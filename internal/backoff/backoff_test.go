@@ -1,0 +1,84 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowthAndCap(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, NoJitter: true}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDelayZeroValueDefaults(t *testing.T) {
+	var p Policy
+	// A zero Policy must behave: positive delays, jittered around the
+	// default schedule, never beyond Max·(1+Jitter).
+	for i := 0; i < 20; i++ {
+		d := p.Delay(i)
+		if d <= 0 {
+			t.Fatalf("Delay(%d) = %v, want > 0", i, d)
+		}
+		hi := time.Duration(float64(DefaultMax) * (1 + DefaultJitter))
+		if d > hi {
+			t.Errorf("Delay(%d) = %v beyond jittered cap %v", i, d, hi)
+		}
+	}
+	if d := p.Delay(0); d > time.Duration(float64(DefaultBase)*(1+DefaultJitter)) {
+		t.Errorf("Delay(0) = %v beyond jittered base", d)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 100 * time.Millisecond, Jitter: 0.5}
+	lo := 50 * time.Millisecond
+	hi := 150 * time.Millisecond
+	varied := false
+	first := p.Delay(0)
+	for i := 0; i < 200; i++ {
+		d := p.Delay(0)
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, lo, hi)
+		}
+		if d != first {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("200 jittered delays were all identical")
+	}
+}
+
+func TestSleepHonoursContext(t *testing.T) {
+	p := Policy{Base: time.Hour, NoJitter: true}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Sleep(ctx, 0) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Sleep = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after cancel")
+	}
+
+	quick := Policy{Base: time.Millisecond, NoJitter: true}
+	if err := quick.Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep = %v", err)
+	}
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/tieredmem/mtat/internal/sim"
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+// MaxSweepSpecBytes bounds a submitted sweep spec's JSON body.
+const MaxSweepSpecBytes = 1 << 20
+
+// AddNodeRequest is the POST /api/v1/nodes body.
+type AddNodeRequest struct {
+	// Addr is the mtatd address (host:port or URL).
+	Addr string `json:"addr"`
+	// Weight is the capacity weight (0 selects 1).
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// NewHandler builds the fleet control-plane HTTP API:
+//
+//	POST   /api/v1/sweeps               submit a SweepSpec (202; 400 invalid, 503 draining)
+//	GET    /api/v1/sweeps               list retained sweeps
+//	GET    /api/v1/sweeps/{id}          one sweep's status with per-cell states
+//	GET    /api/v1/sweeps/{id}/results  settled cell summaries (?format=json|jsonl|csv)
+//	DELETE /api/v1/sweeps/{id}          cancel a running sweep
+//	GET    /api/v1/nodes                node pool with health and load
+//	POST   /api/v1/nodes                register a mtatd node {"addr","weight"}
+//	DELETE /api/v1/nodes/{name}         deregister a node (by name or address)
+//
+// tel is the fleet-level telemetry sink; its handler is mounted at
+// /metrics, /trace, and /debug/pprof/ (nil serves empty snapshots).
+func NewHandler(f *Fleet, tel *telemetry.Telemetry) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /api/v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, MaxSweepSpecBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+			return
+		}
+		spec, err := sim.ParseSweepSpec(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		st, err := f.Submit(spec)
+		switch {
+		case errors.Is(err, ErrFleetClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+		default:
+			writeJSON(w, http.StatusAccepted, st)
+		}
+	})
+
+	mux.HandleFunc("GET /api/v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, f.List())
+	})
+
+	mux.HandleFunc("GET /api/v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := f.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		sums, err := f.Results(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "json":
+			writeJSON(w, http.StatusOK, sums)
+		case "jsonl":
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = WriteSummariesJSONL(w, sums)
+		case "csv":
+			w.Header().Set("Content-Type", "text/csv")
+			_ = WriteSummariesCSV(w, sums)
+		default:
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("cluster: unknown format %q (valid: json, jsonl, csv)", format))
+		}
+	})
+
+	mux.HandleFunc("DELETE /api/v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := f.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /api/v1/nodes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, f.Reg.Nodes())
+	})
+
+	mux.HandleFunc("POST /api/v1/nodes", func(w http.ResponseWriter, r *http.Request) {
+		var req AddNodeRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parse body: %w", err))
+			return
+		}
+		if req.Addr == "" {
+			writeError(w, http.StatusBadRequest, errors.New("cluster: addr required"))
+			return
+		}
+		info, err := f.Reg.Add(req.Addr, req.Weight)
+		switch {
+		case errors.Is(err, ErrNodeExists):
+			writeError(w, http.StatusConflict, err)
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+		default:
+			writeJSON(w, http.StatusCreated, info)
+		}
+	})
+
+	mux.HandleFunc("DELETE /api/v1/nodes/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := f.Reg.Remove(r.PathValue("name")); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"removed": r.PathValue("name")})
+	})
+
+	th := tel.Handler()
+	mux.Handle("/metrics", th)
+	mux.Handle("/trace", th)
+	mux.Handle("/debug/", th)
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			writeError(w, http.StatusNotFound, errors.New("no such endpoint"))
+			return
+		}
+		fmt.Fprint(w, "mtatfleet control plane\n\n"+
+			"POST   /api/v1/sweeps\n"+
+			"GET    /api/v1/sweeps\n"+
+			"GET    /api/v1/sweeps/{id}\n"+
+			"GET    /api/v1/sweeps/{id}/results?format=json|jsonl|csv\n"+
+			"DELETE /api/v1/sweeps/{id}\n"+
+			"GET    /api/v1/nodes\n"+
+			"POST   /api/v1/nodes\n"+
+			"DELETE /api/v1/nodes/{name}\n"+
+			"GET    /metrics\n"+
+			"GET    /trace\n"+
+			"GET    /debug/pprof/\n")
+	})
+
+	return mux
+}
+
+// apiError is the JSON error envelope (same shape as mtatd's).
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	msg := "unknown error"
+	if err != nil {
+		msg = strings.TrimSpace(err.Error())
+	}
+	writeJSON(w, code, apiError{Error: msg})
+}

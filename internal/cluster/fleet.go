@@ -1,0 +1,473 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/sim"
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+// SweepState is a sweep's lifecycle phase.
+type SweepState string
+
+// Sweep lifecycle states. A sweep whose every cell completed is done; a
+// sweep with any permanently failed cell is failed (the other cells
+// still complete and export).
+const (
+	SweepRunning   SweepState = "running"
+	SweepDone      SweepState = "done"
+	SweepFailed    SweepState = "failed"
+	SweepCancelled SweepState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s SweepState) Terminal() bool { return s != SweepRunning }
+
+// Cell lifecycle states.
+const (
+	CellPending = "pending"
+	CellRunning = "running"
+	CellDone    = "done"
+	CellFailed  = "failed"
+)
+
+// Fleet sizing defaults.
+const (
+	DefaultSweepParallelism = 8
+	DefaultMaxSweeps        = 64
+)
+
+// FleetConfig sizes the fleet scheduler.
+type FleetConfig struct {
+	// Registry configures node tracking and health probing.
+	Registry RegistryConfig
+	// Dispatcher configures placement and retry.
+	Dispatcher DispatcherConfig
+	// SweepParallelism bounds concurrently dispatched cells per sweep
+	// (<= 0 selects DefaultSweepParallelism). Per-node in-flight bounds
+	// still apply underneath.
+	SweepParallelism int
+	// MaxSweeps caps retained finished sweeps; the oldest finished sweep
+	// is evicted beyond the cap (<= 0 selects DefaultMaxSweeps).
+	MaxSweeps int
+	// Telemetry is the fleet-level sink, shared with the registry and
+	// dispatcher when theirs are nil. Nil disables fleet metrics.
+	Telemetry *telemetry.Telemetry
+}
+
+// Fleet errors.
+var (
+	// ErrSweepNotFound reports an unknown sweep ID — mapped to 404.
+	ErrSweepNotFound = errors.New("cluster: sweep not found")
+	// ErrFleetClosed rejects submissions after Shutdown began — mapped
+	// to 503.
+	ErrFleetClosed = errors.New("cluster: fleet shutting down")
+)
+
+// cellRun is one cell's mutable dispatch state, guarded by the fleet's
+// mutex.
+type cellRun struct {
+	cell     sim.Cell
+	state    string
+	node     string
+	attempts int
+	errMsg   string
+	summary  *CellSummary
+	started  time.Time
+	finished time.Time
+}
+
+// sweep is the registry entry for one submitted sweep.
+type sweep struct {
+	id        string
+	name      string
+	spec      sim.SweepSpec
+	cells     []*cellRun
+	state     SweepState
+	submitted time.Time
+	finished  time.Time
+	ctx       context.Context
+	cancel    context.CancelFunc
+	done      chan struct{}
+}
+
+// Fleet owns the node registry, the dispatcher, and the sweep registry,
+// and drives sweeps to completion. All methods are safe for concurrent
+// use.
+type Fleet struct {
+	Reg  *Registry
+	disp *Dispatcher
+	cfg  FleetConfig
+	tel  *telemetry.Telemetry
+
+	mu       sync.Mutex
+	sweeps   map[string]*sweep
+	order    []string
+	finished []string
+	nextID   int
+	closed   bool
+	wg       sync.WaitGroup
+
+	mSweeps, mSweepsDone  *telemetry.Counter
+	mCellsDone            *telemetry.Counter
+	mCellsFailed          *telemetry.Counter
+	mCellsRetried         *telemetry.Counter
+	gSweepsRunning        *telemetry.Gauge
+	gCellsRunningInternal *telemetry.Gauge
+}
+
+// NewFleet builds a fleet scheduler and starts its node prober.
+func NewFleet(cfg FleetConfig) *Fleet {
+	if cfg.SweepParallelism <= 0 {
+		cfg.SweepParallelism = DefaultSweepParallelism
+	}
+	if cfg.MaxSweeps <= 0 {
+		cfg.MaxSweeps = DefaultMaxSweeps
+	}
+	if cfg.Registry.Telemetry == nil {
+		cfg.Registry.Telemetry = cfg.Telemetry
+	}
+	if cfg.Dispatcher.Telemetry == nil {
+		cfg.Dispatcher.Telemetry = cfg.Telemetry
+	}
+	reg := NewRegistry(cfg.Registry)
+	f := &Fleet{
+		Reg:    reg,
+		disp:   NewDispatcher(reg, cfg.Dispatcher),
+		cfg:    cfg,
+		tel:    cfg.Telemetry,
+		sweeps: make(map[string]*sweep),
+	}
+	m := f.tel.Metrics()
+	f.mSweeps = m.Counter("fleet_sweeps_submitted_total")
+	f.mSweepsDone = m.Counter("fleet_sweeps_done_total")
+	f.mCellsDone = m.Counter("fleet_cells_done_total")
+	f.mCellsFailed = m.Counter("fleet_cells_failed_total")
+	f.mCellsRetried = m.Counter("fleet_cells_retried_total")
+	f.gSweepsRunning = m.Gauge("fleet_sweeps_running")
+	f.gCellsRunningInternal = m.Gauge("fleet_cells_running")
+	return f
+}
+
+// Submit compiles the sweep and starts dispatching its cells across the
+// fleet, returning the running sweep's status.
+func (f *Fleet) Submit(spec sim.SweepSpec) (SweepStatus, error) {
+	cells, err := spec.Cells()
+	if err != nil {
+		return SweepStatus{}, err
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return SweepStatus{}, ErrFleetClosed
+	}
+	f.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
+	sw := &sweep{
+		id:        fmt.Sprintf("s%06d", f.nextID),
+		name:      spec.Name,
+		spec:      spec,
+		state:     SweepRunning,
+		submitted: time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+	}
+	if sw.name == "" {
+		sw.name = sw.id
+	}
+	for _, c := range cells {
+		sw.cells = append(sw.cells, &cellRun{cell: c, state: CellPending})
+	}
+	f.sweeps[sw.id] = sw
+	f.order = append(f.order, sw.id)
+	f.mSweeps.Inc()
+	f.gSweepsRunning.Set(f.gSweepsRunning.Value() + 1)
+	st := f.statusLocked(sw)
+	f.mu.Unlock()
+
+	f.tel.Tracer().EmitMsg(f.Reg.now(), "fleet.sweep.start", telemetry.WLNone, sw.id,
+		telemetry.I("cells", len(cells)))
+	f.wg.Add(1)
+	go f.runSweep(sw)
+	return st, nil
+}
+
+// runSweep drives every cell through the dispatcher with bounded
+// parallelism, then settles the sweep's terminal state.
+func (f *Fleet) runSweep(sw *sweep) {
+	defer f.wg.Done()
+	jobs := make(chan *cellRun)
+	var workers sync.WaitGroup
+	n := f.cfg.SweepParallelism
+	if n > len(sw.cells) {
+		n = len(sw.cells)
+	}
+	for i := 0; i < n; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for cr := range jobs {
+				f.runCell(sw, cr)
+			}
+		}()
+	}
+	for _, cr := range sw.cells {
+		jobs <- cr
+	}
+	close(jobs)
+	workers.Wait()
+
+	f.mu.Lock()
+	state := SweepDone
+	if sw.ctx.Err() != nil {
+		state = SweepCancelled
+	} else {
+		for _, cr := range sw.cells {
+			if cr.state != CellDone {
+				state = SweepFailed
+				break
+			}
+		}
+	}
+	sw.state = state
+	sw.finished = time.Now()
+	sw.cancel()
+	close(sw.done)
+	f.mSweepsDone.Inc()
+	f.gSweepsRunning.Set(f.gSweepsRunning.Value() - 1)
+	f.finished = append(f.finished, sw.id)
+	for len(f.finished) > f.cfg.MaxSweeps {
+		evict := f.finished[0]
+		f.finished = f.finished[1:]
+		delete(f.sweeps, evict)
+		for i, id := range f.order {
+			if id == evict {
+				f.order = append(f.order[:i], f.order[i+1:]...)
+				break
+			}
+		}
+	}
+	f.mu.Unlock()
+	f.tel.Tracer().EmitMsg(f.Reg.now(), "fleet.sweep.end", telemetry.WLNone, sw.id)
+}
+
+// runCell dispatches one cell and records its outcome.
+func (f *Fleet) runCell(sw *sweep, cr *cellRun) {
+	f.mu.Lock()
+	if sw.ctx.Err() != nil {
+		cr.state = CellFailed
+		cr.errMsg = "sweep cancelled"
+		f.mu.Unlock()
+		return
+	}
+	cr.state = CellRunning
+	cr.started = time.Now()
+	f.gCellsRunningInternal.Set(f.gCellsRunningInternal.Value() + 1)
+	f.mu.Unlock()
+
+	res, err := f.disp.Do(sw.ctx, cr.cell.Spec)
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cr.finished = time.Now()
+	cr.node = res.Node
+	cr.attempts = res.NodeAttempts
+	f.gCellsRunningInternal.Set(f.gCellsRunningInternal.Value() - 1)
+	if res.NodeAttempts > 1 {
+		f.mCellsRetried.Inc()
+	}
+	wall := cr.finished.Sub(cr.started).Seconds()
+	if err != nil {
+		cr.state = CellFailed
+		cr.errMsg = err.Error()
+		f.mCellsFailed.Inc()
+		s := newCellSummary(sw.name, cr.cell, CellFailed, res.Node, cr.errMsg,
+			res.NodeAttempts, wall, nil)
+		cr.summary = &s
+		return
+	}
+	cr.state = CellDone
+	f.mCellsDone.Inc()
+	s := newCellSummary(sw.name, cr.cell, CellDone, res.Node, "",
+		res.NodeAttempts, wall, &res.Status)
+	cr.summary = &s
+}
+
+// Get returns one sweep's status.
+func (f *Fleet) Get(id string) (SweepStatus, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	sw, ok := f.sweeps[id]
+	if !ok {
+		return SweepStatus{}, fmt.Errorf("%w: %s", ErrSweepNotFound, id)
+	}
+	return f.statusLocked(sw), nil
+}
+
+// List returns every retained sweep in submission order.
+func (f *Fleet) List() []SweepStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]SweepStatus, 0, len(f.order))
+	for _, id := range f.order {
+		if sw, ok := f.sweeps[id]; ok {
+			out = append(out, f.statusLocked(sw))
+		}
+	}
+	return out
+}
+
+// Cancel stops a running sweep: in-flight cells are abandoned (their
+// remote runs keep going on the nodes — the at-least-once caveat cuts
+// both ways) and pending cells never dispatch.
+func (f *Fleet) Cancel(id string) (SweepStatus, error) {
+	f.mu.Lock()
+	sw, ok := f.sweeps[id]
+	if !ok {
+		f.mu.Unlock()
+		return SweepStatus{}, fmt.Errorf("%w: %s", ErrSweepNotFound, id)
+	}
+	sw.cancel()
+	st := f.statusLocked(sw)
+	f.mu.Unlock()
+	return st, nil
+}
+
+// Results returns the per-cell summaries of every settled cell, in cell
+// order. Available while the sweep is still running — finished cells
+// stream in as they settle.
+func (f *Fleet) Results(id string) ([]CellSummary, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	sw, ok := f.sweeps[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrSweepNotFound, id)
+	}
+	out := make([]CellSummary, 0, len(sw.cells))
+	for _, cr := range sw.cells {
+		if cr.summary != nil {
+			out = append(out, *cr.summary)
+		}
+	}
+	return out, nil
+}
+
+// Wait blocks until the sweep reaches a terminal state or ctx is done.
+func (f *Fleet) Wait(ctx context.Context, id string) (SweepStatus, error) {
+	f.mu.Lock()
+	sw, ok := f.sweeps[id]
+	f.mu.Unlock()
+	if !ok {
+		return SweepStatus{}, fmt.Errorf("%w: %s", ErrSweepNotFound, id)
+	}
+	select {
+	case <-sw.done:
+		return f.Get(id)
+	case <-ctx.Done():
+		return SweepStatus{}, ctx.Err()
+	}
+}
+
+// Shutdown stops the fleet: no new sweeps are accepted and running
+// sweeps are allowed to finish. If ctx expires first, outstanding
+// sweeps are cancelled (and still waited for — cancellation propagates
+// to the dispatcher promptly). The node prober is stopped either way.
+func (f *Fleet) Shutdown(ctx context.Context) error {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		f.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		f.mu.Lock()
+		for _, sw := range f.sweeps {
+			if !sw.state.Terminal() {
+				sw.cancel()
+			}
+		}
+		f.mu.Unlock()
+		<-drained
+		err = ctx.Err()
+	}
+	f.Reg.Close()
+	return err
+}
+
+// SweepStatus is the JSON view of one sweep's lifecycle.
+type SweepStatus struct {
+	ID    string     `json:"id"`
+	Name  string     `json:"name"`
+	State SweepState `json:"state"`
+	// Cells counts: total and by state.
+	Cells   int `json:"cells"`
+	Pending int `json:"pending"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+	// Retried counts cells that needed more than one node.
+	Retried     int          `json:"retried"`
+	SubmittedAt time.Time    `json:"submitted_at"`
+	FinishedAt  *time.Time   `json:"finished_at,omitempty"`
+	CellStates  []CellStatus `json:"cell_states,omitempty"`
+}
+
+// CellStatus is one cell's row in a SweepStatus.
+type CellStatus struct {
+	Index    int    `json:"index"`
+	Label    string `json:"label"`
+	State    string `json:"state"`
+	Node     string `json:"node,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// statusLocked snapshots a sweep under the fleet's lock.
+func (f *Fleet) statusLocked(sw *sweep) SweepStatus {
+	st := SweepStatus{
+		ID:          sw.id,
+		Name:        sw.name,
+		State:       sw.state,
+		Cells:       len(sw.cells),
+		SubmittedAt: sw.submitted,
+	}
+	if !sw.finished.IsZero() {
+		t := sw.finished
+		st.FinishedAt = &t
+	}
+	for _, cr := range sw.cells {
+		switch cr.state {
+		case CellPending:
+			st.Pending++
+		case CellRunning:
+			st.Running++
+		case CellDone:
+			st.Done++
+		case CellFailed:
+			st.Failed++
+		}
+		if cr.attempts > 1 {
+			st.Retried++
+		}
+		st.CellStates = append(st.CellStates, CellStatus{
+			Index:    cr.cell.Index,
+			Label:    cr.cell.Label,
+			State:    cr.state,
+			Node:     cr.node,
+			Attempts: cr.attempts,
+			Error:    cr.errMsg,
+		})
+	}
+	return st
+}

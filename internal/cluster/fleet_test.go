@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/backoff"
+	"github.com/tieredmem/mtat/internal/server"
+	"github.com/tieredmem/mtat/internal/sim"
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+// testNode is one in-process mtatd: a real run manager behind a real
+// HTTP handler.
+type testNode struct {
+	mgr *server.Manager
+	srv *httptest.Server
+}
+
+func newTestNode(t *testing.T, workers int) *testNode {
+	t.Helper()
+	tel := telemetry.New()
+	mgr := server.NewManager(server.Config{Workers: workers, QueueCap: 32, Telemetry: tel})
+	srv := httptest.NewServer(server.NewHandler(mgr, tel))
+	n := &testNode{mgr: mgr, srv: srv}
+	t.Cleanup(func() { n.kill(t) })
+	return n
+}
+
+// kill simulates SIGKILL: the HTTP surface vanishes and every run dies.
+// Idempotent.
+func (n *testNode) kill(t *testing.T) {
+	t.Helper()
+	if n.srv != nil {
+		n.srv.CloseClientConnections()
+		n.srv.Close()
+		n.srv = nil
+	}
+	if n.mgr != nil {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // expired: cancel outstanding runs, wait for workers
+		_ = n.mgr.Shutdown(ctx)
+		n.mgr = nil
+	}
+}
+
+// fastRetry keeps test retry loops snappy.
+var fastRetry = backoff.Policy{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond}
+
+func newTestFleet(t *testing.T, tel *telemetry.Telemetry, nodes ...*testNode) *Fleet {
+	t.Helper()
+	f := NewFleet(FleetConfig{
+		Registry: RegistryConfig{
+			ProbeInterval: 25 * time.Millisecond,
+			ProbeTimeout:  500 * time.Millisecond,
+			MarkdownAfter: 2,
+		},
+		Dispatcher: DispatcherConfig{
+			Retry:   fastRetry,
+			PollMax: 25 * time.Millisecond,
+		},
+		SweepParallelism: 4,
+		Telemetry:        tel,
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		_ = f.Shutdown(ctx)
+	})
+	for _, n := range nodes {
+		if _, err := f.Reg.Add(n.srv.URL, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// sweep12 is a 12-cell sweep (2 policies × 2 SLO scales × 3 seeds) of
+// scaled-down scenarios. tick 0.02 keeps each run around a few hundred
+// milliseconds so a mid-sweep kill lands while work is in flight.
+func sweep12() sim.SweepSpec {
+	return sim.SweepSpec{
+		Name: "kill-test",
+		Base: sim.RunSpec{
+			LC:              "redis",
+			BEs:             []string{"sssp"},
+			Load:            &sim.LoadSpec{Kind: "constant", Frac: 0.5, DurationSeconds: 10},
+			Scale:           16,
+			DurationSeconds: 10,
+			TickSeconds:     0.02,
+		},
+		Policies:  []string{"memtis", "tpp"},
+		SLOScales: []float64{1, 2},
+		Seeds:     []int64{1, 2, 3},
+	}
+}
+
+// TestFleetSweepCompletes runs a 12-cell sweep across two healthy nodes
+// and checks the aggregated results and telemetry.
+func TestFleetSweepCompletes(t *testing.T) {
+	tel := telemetry.New()
+	n1 := newTestNode(t, 2)
+	n2 := newTestNode(t, 2)
+	f := newTestFleet(t, tel, n1, n2)
+
+	st, err := f.Submit(sweep12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 12 || st.State != SweepRunning {
+		t.Fatalf("submit status = %+v", st)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	final, err := f.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != SweepDone || final.Done != 12 || final.Failed != 0 {
+		t.Fatalf("final = %+v", final)
+	}
+
+	sums, err := f.Results(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 12 {
+		t.Fatalf("got %d summaries, want 12", len(sums))
+	}
+	nodesUsed := map[string]int{}
+	for _, s := range sums {
+		if s.State != CellDone || s.Ticks != 500 || s.Node == "" {
+			t.Errorf("bad summary: %+v", s)
+		}
+		nodesUsed[s.Node]++
+	}
+	// Least-loaded placement over two idle equal nodes must use both.
+	if len(nodesUsed) != 2 {
+		t.Errorf("work not spread across nodes: %v", nodesUsed)
+	}
+	m := tel.Metrics().Snapshot()
+	if m.Counters["fleet_dispatched_total"] < 12 {
+		t.Errorf("fleet_dispatched_total = %d, want >= 12", m.Counters["fleet_dispatched_total"])
+	}
+	if h := m.Histograms["fleet_dispatch_latency_s"]; h.Count < 12 {
+		t.Errorf("dispatch latency histogram count = %d, want >= 12", h.Count)
+	}
+}
+
+// TestFleetSurvivesNodeKillMidSweep is the headline guarantee: a node
+// dies with accepted runs in flight and the sweep still completes, the
+// lost cells re-dispatched to the surviving node, with the failover
+// visible in telemetry.
+func TestFleetSurvivesNodeKillMidSweep(t *testing.T) {
+	tel := telemetry.New()
+	n1 := newTestNode(t, 2)
+	n2 := newTestNode(t, 2)
+	f := newTestFleet(t, tel, n1, n2)
+
+	st, err := f.Submit(sweep12())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill node 1 as soon as it has accepted work and is running it.
+	victim := n1
+	deadline := time.Now().Add(60 * time.Second)
+	for victim.mgr.Stats().ActiveRuns == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("victim node never started a run")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	victim.kill(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	final, err := f.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != SweepDone || final.Done != 12 || final.Failed != 0 {
+		t.Fatalf("final after node kill = %+v", final)
+	}
+	if final.Retried == 0 {
+		t.Error("no cell recorded a retry despite the mid-sweep kill")
+	}
+
+	sums, err := f.Results(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failovers := 0
+	for _, s := range sums {
+		if s.State != CellDone {
+			t.Errorf("cell %s = %s (%s)", s.Label, s.State, s.Error)
+		}
+		if s.Attempts > 1 {
+			failovers++
+		}
+	}
+	if failovers == 0 {
+		t.Error("no summary shows a multi-node attempt")
+	}
+
+	// Telemetry: the retry, the markdown, and the per-node failure all
+	// observable.
+	m := tel.Metrics().Snapshot()
+	if m.Counters["fleet_dispatch_retries_total"] == 0 {
+		t.Error("fleet_dispatch_retries_total = 0")
+	}
+	if m.Counters["fleet_node_markdowns_total"] == 0 {
+		t.Error("fleet_node_markdowns_total = 0")
+	}
+	if m.Counters["fleet_cells_retried_total"] == 0 {
+		t.Error("fleet_cells_retried_total = 0")
+	}
+	events := tel.Tracer().Events()
+	var sawFailover, sawMarkdown bool
+	for i := range events {
+		switch events[i].Type {
+		case "fleet.dispatch.failover":
+			sawFailover = true
+		case "fleet.node.markdown":
+			sawMarkdown = true
+		}
+	}
+	if !sawFailover || !sawMarkdown {
+		t.Errorf("trace missing failover/markdown events (failover=%v markdown=%v)",
+			sawFailover, sawMarkdown)
+	}
+}
+
+// TestFleetSweepFailsWithoutNodes asserts a sweep against an empty node
+// pool settles as failed with ErrNoNodes on every cell.
+func TestFleetSweepFailsWithoutNodes(t *testing.T) {
+	f := newTestFleet(t, nil)
+	spec := sim.SweepSpec{
+		Base:  sim.RunSpec{LC: "redis", BEs: []string{"sssp"}, Scale: 16},
+		Seeds: []int64{1, 2},
+	}
+	st, err := f.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	final, err := f.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != SweepFailed || final.Failed != 2 {
+		t.Fatalf("final = %+v", final)
+	}
+	sums, _ := f.Results(st.ID)
+	for _, s := range sums {
+		if !strings.Contains(s.Error, "no viable node") {
+			t.Errorf("cell error = %q", s.Error)
+		}
+	}
+}
+
+// TestFleetCancelSweep cancels mid-flight and asserts the sweep settles
+// cancelled without waiting for every cell.
+func TestFleetCancelSweep(t *testing.T) {
+	n1 := newTestNode(t, 1)
+	f := newTestFleet(t, nil, n1)
+
+	spec := sweep12()
+	spec.Base.TickSeconds = 0.005 // slow the runs down
+	st, err := f.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	final, err := f.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != SweepCancelled {
+		t.Fatalf("final = %+v", final)
+	}
+	if _, err := f.Cancel("s999999"); err == nil {
+		t.Error("cancel of unknown sweep succeeded")
+	}
+}

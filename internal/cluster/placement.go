@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Candidate is one eligible node's load view at placement time: the
+// dispatcher's own in-flight count plus the queue depth and active runs
+// reported by the node's last /api/v1/status probe, scaled by the
+// node's capacity weight.
+type Candidate struct {
+	Name string
+	// Weight is the node's capacity weight (1 = baseline; 2 = counts
+	// half as loaded at the same occupancy). <= 0 is treated as 1.
+	Weight float64
+	// Inflight is the dispatcher's outstanding runs on this node.
+	Inflight int
+	// QueueDepth and ActiveRuns come from the node's last status probe.
+	QueueDepth int
+	ActiveRuns int
+	// Workers is the node's worker pool size (0 if never probed).
+	Workers int
+}
+
+// load is the candidate's weighted occupancy score — lower is better.
+func (c Candidate) load() float64 {
+	w := c.Weight
+	if w <= 0 {
+		w = 1
+	}
+	return float64(c.Inflight+c.QueueDepth+c.ActiveRuns) / w
+}
+
+// Strategy picks the node for the next run from the eligible
+// candidates. Pick returns an index into cands, or -1 to decline (the
+// dispatcher then backs off and retries). Implementations must be safe
+// for concurrent use; the dispatcher calls Pick under the registry
+// lock, so Pick must not call back into the registry.
+type Strategy interface {
+	Pick(cands []Candidate) int
+}
+
+// LeastLoaded places each run on the node with the lowest weighted
+// occupancy (in-flight + queued + running, divided by the capacity
+// weight), breaking ties by name for determinism. This is the default.
+type LeastLoaded struct{}
+
+// Pick implements Strategy.
+func (LeastLoaded) Pick(cands []Candidate) int {
+	best := -1
+	for i, c := range cands {
+		if best < 0 {
+			best = i
+			continue
+		}
+		bl, cl := cands[best].load(), c.load()
+		if cl < bl || (cl == bl && c.Name < cands[best].Name) {
+			best = i
+		}
+	}
+	return best
+}
+
+// RoundRobin rotates over the eligible candidates regardless of load —
+// useful when nodes are homogeneous and probe data is stale or absent.
+type RoundRobin struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// Pick implements Strategy.
+func (r *RoundRobin) Pick(cands []Candidate) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := int(r.n % uint64(len(cands)))
+	r.n++
+	return i
+}
+
+// StrategyNames returns the names accepted by StrategyByName.
+func StrategyNames() []string { return []string{"least-loaded", "round-robin"} }
+
+// StrategyByName builds the named placement strategy.
+func StrategyByName(name string) (Strategy, error) {
+	switch name {
+	case "", "least-loaded":
+		return LeastLoaded{}, nil
+	case "round-robin":
+		return &RoundRobin{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown placement strategy %q (valid: %s)",
+			name, strings.Join(StrategyNames(), ", "))
+	}
+}

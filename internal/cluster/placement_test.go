@@ -1,0 +1,64 @@
+package cluster
+
+import "testing"
+
+func TestLeastLoadedPicksLowestWeightedLoad(t *testing.T) {
+	cands := []Candidate{
+		{Name: "n1", Weight: 1, Inflight: 2, QueueDepth: 1, ActiveRuns: 1}, // load 4
+		{Name: "n2", Weight: 1, Inflight: 0, QueueDepth: 1, ActiveRuns: 0}, // load 1
+		{Name: "n3", Weight: 1, Inflight: 1, QueueDepth: 1, ActiveRuns: 1}, // load 3
+	}
+	if i := (LeastLoaded{}).Pick(cands); i != 1 {
+		t.Errorf("Pick = %d (%s), want 1 (n2)", i, cands[i].Name)
+	}
+}
+
+func TestLeastLoadedRespectsWeights(t *testing.T) {
+	// n1 is twice the machine: 4 units of work on it weigh like 2.
+	cands := []Candidate{
+		{Name: "n1", Weight: 2, Inflight: 4}, // weighted 2
+		{Name: "n2", Weight: 1, Inflight: 3}, // weighted 3
+	}
+	if i := (LeastLoaded{}).Pick(cands); i != 0 {
+		t.Errorf("Pick = %d, want 0 (weighted n1)", i)
+	}
+}
+
+func TestLeastLoadedTieBreaksByName(t *testing.T) {
+	cands := []Candidate{
+		{Name: "nb", Weight: 1, Inflight: 1},
+		{Name: "na", Weight: 1, Inflight: 1},
+	}
+	if i := (LeastLoaded{}).Pick(cands); cands[i].Name != "na" {
+		t.Errorf("tie broke to %s, want na", cands[i].Name)
+	}
+	if i := (LeastLoaded{}).Pick(nil); i != -1 {
+		t.Errorf("Pick(nil) = %d, want -1", i)
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	rr := &RoundRobin{}
+	cands := []Candidate{{Name: "a"}, {Name: "b"}, {Name: "c"}}
+	got := []int{rr.Pick(cands), rr.Pick(cands), rr.Pick(cands), rr.Pick(cands)}
+	want := []int{0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotation = %v, want %v", got, want)
+		}
+	}
+	if i := rr.Pick(nil); i != -1 {
+		t.Errorf("Pick(nil) = %d, want -1", i)
+	}
+}
+
+func TestStrategyByName(t *testing.T) {
+	for _, name := range append(StrategyNames(), "") {
+		if _, err := StrategyByName(name); err != nil {
+			t.Errorf("StrategyByName(%q) = %v", name, err)
+		}
+	}
+	if _, err := StrategyByName("random"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}

@@ -1,0 +1,459 @@
+// Package cluster is the fleet scheduler: it shards scenario runs and
+// parameter sweeps across a pool of mtatd nodes. A Registry tracks the
+// nodes and their health (periodic /api/v1/status probes with automatic
+// mark-down and mark-up), a Dispatcher places individual runs on nodes
+// through a pluggable placement Strategy with bounded in-flight per
+// node and retry-across-nodes on failure, and a Fleet compiles
+// SweepSpecs into cells, drives them through the dispatcher, and
+// aggregates per-cell summaries. The HTTP API in api.go exposes the
+// fleet; cmd/mtatfleet serves it and cmd/mtatctl (via client.go)
+// drives it.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/server"
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+// Registry sizing and probing defaults.
+const (
+	DefaultProbeInterval = 2 * time.Second
+	DefaultProbeTimeout  = 1 * time.Second
+	// DefaultMarkdownAfter is the consecutive probe failures before a
+	// node is marked down.
+	DefaultMarkdownAfter = 2
+)
+
+// RegistryConfig sizes the node registry and its prober.
+type RegistryConfig struct {
+	// ProbeInterval paces the health-probe loop (<= 0 selects
+	// DefaultProbeInterval).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one status probe (<= 0 selects
+	// DefaultProbeTimeout).
+	ProbeTimeout time.Duration
+	// MarkdownAfter is the consecutive probe failures that mark a node
+	// down (<= 0 selects DefaultMarkdownAfter). A single successful
+	// probe marks it back up.
+	MarkdownAfter int
+	// InflightPerNode bounds the dispatcher's concurrent runs per node.
+	// 0 derives the bound from the node's probed worker count (min 1).
+	InflightPerNode int
+	// Telemetry is the fleet-level sink for markdown/markup counters,
+	// health gauges, and node events. Nil disables them.
+	Telemetry *telemetry.Telemetry
+}
+
+// NodeInfo is the JSON view of one registered node.
+type NodeInfo struct {
+	Name    string  `json:"name"`
+	Addr    string  `json:"addr"`
+	Weight  float64 `json:"weight"`
+	Healthy bool    `json:"healthy"`
+	// ProbeFailures is the current consecutive-failure streak.
+	ProbeFailures int    `json:"probe_failures,omitempty"`
+	LastError     string `json:"last_error,omitempty"`
+	// Inflight is the dispatcher's outstanding runs on the node.
+	Inflight int `json:"inflight"`
+	// Stats is the node's last successful status probe.
+	Stats server.Stats `json:"stats"`
+	// Dispatched and Failed count the dispatcher's accepted submissions
+	// and dispatch failures on this node.
+	Dispatched int64 `json:"dispatched"`
+	Failed     int64 `json:"failed"`
+}
+
+// node is a registry entry. All mutable fields are guarded by the
+// registry's mutex.
+type node struct {
+	name    string
+	addr    string
+	weight  float64
+	client  *server.Client
+	healthy bool
+	fails   int
+	lastErr string
+	stats   server.Stats
+	// statsOK reports whether stats holds a real probe result.
+	statsOK    bool
+	inflight   int
+	dispatched int64
+	failed     int64
+	// Per-node telemetry counters (nil-safe when telemetry is off).
+	mDispatched *telemetry.Counter
+	mFailed     *telemetry.Counter
+}
+
+func (n *node) info() NodeInfo {
+	return NodeInfo{
+		Name:          n.name,
+		Addr:          n.addr,
+		Weight:        n.weight,
+		Healthy:       n.healthy,
+		ProbeFailures: n.fails,
+		LastError:     n.lastErr,
+		Inflight:      n.inflight,
+		Stats:         n.stats,
+		Dispatched:    n.dispatched,
+		Failed:        n.failed,
+	}
+}
+
+// Registry errors.
+var (
+	// ErrNodeExists rejects adding a node whose address is already
+	// registered.
+	ErrNodeExists = errors.New("cluster: node already registered")
+	// ErrNodeNotFound reports an unknown node name or address.
+	ErrNodeNotFound = errors.New("cluster: node not found")
+	// ErrNoNodes reports a dispatch with no viable node left.
+	ErrNoNodes = errors.New("cluster: no viable node")
+)
+
+// Registry tracks the fleet's mtatd nodes and their health. All methods
+// are safe for concurrent use.
+type Registry struct {
+	cfg   RegistryConfig
+	tel   *telemetry.Telemetry
+	start time.Time
+
+	mu     sync.Mutex
+	nodes  map[string]*node // by name
+	byAddr map[string]string
+	nextID int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	loopDone chan struct{}
+
+	mMarkdowns, mMarkups *telemetry.Counter
+	gHealthy, gTotal     *telemetry.Gauge
+}
+
+// NewRegistry builds a registry and starts its probe loop. Call Close
+// to stop it.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.MarkdownAfter <= 0 {
+		cfg.MarkdownAfter = DefaultMarkdownAfter
+	}
+	r := &Registry{
+		cfg:      cfg,
+		tel:      cfg.Telemetry,
+		start:    time.Now(),
+		nodes:    make(map[string]*node),
+		byAddr:   make(map[string]string),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	reg := r.tel.Metrics()
+	r.mMarkdowns = reg.Counter("fleet_node_markdowns_total")
+	r.mMarkups = reg.Counter("fleet_node_markups_total")
+	r.gHealthy = reg.Gauge("fleet_nodes_healthy")
+	r.gTotal = reg.Gauge("fleet_nodes_total")
+	go r.probeLoop()
+	return r
+}
+
+// now is the registry's event timebase: seconds since construction.
+func (r *Registry) now() float64 { return time.Since(r.start).Seconds() }
+
+// Add registers a mtatd node by address with the given capacity weight
+// (<= 0 selects 1) and probes it once synchronously to seed its load
+// stats. A node that fails the initial probe is still registered — it
+// starts marked down and marks up when it answers a probe.
+func (r *Registry) Add(addr string, weight float64) (NodeInfo, error) {
+	if weight <= 0 {
+		weight = 1
+	}
+	client := server.NewClient(addr)
+	key := client.BaseURL
+	r.mu.Lock()
+	if _, ok := r.byAddr[key]; ok {
+		r.mu.Unlock()
+		return NodeInfo{}, fmt.Errorf("%w: %s", ErrNodeExists, addr)
+	}
+	r.nextID++
+	n := &node{
+		name:    fmt.Sprintf("n%d", r.nextID),
+		addr:    addr,
+		weight:  weight,
+		client:  client,
+		healthy: true,
+	}
+	reg := r.tel.Metrics()
+	n.mDispatched = reg.Counter("fleet_node_" + metricName(n.name) + "_dispatched_total")
+	n.mFailed = reg.Counter("fleet_node_" + metricName(n.name) + "_failed_total")
+	r.nodes[n.name] = n
+	r.byAddr[key] = n.name
+	r.updateHealthGaugesLocked()
+	r.mu.Unlock()
+
+	stats, err := r.probeOne(client)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.applyProbeLocked(n, stats, err)
+	return n.info(), nil
+}
+
+// Remove deregisters a node by name or address. In-flight dispatches to
+// it finish (or fail) on their own; no new work is placed on it.
+func (r *Registry) Remove(nameOrAddr string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.findLocked(nameOrAddr)
+	if n == nil {
+		return fmt.Errorf("%w: %s", ErrNodeNotFound, nameOrAddr)
+	}
+	delete(r.nodes, n.name)
+	delete(r.byAddr, n.client.BaseURL)
+	r.updateHealthGaugesLocked()
+	return nil
+}
+
+func (r *Registry) findLocked(nameOrAddr string) *node {
+	if n, ok := r.nodes[nameOrAddr]; ok {
+		return n
+	}
+	if name, ok := r.byAddr[server.NewClient(nameOrAddr).BaseURL]; ok {
+		return r.nodes[name]
+	}
+	return nil
+}
+
+// Nodes returns every registered node, sorted by name.
+func (r *Registry) Nodes() []NodeInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]NodeInfo, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, n.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MarkDown force-marks a node down — the dispatcher calls this when a
+// run it placed stops answering, so placement stops considering the
+// node before the next probe tick notices.
+func (r *Registry) MarkDown(name, reason string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[name]
+	if !ok {
+		return
+	}
+	n.fails = r.cfg.MarkdownAfter
+	n.lastErr = reason
+	r.setHealthLocked(n, false)
+}
+
+// setHealthLocked flips a node's health, emitting the markdown/markup
+// event and counters on an actual transition.
+func (r *Registry) setHealthLocked(n *node, healthy bool) {
+	if n.healthy == healthy {
+		return
+	}
+	n.healthy = healthy
+	if healthy {
+		r.mMarkups.Inc()
+		r.tel.Tracer().EmitMsg(r.now(), "fleet.node.markup", telemetry.WLNone, n.name)
+	} else {
+		r.mMarkdowns.Inc()
+		r.tel.Tracer().EmitMsg(r.now(), "fleet.node.markdown", telemetry.WLNone, n.name)
+	}
+	r.updateHealthGaugesLocked()
+}
+
+func (r *Registry) updateHealthGaugesLocked() {
+	healthy := 0
+	for _, n := range r.nodes {
+		if n.healthy {
+			healthy++
+		}
+	}
+	r.gHealthy.Set(float64(healthy))
+	r.gTotal.Set(float64(len(r.nodes)))
+}
+
+// Close stops the probe loop.
+func (r *Registry) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.loopDone
+}
+
+func (r *Registry) probeLoop() {
+	defer close(r.loopDone)
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.probeAll()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// probeAll probes every node concurrently (each bounded by
+// ProbeTimeout) and applies the results.
+func (r *Registry) probeAll() {
+	r.mu.Lock()
+	targets := make([]*node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		targets = append(targets, n)
+	}
+	r.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, n := range targets {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			stats, err := r.probeOne(n.client)
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if _, still := r.nodes[n.name]; still {
+				r.applyProbeLocked(n, stats, err)
+			}
+		}(n)
+	}
+	wg.Wait()
+}
+
+func (r *Registry) probeOne(c *server.Client) (server.Stats, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeTimeout)
+	defer cancel()
+	return c.Status(ctx)
+}
+
+func (r *Registry) applyProbeLocked(n *node, stats server.Stats, err error) {
+	if err != nil {
+		n.fails++
+		n.lastErr = err.Error()
+		if n.fails >= r.cfg.MarkdownAfter {
+			r.setHealthLocked(n, false)
+		}
+		return
+	}
+	n.fails = 0
+	n.lastErr = ""
+	n.stats = stats
+	n.statsOK = true
+	r.setHealthLocked(n, true)
+}
+
+// handle is an acquired dispatch slot on a node: the dispatcher holds
+// it for the run's whole remote lifetime, bounding in-flight per node.
+type handle struct {
+	name   string
+	client *server.Client
+	reg    *Registry
+}
+
+func (h *handle) release() {
+	h.reg.mu.Lock()
+	if n, ok := h.reg.nodes[h.name]; ok {
+		n.inflight--
+	}
+	h.reg.mu.Unlock()
+}
+
+// acquire picks a node via the strategy among healthy, non-excluded
+// nodes with a free in-flight slot and reserves a slot on it. The
+// second result is false when no node is eligible right now; the third
+// is false when no registered node could ever become eligible (every
+// node is excluded), distinguishing "back off and retry" from "give
+// up".
+func (r *Registry) acquire(s Strategy, exclude map[string]bool) (*handle, bool, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var cands []Candidate
+	possible := false
+	for _, n := range r.nodes {
+		if exclude[n.name] {
+			continue
+		}
+		possible = true
+		if !n.healthy {
+			continue
+		}
+		cap := r.cfg.InflightPerNode
+		if cap <= 0 {
+			cap = n.stats.Workers
+			if cap < 1 {
+				cap = 1
+			}
+		}
+		if n.inflight >= cap {
+			continue
+		}
+		cands = append(cands, Candidate{
+			Name:       n.name,
+			Weight:     n.weight,
+			Inflight:   n.inflight,
+			QueueDepth: n.stats.QueueDepth,
+			ActiveRuns: n.stats.ActiveRuns,
+			Workers:    n.stats.Workers,
+		})
+	}
+	if len(cands) == 0 {
+		return nil, false, possible
+	}
+	// Stable candidate order: map iteration must not leak into
+	// placement determinism.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Name < cands[j].Name })
+	i := s.Pick(cands)
+	if i < 0 || i >= len(cands) {
+		return nil, false, possible
+	}
+	n := r.nodes[cands[i].Name]
+	n.inflight++
+	return &handle{name: n.name, client: n.client, reg: r}, true, true
+}
+
+// noteDispatched records an accepted submission on the node.
+func (r *Registry) noteDispatched(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.nodes[name]; ok {
+		n.dispatched++
+		n.mDispatched.Inc()
+	}
+}
+
+// noteFailed records a dispatch failure on the node.
+func (r *Registry) noteFailed(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.nodes[name]; ok {
+		n.failed++
+		n.mFailed.Inc()
+	}
+}
+
+// metricName sanitizes a node name for use inside a metric name.
+func metricName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

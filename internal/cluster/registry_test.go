@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/server"
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+// fakeNode is a toggleable /api/v1/status endpoint.
+type fakeNode struct {
+	srv  *httptest.Server
+	fail atomic.Bool
+}
+
+func newFakeNode(t *testing.T, stats server.Stats) *fakeNode {
+	t.Helper()
+	f := &fakeNode{}
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f.fail.Load() {
+			http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(stats)
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestRegistryAddRemoveDuplicate(t *testing.T) {
+	fn := newFakeNode(t, server.Stats{Workers: 4})
+	r := NewRegistry(RegistryConfig{ProbeInterval: 10 * time.Millisecond})
+	defer r.Close()
+
+	info, err := r.Add(fn.srv.URL, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Healthy || info.Weight != 2 || info.Stats.Workers != 4 {
+		t.Fatalf("added node info = %+v", info)
+	}
+	if _, err := r.Add(fn.srv.URL, 1); err == nil {
+		t.Error("duplicate address accepted")
+	}
+	if err := r.Remove(info.Name); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(info.Name); err == nil {
+		t.Error("double remove succeeded")
+	}
+	if n := r.Nodes(); len(n) != 0 {
+		t.Errorf("Nodes after remove = %+v", n)
+	}
+}
+
+func TestRegistryMarkdownMarkup(t *testing.T) {
+	tel := telemetry.New()
+	fn := newFakeNode(t, server.Stats{Workers: 2})
+	r := NewRegistry(RegistryConfig{
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  200 * time.Millisecond,
+		MarkdownAfter: 2,
+		Telemetry:     tel,
+	})
+	defer r.Close()
+	info, err := r.Add(fn.srv.URL, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Healthy {
+		t.Fatalf("fresh node unhealthy: %+v", info)
+	}
+
+	fn.fail.Store(true)
+	waitFor(t, "markdown", func() bool { return !r.Nodes()[0].Healthy })
+	if got := tel.Metrics().Counter("fleet_node_markdowns_total").Value(); got != 1 {
+		t.Errorf("markdowns counter = %d, want 1", got)
+	}
+	if g := tel.Metrics().Gauge("fleet_nodes_healthy").Value(); g != 0 {
+		t.Errorf("healthy gauge = %v, want 0", g)
+	}
+
+	fn.fail.Store(false)
+	waitFor(t, "markup", func() bool { return r.Nodes()[0].Healthy })
+	if got := tel.Metrics().Counter("fleet_node_markups_total").Value(); got != 1 {
+		t.Errorf("markups counter = %d, want 1", got)
+	}
+
+	// A forced markdown (the dispatcher's failover path) takes effect
+	// immediately and emits the event.
+	r.MarkDown(info.Name, "dispatch: connection refused")
+	n := r.Nodes()[0]
+	if n.Healthy || n.LastError == "" {
+		t.Errorf("forced markdown: %+v", n)
+	}
+	found := false
+	for _, ev := range tel.Tracer().Events() {
+		if ev.Type == "fleet.node.markdown" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no fleet.node.markdown event traced")
+	}
+}
+
+func TestRegistryDeadNodeStartsMarkedDown(t *testing.T) {
+	// A node that never answers the initial probe still registers, but
+	// unhealthy after the consecutive-failure threshold; here threshold 1.
+	r := NewRegistry(RegistryConfig{
+		ProbeInterval: 50 * time.Millisecond,
+		ProbeTimeout:  200 * time.Millisecond,
+		MarkdownAfter: 1,
+	})
+	defer r.Close()
+	info, err := r.Add("127.0.0.1:1", 1) // port 1: nothing listens
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Healthy {
+		t.Errorf("dead node healthy after initial probe: %+v", info)
+	}
+}

@@ -34,6 +34,7 @@ type Meta struct {
 //	GET    /api/v1/runs/{id}        one run's status and result summary
 //	GET    /api/v1/runs/{id}/events the run's private trace as JSONL
 //	DELETE /api/v1/runs/{id}        cancel a queued or running run
+//	GET    /api/v1/status           node load signal (queue depth, active runs, store occupancy)
 //	GET    /api/v1/meta             valid workload/policy/load names
 //
 // tel is the daemon-level telemetry sink; its handler is mounted at
@@ -101,6 +102,10 @@ func NewHandler(m *Manager, tel *telemetry.Telemetry) http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 
+	mux.HandleFunc("GET /api/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
+	})
+
 	mux.HandleFunc("GET /api/v1/meta", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, Meta{
 			LCWorkloads: workload.LCNames(),
@@ -130,6 +135,7 @@ func NewHandler(m *Manager, tel *telemetry.Telemetry) http.Handler {
 			"GET    /api/v1/runs/{id}\n"+
 			"GET    /api/v1/runs/{id}/events\n"+
 			"DELETE /api/v1/runs/{id}\n"+
+			"GET    /api/v1/status\n"+
 			"GET    /api/v1/meta\n"+
 			"GET    /metrics\n"+
 			"GET    /trace\n"+

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/tieredmem/mtat/internal/backoff"
 	"github.com/tieredmem/mtat/internal/sim"
 )
 
@@ -118,6 +119,14 @@ func (c *Client) Cancel(ctx context.Context, id string) (RunStatus, error) {
 	return st, err
 }
 
+// Status fetches the node's load signal (queue depth, active runs,
+// result-store occupancy) — what a fleet scheduler weighs for placement.
+func (c *Client) Status(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/api/v1/status", nil, &st)
+	return st, err
+}
+
 // Meta fetches the service vocabulary.
 func (c *Client) Meta(ctx context.Context) (Meta, error) {
 	var meta Meta
@@ -144,18 +153,28 @@ func (c *Client) Events(ctx context.Context, id string, w io.Writer) error {
 	return err
 }
 
-// DefaultPollInterval paces Wait's status polling.
+// DefaultPollInterval caps Wait's status-polling interval.
 const DefaultPollInterval = 500 * time.Millisecond
 
 // Wait polls the run until it reaches a terminal state or ctx is done,
-// returning the final status. poll <= 0 selects DefaultPollInterval.
+// returning the final status. Polling starts fast and backs off
+// exponentially with jitter up to poll, so short runs return promptly
+// while long waits stay cheap and de-synchronized across concurrent
+// waiters (the fleet dispatcher runs many). poll <= 0 selects
+// DefaultPollInterval as the cap.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (RunStatus, error) {
 	if poll <= 0 {
 		poll = DefaultPollInterval
 	}
-	t := time.NewTicker(poll)
-	defer t.Stop()
-	for {
+	base := poll / 8
+	if base < 10*time.Millisecond {
+		base = 10 * time.Millisecond
+	}
+	if base > poll {
+		base = poll
+	}
+	pol := backoff.Policy{Base: base, Max: poll}
+	for attempt := 0; ; attempt++ {
 		st, err := c.Run(ctx, id)
 		if err != nil {
 			return RunStatus{}, err
@@ -163,10 +182,8 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (RunSt
 		if st.State.Terminal() {
 			return st, nil
 		}
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-			return st, ctx.Err()
+		if err := pol.Sleep(ctx, attempt); err != nil {
+			return st, err
 		}
 	}
 }

@@ -119,6 +119,7 @@ type Manager struct {
 	mDone, mFailed        *telemetry.Counter
 	mCancelled            *telemetry.Counter
 	gQueued, gRunning     *telemetry.Gauge
+	gRetained             *telemetry.Gauge
 }
 
 // NewManager builds a manager and starts its worker pool.
@@ -148,6 +149,7 @@ func NewManager(cfg Config) *Manager {
 	m.mCancelled = reg.Counter("server_runs_cancelled_total")
 	m.gQueued = reg.Gauge("server_queue_depth")
 	m.gRunning = reg.Gauge("server_runs_running")
+	m.gRetained = reg.Gauge("server_results_retained")
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
@@ -157,6 +159,33 @@ func NewManager(cfg Config) *Manager {
 
 // Workers returns the worker pool size.
 func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// Stats snapshots the manager's load signal — the numbers a fleet
+// scheduler weighs when placing work on this node. Served at
+// GET /api/v1/status and mirrored by the server_queue_depth,
+// server_runs_running, and server_results_retained gauges.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		Workers:         m.cfg.Workers,
+		QueueDepth:      len(m.queue),
+		QueueCap:        m.cfg.QueueCap,
+		RetainedResults: len(m.finished),
+		MaxRuns:         m.cfg.MaxRuns,
+		TotalRuns:       len(m.runs),
+		Draining:        m.closed,
+	}
+	for _, r := range m.runs {
+		switch r.state {
+		case StateQueued:
+			s.QueuedRuns++
+		case StateRunning:
+			s.ActiveRuns++
+		}
+	}
+	return s
+}
 
 // Submit validates the spec and enqueues it, returning the queued run's
 // status. It fails fast with ErrQueueFull when the queue is at capacity
@@ -384,6 +413,7 @@ func (m *Manager) finishLocked(r *run, st State, msg string, res *sim.Result) {
 			}
 		}
 	}
+	m.gRetained.Set(float64(len(m.finished)))
 }
 
 // execute materializes and runs one spec: scenario build, policy

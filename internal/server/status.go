@@ -35,6 +35,22 @@ type RunResult struct {
 	Ticks           int         `json:"ticks"`
 }
 
+// Stats is the node's load signal, served at GET /api/v1/status: how
+// much work is queued and running, and how full the result store is. A
+// fleet scheduler reads it to place new runs; the same numbers are
+// exported as telemetry gauges.
+type Stats struct {
+	Workers         int  `json:"workers"`
+	QueueDepth      int  `json:"queue_depth"`
+	QueueCap        int  `json:"queue_cap"`
+	QueuedRuns      int  `json:"queued_runs"`
+	ActiveRuns      int  `json:"active_runs"`
+	RetainedResults int  `json:"retained_results"`
+	MaxRuns         int  `json:"max_runs"`
+	TotalRuns       int  `json:"total_runs"`
+	Draining        bool `json:"draining"`
+}
+
 // BEOutcome is one best-effort workload's aggregate in a RunResult.
 type BEOutcome struct {
 	Name         string  `json:"name"`

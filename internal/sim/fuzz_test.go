@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseRunSpec hammers the strict run-spec codec: arbitrary bytes
+// must never panic, and any spec that parses must survive a
+// marshal→reparse round trip unchanged (the codec is the wire contract
+// between mtatctl, mtatd, and the fleet scheduler).
+func FuzzParseRunSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"lc":"redis","bes":["sssp"],"policy":"memtis","scale":16,"seed":1}`))
+	f.Add([]byte(`{"load":{"kind":"constant","frac":0.5,"duration_s":10},"slo_scale":0.5}`))
+	f.Add([]byte(`{"polcy":"memtis"}`))
+	f.Add([]byte(`{"episodes":-1}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseRunSpec(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal parsed spec: %v", err)
+		}
+		again, err := ParseRunSpec(out)
+		if err != nil {
+			t.Fatalf("reparse own output %s: %v", out, err)
+		}
+		// Compare canonical encodings: an empty-but-non-nil slice and nil
+		// both encode (and mean) the same thing on the wire.
+		out2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatalf("marshal reparsed spec: %v", err)
+		}
+		if !reflect.DeepEqual(out, out2) {
+			t.Fatalf("round trip drifted:\n  first  %s\n  second %s", out, out2)
+		}
+		// Validation must classify, never panic, whatever parsed.
+		_ = spec.Validate()
+	})
+}
+
+// FuzzParseSweepSpec does the same for the sweep codec, additionally
+// driving the compiler: expansion must never panic and must agree with
+// NumCells whenever it succeeds.
+func FuzzParseSweepSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"base":{"lc":"redis"},"policies":["memtis","tpp"],"seeds":[1,2,3]}`))
+	f.Add([]byte(`{"be_mixes":[["sssp"],["pr","bfs"]],"slo_scales":[0.5,1]}`))
+	f.Add([]byte(`{"loads":[{"kind":"constant","frac":0.5}],"name":"x"}`))
+	f.Add([]byte(`{"polices":["memtis"]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSweepSpec(data)
+		if err != nil {
+			return
+		}
+		cells, err := spec.Cells()
+		if err != nil {
+			return
+		}
+		if len(cells) != spec.NumCells() {
+			t.Fatalf("Cells() = %d cells, NumCells() = %d", len(cells), spec.NumCells())
+		}
+		for i, c := range cells {
+			if c.Index != i {
+				t.Fatalf("cell %d has index %d", i, c.Index)
+			}
+		}
+	})
+}

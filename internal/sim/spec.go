@@ -52,6 +52,10 @@ type RunSpec struct {
 	// Episodes is the in-process training budget for MTAT policies
 	// (0 lets the executor choose its default).
 	Episodes int `json:"episodes,omitempty"`
+	// SLOScale multiplies the LC workload's P99 objective (0 or 1 keeps
+	// the profile's SLO; 0.5 halves it, 2 doubles it) — the SLO axis of
+	// a parameter sweep.
+	SLOScale float64 `json:"slo_scale,omitempty"`
 }
 
 // LoadSpec is the JSON-serializable form of a load pattern. Kind selects
@@ -185,6 +189,9 @@ func (s RunSpec) Validate() error {
 	if s.Episodes < 0 {
 		return fmt.Errorf("sim: episodes must be >= 0, got %d", s.Episodes)
 	}
+	if s.SLOScale < 0 {
+		return fmt.Errorf("sim: slo_scale must be >= 0, got %g", s.SLOScale)
+	}
 	return nil
 }
 
@@ -228,6 +235,9 @@ func (s RunSpec) Scenario() (Scenario, error) {
 	}
 	if s.WarmupSeconds > 0 {
 		scn.WarmupSeconds = s.WarmupSeconds
+	}
+	if s.SLOScale > 0 && scn.HasLC {
+		scn.LC.SLOSeconds *= s.SLOScale
 	}
 	return scn, nil
 }

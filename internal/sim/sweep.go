@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SweepSpec describes a parameter sweep: a base RunSpec plus up to six
+// axes (policy, LC workload, BE mix, load pattern, SLO scale, seed)
+// whose cartesian product the compiler expands into one RunSpec per
+// cell. An empty axis keeps the base spec's value, contributing a
+// single point. This is the wire format accepted by the mtatfleet
+// control plane (POST /api/v1/sweeps) and written by mtatctl sweep.
+type SweepSpec struct {
+	// Name labels the sweep in listings and exports.
+	Name string `json:"name,omitempty"`
+	// Base is the template every cell starts from; axis values override
+	// the corresponding field.
+	Base RunSpec `json:"base,omitempty"`
+	// Policies is the policy axis (see PolicyNames).
+	Policies []string `json:"policies,omitempty"`
+	// LCs is the latency-critical workload axis (see workload.LCNames).
+	LCs []string `json:"lcs,omitempty"`
+	// BEMixes is the best-effort co-location axis; each element is one
+	// mix (a set of BE workload names).
+	BEMixes [][]string `json:"be_mixes,omitempty"`
+	// Loads is the LC load-pattern axis.
+	Loads []LoadSpec `json:"loads,omitempty"`
+	// SLOScales is the SLO-tightness axis (multiplies the LC profile's
+	// P99 objective; see RunSpec.SLOScale).
+	SLOScales []float64 `json:"slo_scales,omitempty"`
+	// Seeds is the replication axis.
+	Seeds []int64 `json:"seeds,omitempty"`
+}
+
+// MaxSweepCells bounds a single sweep's expansion — a typo'd axis must
+// fail loudly instead of fanning a million runs across the fleet.
+const MaxSweepCells = 4096
+
+// Cell is one point of an expanded sweep: the concrete RunSpec plus a
+// human-readable label naming the swept axis values that produced it.
+type Cell struct {
+	// Index is the cell's position in expansion order (row-major over
+	// the axes, seeds innermost).
+	Index int `json:"index"`
+	// Label names the swept coordinates, e.g.
+	// "policy=memtis,lc=redis,seed=3". Unswept axes are omitted.
+	Label string `json:"label"`
+	// Spec is the runnable spec for this cell.
+	Spec RunSpec `json:"spec"`
+}
+
+// ParseSweepSpec decodes a JSON sweep spec strictly: unknown fields are
+// rejected so that typos ("polices") fail loudly instead of silently
+// sweeping nothing.
+func ParseSweepSpec(data []byte) (SweepSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s SweepSpec
+	if err := dec.Decode(&s); err != nil {
+		return SweepSpec{}, fmt.Errorf("sim: parse sweep spec: %w", err)
+	}
+	return s, nil
+}
+
+// NumCells returns the sweep's expansion size without expanding it.
+func (s SweepSpec) NumCells() int {
+	n := 1
+	for _, axis := range []int{
+		len(s.Policies), len(s.LCs), len(s.BEMixes),
+		len(s.Loads), len(s.SLOScales), len(s.Seeds),
+	} {
+		if axis > 0 {
+			n *= axis
+		}
+	}
+	return n
+}
+
+// Validate expands and checks the sweep without returning the cells —
+// the cheap pre-flight used by API handlers.
+func (s SweepSpec) Validate() error {
+	_, err := s.Cells()
+	return err
+}
+
+// Cells compiles the sweep into its cartesian expansion, validating
+// every resulting RunSpec. Axis order (outer to inner): policy, LC,
+// BE mix, load, SLO scale, seed — so all seeds of one configuration are
+// adjacent in the output.
+func (s SweepSpec) Cells() ([]Cell, error) {
+	if n := s.NumCells(); n > MaxSweepCells {
+		return nil, fmt.Errorf("sim: sweep expands to %d cells (max %d)", n, MaxSweepCells)
+	}
+	cells := []Cell{{Spec: s.Base}}
+	// Each axis multiplies the partial expansion, stamping its field and
+	// its label fragment onto every copy.
+	cells = sweepAxis(cells, s.Policies, func(c *Cell, v string) {
+		c.Spec.Policy = v
+		labelAdd(c, "policy", v)
+	})
+	cells = sweepAxis(cells, s.LCs, func(c *Cell, v string) {
+		c.Spec.LC = v
+		labelAdd(c, "lc", v)
+	})
+	cells = sweepAxis(cells, s.BEMixes, func(c *Cell, v []string) {
+		// Copy: cells sharing one mix must not alias a mutable slice.
+		c.Spec.BEs = append([]string(nil), v...)
+		labelAdd(c, "bes", strings.Join(v, "+"))
+	})
+	cells = sweepAxis(cells, s.Loads, func(c *Cell, v LoadSpec) {
+		ld := v
+		c.Spec.Load = &ld
+		labelAdd(c, "load", v.Kind)
+	})
+	cells = sweepAxis(cells, s.SLOScales, func(c *Cell, v float64) {
+		c.Spec.SLOScale = v
+		labelAdd(c, "slo", strconv.FormatFloat(v, 'g', -1, 64))
+	})
+	cells = sweepAxis(cells, s.Seeds, func(c *Cell, v int64) {
+		c.Spec.Seed = v
+		labelAdd(c, "seed", strconv.FormatInt(v, 10))
+	})
+	for i := range cells {
+		cells[i].Index = i
+		if cells[i].Label == "" {
+			cells[i].Label = "cell" + strconv.Itoa(i)
+		}
+		if err := cells[i].Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: sweep cell %d (%s): %w", i, cells[i].Label, err)
+		}
+	}
+	return cells, nil
+}
+
+// sweepAxis multiplies the partial expansion by one axis. An empty axis
+// leaves the expansion unchanged (the base value stands).
+func sweepAxis[V any](cells []Cell, axis []V, apply func(*Cell, V)) []Cell {
+	if len(axis) == 0 {
+		return cells
+	}
+	out := make([]Cell, 0, len(cells)*len(axis))
+	for _, c := range cells {
+		for _, v := range axis {
+			next := c
+			apply(&next, v)
+			out = append(out, next)
+		}
+	}
+	return out
+}
+
+func labelAdd(c *Cell, key, val string) {
+	if c.Label != "" {
+		c.Label += ","
+	}
+	c.Label += key + "=" + val
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSweepCellsCartesian(t *testing.T) {
+	s := SweepSpec{
+		Base:      RunSpec{LC: "redis", BEs: []string{"sssp"}, Scale: 16},
+		Policies:  []string{"memtis", "tpp"},
+		SLOScales: []float64{1, 2},
+		Seeds:     []int64{1, 2, 3},
+	}
+	if n := s.NumCells(); n != 12 {
+		t.Fatalf("NumCells = %d, want 12", n)
+	}
+	cells, err := s.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 {
+		t.Fatalf("len(cells) = %d, want 12", len(cells))
+	}
+	// Seeds innermost: the first three cells share policy/slo and walk
+	// the seed axis.
+	for i, want := range []int64{1, 2, 3} {
+		if cells[i].Spec.Seed != want || cells[i].Spec.Policy != "memtis" || cells[i].Spec.SLOScale != 1 {
+			t.Errorf("cell %d = %+v, want memtis/slo1/seed%d", i, cells[i].Spec, want)
+		}
+	}
+	last := cells[11]
+	if last.Spec.Policy != "tpp" || last.Spec.SLOScale != 2 || last.Spec.Seed != 3 {
+		t.Errorf("last cell = %+v", last.Spec)
+	}
+	if last.Index != 11 || !strings.Contains(last.Label, "policy=tpp") ||
+		!strings.Contains(last.Label, "slo=2") || !strings.Contains(last.Label, "seed=3") {
+		t.Errorf("last cell label/index = %q/%d", last.Label, last.Index)
+	}
+	// Base fields survive into every cell.
+	for _, c := range cells {
+		if c.Spec.LC != "redis" || c.Spec.Scale != 16 {
+			t.Fatalf("base fields lost in cell %q: %+v", c.Label, c.Spec)
+		}
+	}
+}
+
+func TestSweepCellsBEMixesDoNotAlias(t *testing.T) {
+	s := SweepSpec{
+		Base:    RunSpec{LC: "redis"},
+		BEMixes: [][]string{{"sssp"}, {"pr", "bfs"}},
+		Seeds:   []int64{1, 2},
+	}
+	cells, err := s.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("len(cells) = %d, want 4", len(cells))
+	}
+	cells[0].Spec.BEs[0] = "mutated"
+	if cells[2].Spec.BEs[0] == "mutated" || s.BEMixes[0][0] == "mutated" {
+		t.Error("cells alias the sweep's BE mix slices")
+	}
+}
+
+func TestSweepEmptyAxesSingleCell(t *testing.T) {
+	s := SweepSpec{Base: RunSpec{LC: "redis", Policy: "memtis"}}
+	cells, err := s.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Spec.Policy != "memtis" || cells[0].Label != "cell0" {
+		t.Fatalf("cells = %+v", cells)
+	}
+}
+
+func TestSweepValidationErrors(t *testing.T) {
+	bad := SweepSpec{Base: RunSpec{LC: "redis"}, Policies: []string{"memtis", "lru"}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "policy=lru") {
+		t.Errorf("invalid policy axis err = %v, want cell label in message", err)
+	}
+
+	seeds := make([]int64, 100)
+	huge := SweepSpec{
+		Base:     RunSpec{LC: "redis"},
+		Policies: []string{"memtis", "tpp", "fmem-all"},
+		LCs:      []string{"redis", "memcached"},
+		Seeds:    seeds,
+		SLOScales: []float64{
+			0.5, 1, 2, 4, 8, 16, 32, 64,
+		},
+	}
+	if err := huge.Validate(); err == nil || !strings.Contains(err.Error(), "4096") {
+		t.Errorf("oversized sweep err = %v, want MaxSweepCells rejection", err)
+	}
+}
+
+func TestParseSweepSpecStrict(t *testing.T) {
+	good := []byte(`{"name":"demo","base":{"lc":"redis"},"policies":["memtis"],"seeds":[1,2]}`)
+	s, err := ParseSweepSpec(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "demo" || len(s.Seeds) != 2 {
+		t.Fatalf("parsed = %+v", s)
+	}
+	if _, err := ParseSweepSpec([]byte(`{"polices":["memtis"]}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseSweepSpec([]byte(`{`)); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}
+
+func TestRunSpecSLOScale(t *testing.T) {
+	base := RunSpec{LC: "redis", BEs: []string{"sssp"}, Scale: 16}
+	scn, err := base.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := base
+	tight.SLOScale = 0.5
+	scnTight, err := tight.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scnTight.LC.SLOSeconds != scn.LC.SLOSeconds*0.5 {
+		t.Errorf("SLOScale 0.5: SLO %g, base %g", scnTight.LC.SLOSeconds, scn.LC.SLOSeconds)
+	}
+	neg := base
+	neg.SLOScale = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative slo_scale accepted")
+	}
+}
