@@ -11,12 +11,14 @@
 //	mtatctl submit -f spec.json -wait                        # spec file, block until done
 //	mtatctl status                                           # list runs
 //	mtatctl status r000001                                   # one run's JSON
+//	mtatctl info                                             # daemon stats (queue, recovered runs)
 //	mtatctl wait -timeout 2m r000001                         # block until terminal
 //	mtatctl logs r000001                                     # stream trace JSONL
 //	mtatctl cancel r000001
 //
 //	mtatctl sweep submit -f sweep.json -wait                 # shard a sweep across the fleet
 //	mtatctl sweep status [s000001]                           # list sweeps / one sweep's JSON
+//	mtatctl sweep info                                       # fleet stats (nodes, recovered cells)
 //	mtatctl sweep wait -timeout 10m s000001
 //	mtatctl sweep results -format csv s000001                # export settled cell summaries
 //	mtatctl sweep nodes                                      # fleet node pool with health
@@ -57,6 +59,7 @@ func usage(fs *flag.FlagSet) func() {
 			"commands:\n"+
 			"  submit   submit a run spec (-f file, or -lc/-bes/-policy/... flags)\n"+
 			"  status   list runs, or show one run's status JSON\n"+
+			"  info     show the daemon's stats JSON (queue depth, recovered runs, ...)\n"+
 			"  wait     block until a run reaches a terminal state\n"+
 			"  logs     stream a run's trace as JSONL\n"+
 			"  cancel   cancel a queued or running run\n"+
@@ -100,6 +103,8 @@ func run(args []string) error {
 		return cmdSubmit(ctx, c, rest[1:])
 	case "status":
 		return cmdStatus(ctx, c, rest[1:])
+	case "info":
+		return cmdInfo(ctx, c)
 	case "wait":
 		return cmdWait(ctx, c, rest[1:])
 	case "logs":
@@ -205,6 +210,16 @@ func cmdStatus(ctx context.Context, c *server.Client, args []string) error {
 		return nil
 	}
 	st, err := c.Run(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+// cmdInfo prints the daemon's stats — the quick way to confirm a
+// restarted mtatd recovered its journaled backlog (recovered_runs).
+func cmdInfo(ctx context.Context, c *server.Client) error {
+	st, err := c.Status(ctx)
 	if err != nil {
 		return err
 	}

@@ -15,13 +15,15 @@ import (
 // cmdSweep dispatches the mtatfleet subcommand family.
 func cmdSweep(ctx context.Context, c *cluster.Client, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("sweep: missing subcommand (submit|status|wait|results|nodes|cancel)")
+		return fmt.Errorf("sweep: missing subcommand (submit|status|info|wait|results|nodes|cancel)")
 	}
 	switch args[0] {
 	case "submit":
 		return cmdSweepSubmit(ctx, c, args[1:])
 	case "status":
 		return cmdSweepStatus(ctx, c, args[1:])
+	case "info":
+		return cmdSweepInfo(ctx, c)
 	case "wait":
 		return cmdSweepWait(ctx, c, args[1:])
 	case "results":
@@ -31,8 +33,18 @@ func cmdSweep(ctx context.Context, c *cluster.Client, args []string) error {
 	case "cancel":
 		return cmdSweepCancel(ctx, c, args[1:])
 	default:
-		return fmt.Errorf("sweep: unknown subcommand %q (submit|status|wait|results|nodes|cancel)", args[0])
+		return fmt.Errorf("sweep: unknown subcommand %q (submit|status|info|wait|results|nodes|cancel)", args[0])
 	}
+}
+
+// cmdSweepInfo prints the fleet's stats — node pool size, sweep counts,
+// and how much journaled work a restarted daemon resumed.
+func cmdSweepInfo(ctx context.Context, c *cluster.Client) error {
+	st, err := c.Status(ctx)
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
 }
 
 func cmdSweepSubmit(ctx context.Context, c *cluster.Client, args []string) error {

@@ -43,18 +43,29 @@ func run() error {
 		traceCap = flag.Int("run-trace-cap", server.DefaultRunTraceCapacity, "per-run trace ring capacity (events)")
 		episodes = flag.Int("episodes", 0, "default MTAT in-process training episodes for specs that omit it")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		dataDir  = flag.String("data-dir", "", "journal directory for crash-safe run recovery (empty = in-memory only)")
+		fsync    = flag.Bool("fsync", false, "fsync the journal after every append (with -data-dir)")
 	)
 	flag.Parse()
 
 	tel := telemetry.New()
-	mgr := server.NewManager(server.Config{
+	mgr, err := server.NewManager(server.Config{
 		Workers:          *workers,
 		QueueCap:         *queueCap,
 		MaxRuns:          *maxRuns,
 		RunTraceCapacity: *traceCap,
 		DefaultEpisodes:  *episodes,
 		Telemetry:        tel,
+		DataDir:          *dataDir,
+		Fsync:            *fsync,
 	})
+	if err != nil {
+		return fmt.Errorf("-data-dir: %w", err)
+	}
+	if st := mgr.Stats(); st.RecoveredRuns > 0 {
+		fmt.Fprintf(os.Stderr, "mtatd: recovered %d unfinished run(s) from %s\n",
+			st.RecoveredRuns, *dataDir)
+	}
 
 	srv, err := telemetry.Serve(*addr, server.NewHandler(mgr, tel))
 	if err != nil {

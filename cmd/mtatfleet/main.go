@@ -50,6 +50,8 @@ func run() error {
 		markdown     = flag.Int("markdown-after", cluster.DefaultMarkdownAfter, "consecutive probe failures before a node is marked down")
 		maxSweeps    = flag.Int("max-sweeps", cluster.DefaultMaxSweeps, "retained finished sweeps before eviction")
 		drain        = flag.Duration("drain", 60*time.Second, "graceful-shutdown drain deadline")
+		dataDir      = flag.String("data-dir", "", "journal directory for crash-safe sweep recovery (empty = in-memory only)")
+		fsync        = flag.Bool("fsync", false, "fsync the journal after every append (with -data-dir)")
 	)
 	flag.Parse()
 
@@ -59,7 +61,7 @@ func run() error {
 	}
 
 	tel := telemetry.New()
-	fleet := cluster.NewFleet(cluster.FleetConfig{
+	fleet, err := cluster.NewFleet(cluster.FleetConfig{
 		Registry: cluster.RegistryConfig{
 			ProbeInterval:   *probe,
 			ProbeTimeout:    *probeTimeout,
@@ -73,7 +75,12 @@ func run() error {
 		SweepParallelism: *parallel,
 		MaxSweeps:        *maxSweeps,
 		Telemetry:        tel,
+		DataDir:          *dataDir,
+		Fsync:            *fsync,
 	})
+	if err != nil {
+		return fmt.Errorf("-data-dir: %w", err)
+	}
 
 	for _, nodeAddr := range splitList(*nodes) {
 		info, err := fleet.Reg.Add(nodeAddr, 1)
@@ -85,6 +92,14 @@ func run() error {
 			state = "down"
 		}
 		fmt.Fprintf(os.Stderr, "mtatfleet: node %s = %s (%s)\n", info.Name, info.Addr, state)
+	}
+
+	// Resume journaled unfinished sweeps only after the node pool is
+	// registered — dispatching against an empty registry fails every
+	// cell immediately.
+	for _, st := range fleet.Resume() {
+		fmt.Fprintf(os.Stderr, "mtatfleet: resumed sweep %s (%s): %d/%d cells left\n",
+			st.ID, st.Name, st.Cells-st.Done-st.Failed, st.Cells)
 	}
 
 	srv, err := telemetry.Serve(*addr, cluster.NewHandler(fleet, tel))

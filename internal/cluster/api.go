@@ -30,6 +30,7 @@ type AddNodeRequest struct {
 //	GET    /api/v1/sweeps/{id}          one sweep's status with per-cell states
 //	GET    /api/v1/sweeps/{id}/results  settled cell summaries (?format=json|jsonl|csv)
 //	DELETE /api/v1/sweeps/{id}          cancel a running sweep
+//	GET    /api/v1/status               fleet stats (nodes, sweeps, recovery counts)
 //	GET    /api/v1/nodes                node pool with health and load
 //	POST   /api/v1/nodes                register a mtatd node {"addr","weight"}
 //	DELETE /api/v1/nodes/{name}         deregister a node (by name or address)
@@ -104,6 +105,10 @@ func NewHandler(f *Fleet, tel *telemetry.Telemetry) http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 
+	mux.HandleFunc("GET /api/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, f.Stats())
+	})
+
 	mux.HandleFunc("GET /api/v1/nodes", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, f.Reg.Nodes())
 	})
@@ -153,6 +158,7 @@ func NewHandler(f *Fleet, tel *telemetry.Telemetry) http.Handler {
 			"GET    /api/v1/sweeps/{id}\n"+
 			"GET    /api/v1/sweeps/{id}/results?format=json|jsonl|csv\n"+
 			"DELETE /api/v1/sweeps/{id}\n"+
+			"GET    /api/v1/status\n"+
 			"GET    /api/v1/nodes\n"+
 			"POST   /api/v1/nodes\n"+
 			"DELETE /api/v1/nodes/{name}\n"+

@@ -149,6 +149,14 @@ func (c *Client) ResultsTo(ctx context.Context, id, format string, w io.Writer) 
 	return err
 }
 
+// Status fetches the fleet's stats (node pool size, sweep counts, and
+// startup-recovery counters).
+func (c *Client) Status(ctx context.Context) (FleetStats, error) {
+	var st FleetStats
+	err := c.do(ctx, http.MethodGet, "/api/v1/status", nil, &st)
+	return st, err
+}
+
 // Nodes lists the fleet's node pool.
 func (c *Client) Nodes(ctx context.Context) ([]NodeInfo, error) {
 	var out []NodeInfo

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
+	"github.com/tieredmem/mtat/internal/journal"
 	"github.com/tieredmem/mtat/internal/sim"
 	"github.com/tieredmem/mtat/internal/telemetry"
 )
@@ -39,6 +41,9 @@ const (
 const (
 	DefaultSweepParallelism = 8
 	DefaultMaxSweeps        = 64
+	// DefaultCompactEvery is the journal record count that triggers a
+	// snapshot compaction.
+	DefaultCompactEvery = 1024
 )
 
 // FleetConfig sizes the fleet scheduler.
@@ -57,6 +62,21 @@ type FleetConfig struct {
 	// Telemetry is the fleet-level sink, shared with the registry and
 	// dispatcher when theirs are nil. Nil disables fleet metrics.
 	Telemetry *telemetry.Telemetry
+	// DataDir enables crash-safe persistence: accepted sweeps and
+	// per-cell completions are journaled there, and a restarted fleet
+	// resumes the unfinished cells. Empty keeps state in memory only.
+	DataDir string
+	// CompactEvery is the journal record count that triggers snapshot
+	// compaction (<= 0 selects DefaultCompactEvery).
+	CompactEvery int
+	// Fsync syncs the journal after every append. Off by default: the
+	// page cache survives a daemon crash, which is the failure mode the
+	// journal targets; fsync additionally covers kernel panics and power
+	// loss at a large latency cost.
+	Fsync bool
+	// Logf sinks operational log lines (journal failures, replay
+	// summaries). Nil selects log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // Fleet errors.
@@ -104,6 +124,9 @@ type Fleet struct {
 	cfg  FleetConfig
 	tel  *telemetry.Telemetry
 
+	jn   *journal.Journal
+	logf func(format string, args ...any)
+
 	mu       sync.Mutex
 	sweeps   map[string]*sweep
 	order    []string
@@ -111,6 +134,11 @@ type Fleet struct {
 	nextID   int
 	closed   bool
 	wg       sync.WaitGroup
+	// resumable holds recovered unfinished sweeps between NewFleet and
+	// Resume; recoveredSweeps/recoveredCells are their startup counts.
+	resumable       []*sweep
+	recoveredSweeps int
+	recoveredCells  int
 
 	mSweeps, mSweepsDone  *telemetry.Counter
 	mCellsDone            *telemetry.Counter
@@ -120,13 +148,23 @@ type Fleet struct {
 	gCellsRunningInternal *telemetry.Gauge
 }
 
-// NewFleet builds a fleet scheduler and starts its node prober.
-func NewFleet(cfg FleetConfig) *Fleet {
+// NewFleet builds a fleet scheduler and starts its node prober. With
+// cfg.DataDir set it also replays the journal there; recovered
+// unfinished sweeps stay parked until Resume() is called (after node
+// registration — resuming against an empty registry would fail every
+// cell with ErrNoNodes immediately).
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	if cfg.SweepParallelism <= 0 {
 		cfg.SweepParallelism = DefaultSweepParallelism
 	}
 	if cfg.MaxSweeps <= 0 {
 		cfg.MaxSweeps = DefaultMaxSweeps
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = DefaultCompactEvery
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
 	}
 	if cfg.Registry.Telemetry == nil {
 		cfg.Registry.Telemetry = cfg.Telemetry
@@ -140,6 +178,7 @@ func NewFleet(cfg FleetConfig) *Fleet {
 		disp:   NewDispatcher(reg, cfg.Dispatcher),
 		cfg:    cfg,
 		tel:    cfg.Telemetry,
+		logf:   cfg.Logf,
 		sweeps: make(map[string]*sweep),
 	}
 	m := f.tel.Metrics()
@@ -150,7 +189,50 @@ func NewFleet(cfg FleetConfig) *Fleet {
 	f.mCellsRetried = m.Counter("fleet_cells_retried_total")
 	f.gSweepsRunning = m.Gauge("fleet_sweeps_running")
 	f.gCellsRunningInternal = m.Gauge("fleet_cells_running")
-	return f
+	if cfg.DataDir != "" {
+		rs := newFleetReplay()
+		jn, stats, err := journal.Open(cfg.DataDir, journal.Options{
+			Fsync:     cfg.Fsync,
+			Telemetry: cfg.Telemetry,
+		}, rs.apply)
+		if err != nil {
+			reg.Close()
+			return nil, fleetDataDirError(err)
+		}
+		f.jn = jn
+		f.resumable = f.restore(rs)
+		if stats.Records > 0 || stats.Torn {
+			f.logf("cluster: journal replay: %d records in %d segments (torn=%v): "+
+				"%d sweeps retained, %d to resume (%d cells)",
+				stats.Records, stats.Segments, stats.Torn,
+				len(f.sweeps), f.recoveredSweeps, f.recoveredCells)
+		}
+	}
+	return f, nil
+}
+
+// Resume starts dispatch for the unfinished sweeps recovered from the
+// journal and returns their statuses. Call it once, after registering
+// nodes. Already-settled cells keep their journaled summaries; only the
+// rest re-dispatch (at least once — cells in flight when the previous
+// incarnation died run again).
+func (f *Fleet) Resume() []SweepStatus {
+	f.mu.Lock()
+	resumed := f.resumable
+	f.resumable = nil
+	out := make([]SweepStatus, 0, len(resumed))
+	for _, sw := range resumed {
+		f.gSweepsRunning.Set(f.gSweepsRunning.Value() + 1)
+		out = append(out, f.statusLocked(sw))
+	}
+	f.mu.Unlock()
+	for _, sw := range resumed {
+		f.tel.Tracer().EmitMsg(f.Reg.now(), "fleet.sweep.resume", telemetry.WLNone, sw.id,
+			telemetry.I("cells", len(sw.cells)))
+		f.wg.Add(1)
+		go f.runSweep(sw)
+	}
+	return out
 }
 
 // Submit compiles the sweep and starts dispatching its cells across the
@@ -182,6 +264,20 @@ func (f *Fleet) Submit(spec sim.SweepSpec) (SweepStatus, error) {
 	}
 	for _, c := range cells {
 		sw.cells = append(sw.cells, &cellRun{cell: c, state: CellPending})
+	}
+	// Journal before registering: acceptance is the durability promise,
+	// so an unjournalable sweep is rejected rather than silently
+	// volatile.
+	if f.jn != nil {
+		err := f.jn.Append(recSweepSubmitted, sweepSubmittedRec{
+			ID: sw.id, Name: sw.name, Spec: spec, SubmittedAt: sw.submitted,
+		})
+		if err != nil {
+			f.nextID--
+			cancel()
+			f.mu.Unlock()
+			return SweepStatus{}, fmt.Errorf("cluster: journal submission: %w", err)
+		}
 	}
 	f.sweeps[sw.id] = sw
 	f.order = append(f.order, sw.id)
@@ -217,6 +313,11 @@ func (f *Fleet) runSweep(sw *sweep) {
 		}()
 	}
 	for _, cr := range sw.cells {
+		// Cells settled by a previous incarnation (resumed sweeps) keep
+		// their journaled outcome and never re-dispatch.
+		if cr.state == CellDone || cr.state == CellFailed {
+			continue
+		}
 		jobs <- cr
 	}
 	close(jobs)
@@ -238,6 +339,10 @@ func (f *Fleet) runSweep(sw *sweep) {
 	sw.finished = time.Now()
 	sw.cancel()
 	close(sw.done)
+	f.journalLocked(recSweepFinished, sweepFinishedRec{
+		ID: sw.id, State: state, FinishedAt: sw.finished,
+	})
+	f.maybeCompactLocked()
 	f.mSweepsDone.Inc()
 	f.gSweepsRunning.Set(f.gSweepsRunning.Value() - 1)
 	f.finished = append(f.finished, sw.id)
@@ -289,6 +394,9 @@ func (f *Fleet) runCell(sw *sweep, cr *cellRun) {
 		s := newCellSummary(sw.name, cr.cell, CellFailed, res.Node, cr.errMsg,
 			res.NodeAttempts, wall, nil)
 		cr.summary = &s
+		f.journalLocked(recCellSettled, cellSettledRec{
+			SweepID: sw.id, Index: cr.cell.Index, Summary: s,
+		})
 		return
 	}
 	cr.state = CellDone
@@ -296,6 +404,9 @@ func (f *Fleet) runCell(sw *sweep, cr *cellRun) {
 	s := newCellSummary(sw.name, cr.cell, CellDone, res.Node, "",
 		res.NodeAttempts, wall, &res.Status)
 	cr.summary = &s
+	f.journalLocked(recCellSettled, cellSettledRec{
+		SweepID: sw.id, Index: cr.cell.Index, Summary: s,
+	})
 }
 
 // Get returns one sweep's status.
@@ -402,7 +513,51 @@ func (f *Fleet) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 	}
 	f.Reg.Close()
+	f.mu.Lock()
+	if f.jn != nil {
+		if cerr := f.jn.Close(); cerr != nil {
+			f.logf("cluster: journal close failed: %v", cerr)
+		}
+		f.jn = nil
+	}
+	f.mu.Unlock()
 	return err
+}
+
+// FleetStats is the fleet's load and recovery signal, served at
+// GET /api/v1/status.
+type FleetStats struct {
+	Nodes         int `json:"nodes"`
+	Sweeps        int `json:"sweeps"`
+	RunningSweeps int `json:"running_sweeps"`
+	MaxSweeps     int `json:"max_sweeps"`
+	// RecoveredSweeps and RecoveredCells count what this incarnation
+	// replayed from the journal at startup: unfinished sweeps, and the
+	// cells in them that had not settled (the re-dispatch backlog).
+	RecoveredSweeps int  `json:"recovered_sweeps"`
+	RecoveredCells  int  `json:"recovered_cells"`
+	Draining        bool `json:"draining"`
+}
+
+// Stats reports the fleet's registry size and startup-recovery counts.
+func (f *Fleet) Stats() FleetStats {
+	nodes := len(f.Reg.Nodes())
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FleetStats{
+		Nodes:           nodes,
+		Sweeps:          len(f.sweeps),
+		MaxSweeps:       f.cfg.MaxSweeps,
+		RecoveredSweeps: f.recoveredSweeps,
+		RecoveredCells:  f.recoveredCells,
+		Draining:        f.closed,
+	}
+	for _, sw := range f.sweeps {
+		if !sw.state.Terminal() {
+			st.RunningSweeps++
+		}
+	}
+	return st
 }
 
 // SweepStatus is the JSON view of one sweep's lifecycle.

@@ -23,7 +23,10 @@ type testNode struct {
 func newTestNode(t *testing.T, workers int) *testNode {
 	t.Helper()
 	tel := telemetry.New()
-	mgr := server.NewManager(server.Config{Workers: workers, QueueCap: 32, Telemetry: tel})
+	mgr, err := server.NewManager(server.Config{Workers: workers, QueueCap: 32, Telemetry: tel})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
 	srv := httptest.NewServer(server.NewHandler(mgr, tel))
 	n := &testNode{mgr: mgr, srv: srv}
 	t.Cleanup(func() { n.kill(t) })
@@ -52,19 +55,33 @@ var fastRetry = backoff.Policy{Base: 5 * time.Millisecond, Max: 50 * time.Millis
 
 func newTestFleet(t *testing.T, tel *telemetry.Telemetry, nodes ...*testNode) *Fleet {
 	t.Helper()
-	f := NewFleet(FleetConfig{
-		Registry: RegistryConfig{
+	return newTestFleetCfg(t, FleetConfig{Telemetry: tel}, nodes...)
+}
+
+// newTestFleetCfg builds a fleet with test-speed probing/retry defaults
+// merged into cfg.
+func newTestFleetCfg(t *testing.T, cfg FleetConfig, nodes ...*testNode) *Fleet {
+	t.Helper()
+	if cfg.Registry.ProbeInterval == 0 {
+		cfg.Registry = RegistryConfig{
 			ProbeInterval: 25 * time.Millisecond,
 			ProbeTimeout:  500 * time.Millisecond,
 			MarkdownAfter: 2,
-		},
-		Dispatcher: DispatcherConfig{
+		}
+	}
+	if cfg.Dispatcher.Retry.Base == 0 {
+		cfg.Dispatcher = DispatcherConfig{
 			Retry:   fastRetry,
 			PollMax: 25 * time.Millisecond,
-		},
-		SweepParallelism: 4,
-		Telemetry:        tel,
-	})
+		}
+	}
+	if cfg.SweepParallelism == 0 {
+		cfg.SweepParallelism = 4
+	}
+	f, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 		defer cancel()

@@ -1,0 +1,322 @@
+// Package e2e exercises the real binaries end to end: it builds mtatd,
+// mtatfleet, and mtatctl, SIGKILLs daemons mid-run, restarts them on
+// the same -data-dir, and asserts the journaled work recovers. This is
+// the crash contract the unit tests can only simulate.
+package e2e
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/cluster"
+	"github.com/tieredmem/mtat/internal/server"
+	"github.com/tieredmem/mtat/internal/sim"
+)
+
+// binDir holds the binaries TestMain builds once for every test.
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "mtat-e2e-bin-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e2e:", err)
+		os.Exit(1)
+	}
+	binDir = dir
+	for _, pkg := range []string{"mtatd", "mtatfleet", "mtatctl"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, pkg),
+			"github.com/tieredmem/mtat/cmd/"+pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "e2e: build %s: %v\n%s", pkg, err, out)
+			os.RemoveAll(dir)
+			os.Exit(1)
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// daemon is one spawned mtatd/mtatfleet process.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+
+	mu     sync.Mutex
+	stderr bytes.Buffer
+	waited bool
+}
+
+// startDaemon launches a binary and parses the bound address from its
+// "listening on http://ADDR" stdout line (the same machine contract the
+// CI smoke jobs use).
+func startDaemon(t *testing.T, name string, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{cmd: exec.Command(filepath.Join(binDir, name), args...)}
+	stdout, err := d.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderrPipe, err := d.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", name, err)
+	}
+	t.Cleanup(func() { d.kill(t) })
+
+	go func() {
+		sc := bufio.NewScanner(stderrPipe)
+		for sc.Scan() {
+			d.mu.Lock()
+			d.stderr.WriteString(sc.Text() + "\n")
+			d.mu.Unlock()
+		}
+	}()
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if _, after, ok := strings.Cut(line, "listening on http://"); ok {
+				if fields := strings.Fields(after); len(fields) > 0 {
+					addrCh <- fields[0]
+				}
+			}
+		}
+	}()
+	select {
+	case d.addr = <-addrCh:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("%s never printed its listen line; stderr:\n%s", name, d.stderrText())
+	}
+	return d
+}
+
+// kill SIGKILLs the daemon — the crash under test. Idempotent.
+func (d *daemon) kill(t *testing.T) {
+	t.Helper()
+	d.mu.Lock()
+	waited := d.waited
+	d.waited = true
+	d.mu.Unlock()
+	if waited {
+		return
+	}
+	_ = d.cmd.Process.Kill()
+	_ = d.cmd.Wait()
+}
+
+func (d *daemon) stderrText() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stderr.String()
+}
+
+// mediumSpec runs a few seconds of wall clock — long enough to be
+// killed mid-flight, short enough to finish promptly after recovery.
+func mediumSpec(seed int64) sim.RunSpec {
+	return sim.RunSpec{
+		LC:              "redis",
+		BEs:             []string{"sssp"},
+		Policy:          "memtis",
+		Load:            &sim.LoadSpec{Kind: "constant", Frac: 0.5, DurationSeconds: 10},
+		Scale:           16,
+		Seed:            seed,
+		DurationSeconds: 10,
+		TickSeconds:     0.002,
+	}
+}
+
+// mtatctlJSON runs a mtatctl command and decodes its stdout JSON.
+func mtatctlJSON(t *testing.T, addr string, out any, args ...string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, "mtatctl"), append([]string{"-addr", addr}, args...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("mtatctl %v: %v\nstderr: %s", args, err, stderr.String())
+	}
+	if err := json.Unmarshal(stdout.Bytes(), out); err != nil {
+		t.Fatalf("mtatctl %v: bad JSON %q: %v", args, stdout.String(), err)
+	}
+}
+
+// TestMtatdCrashRecovery is the headline durability contract: SIGKILL a
+// mtatd with accepted runs in flight, restart it on the same -data-dir,
+// and every accepted run still completes, its result readable through
+// mtatctl.
+func TestMtatdCrashRecovery(t *testing.T) {
+	dataDir := t.TempDir()
+	d := startDaemon(t, "mtatd", "-addr", "127.0.0.1:0", "-workers", "1", "-data-dir", dataDir)
+	c := server.NewClient(d.addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	defer cancel()
+
+	var ids []string
+	for seed := int64(1); seed <= 2; seed++ {
+		st, err := c.Submit(ctx, mediumSpec(seed))
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		ids = append(ids, st.ID)
+	}
+	// Kill only once work is actually executing, so the crash lands
+	// mid-run, not mid-queue.
+	waitFor(t, 60*time.Second, "a run to start", func() bool {
+		st, err := c.Status(ctx)
+		return err == nil && st.ActiveRuns > 0
+	})
+	d.kill(t)
+
+	d2 := startDaemon(t, "mtatd", "-addr", "127.0.0.1:0", "-workers", "1", "-data-dir", dataDir)
+	c2 := server.NewClient(d2.addr)
+	st, err := c2.Status(ctx)
+	if err != nil {
+		t.Fatalf("status after restart: %v", err)
+	}
+	if st.RecoveredRuns != len(ids) {
+		t.Fatalf("recovered_runs = %d, want %d; stderr:\n%s", st.RecoveredRuns, len(ids), d2.stderrText())
+	}
+	if !strings.Contains(d2.stderrText(), "recovered 2 unfinished run(s)") {
+		t.Errorf("restart did not log recovery; stderr:\n%s", d2.stderrText())
+	}
+
+	for _, id := range ids {
+		final, err := c2.Wait(ctx, id, 0)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if final.State != server.StateDone || final.Result == nil {
+			t.Fatalf("run %s = %s after recovery (result %v)", id, final.State, final.Result)
+		}
+	}
+
+	// The operator path: the recovered results are readable via mtatctl.
+	var viaCtl server.RunStatus
+	mtatctlJSON(t, d2.addr, &viaCtl, "status", ids[0])
+	if viaCtl.State != server.StateDone || viaCtl.Result == nil || viaCtl.Result.Ticks == 0 {
+		t.Fatalf("mtatctl status %s = %+v", ids[0], viaCtl)
+	}
+	var info server.Stats
+	mtatctlJSON(t, d2.addr, &info, "info")
+	if info.RecoveredRuns != len(ids) {
+		t.Fatalf("mtatctl info recovered_runs = %d, want %d", info.RecoveredRuns, len(ids))
+	}
+}
+
+// TestMtatfleetCrashRecovery kills a mtatfleet mid-sweep and asserts
+// the restarted daemon resumes only the unfinished cells and the sweep
+// converges, results readable through mtatctl.
+func TestMtatfleetCrashRecovery(t *testing.T) {
+	dataDir := t.TempDir()
+	// The node holds no journal: only the fleet's durability is under
+	// test, and it must survive losing what the node remembered too —
+	// settled cells replay from the fleet's own journal.
+	node := startDaemon(t, "mtatd", "-addr", "127.0.0.1:0", "-workers", "2")
+	fleet := startDaemon(t, "mtatfleet", "-addr", "127.0.0.1:0",
+		"-nodes", node.addr, "-data-dir", dataDir, "-probe", "100ms")
+	fc := cluster.NewClient(fleet.addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+
+	spec := sim.SweepSpec{
+		Name: "crash-sweep",
+		Base: sim.RunSpec{
+			LC:              "redis",
+			BEs:             []string{"sssp"},
+			Load:            &sim.LoadSpec{Kind: "constant", Frac: 0.5, DurationSeconds: 10},
+			Scale:           16,
+			DurationSeconds: 10,
+			TickSeconds:     0.02,
+		},
+		Policies:  []string{"memtis", "tpp"},
+		SLOScales: []float64{1, 2},
+		Seeds:     []int64{1, 2, 3},
+	}
+	st, err := fc.SubmitSweep(ctx, spec)
+	if err != nil {
+		t.Fatalf("submit sweep: %v", err)
+	}
+	if st.Cells != 12 {
+		t.Fatalf("sweep has %d cells, want 12", st.Cells)
+	}
+
+	// Kill once part of the grid has settled — the restart must not
+	// re-dispatch those cells.
+	waitFor(t, 120*time.Second, "some cells to settle", func() bool {
+		sums, err := fc.Results(ctx, st.ID)
+		return err == nil && len(sums) >= 3
+	})
+	fleet.kill(t)
+
+	fleet2 := startDaemon(t, "mtatfleet", "-addr", "127.0.0.1:0",
+		"-nodes", node.addr, "-data-dir", dataDir, "-probe", "100ms")
+	fc2 := cluster.NewClient(fleet2.addr)
+	fst, err := fc2.Status(ctx)
+	if err != nil {
+		t.Fatalf("fleet status after restart: %v", err)
+	}
+	if fst.RecoveredSweeps != 1 {
+		t.Fatalf("recovered_sweeps = %d, want 1; stderr:\n%s", fst.RecoveredSweeps, fleet2.stderrText())
+	}
+	if fst.RecoveredCells <= 0 || fst.RecoveredCells >= 12 {
+		t.Fatalf("recovered_cells = %d, want in (0,12): the crash landed mid-sweep", fst.RecoveredCells)
+	}
+	if !strings.Contains(fleet2.stderrText(), "resumed sweep "+st.ID) {
+		t.Errorf("restart did not log the resumed sweep; stderr:\n%s", fleet2.stderrText())
+	}
+
+	final, err := fc2.WaitSweep(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatalf("wait sweep: %v", err)
+	}
+	if final.State != cluster.SweepDone || final.Done != 12 || final.Failed != 0 {
+		t.Fatalf("final after recovery = %+v", final)
+	}
+	sums, err := fc2.Results(ctx, st.ID)
+	if err != nil || len(sums) != 12 {
+		t.Fatalf("results after recovery: %v (%d summaries)", err, len(sums))
+	}
+	for _, s := range sums {
+		if s.State != cluster.CellDone {
+			t.Errorf("cell %d = %s (%s)", s.Index, s.State, s.Error)
+		}
+	}
+
+	// The operator path: sweep info and results via mtatctl.
+	var info cluster.FleetStats
+	mtatctlJSON(t, fleet2.addr, &info, "sweep", "info")
+	if info.RecoveredSweeps != 1 {
+		t.Fatalf("mtatctl sweep info recovered_sweeps = %d, want 1", info.RecoveredSweeps)
+	}
+	var ctlSums []cluster.CellSummary
+	mtatctlJSON(t, fleet2.addr, &ctlSums, "sweep", "results", st.ID)
+	if len(ctlSums) != 12 {
+		t.Fatalf("mtatctl sweep results returned %d summaries, want 12", len(ctlSums))
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if ok() {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

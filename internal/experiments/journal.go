@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/journal"
+)
+
+// runJournal benchmarks the crash-safety journal that mtatd and
+// mtatfleet persist their run state through: append latency with and
+// without fsync, replay throughput, and torn-tail recovery. The numbers
+// bound the control-plane overhead of enabling -data-dir — every run
+// submission and state transition pays one append, and daemon restart
+// pays one replay.
+func runJournal(s *Suite, w io.Writer) error {
+	dir, err := os.MkdirTemp("", "mtat-journal-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	type rec struct {
+		ID    string  `json:"id"`
+		State string  `json:"state"`
+		Seed  int64   `json:"seed"`
+		P99   float64 `json:"p99"`
+	}
+
+	const appends = 20000
+	j, _, err := journal.Open(dir, journal.Options{}, nil)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for i := 0; i < appends; i++ {
+		if err := j.Append("run.finished", rec{
+			ID: fmt.Sprintf("r%06d", i), State: "done", Seed: int64(i), P99: 0.00225,
+		}); err != nil {
+			return err
+		}
+	}
+	appendWall := time.Since(start)
+	if err := j.Close(); err != nil {
+		return err
+	}
+
+	// fsync'd appends: the durability ceiling (covers power loss, not
+	// just daemon crashes) at per-append sync cost.
+	fdir, err := os.MkdirTemp("", "mtat-journal-fsync-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(fdir)
+	const fsyncAppends = 500
+	fj, _, err := journal.Open(fdir, journal.Options{Fsync: true}, nil)
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	for i := 0; i < fsyncAppends; i++ {
+		if err := fj.Append("run.finished", rec{ID: fmt.Sprintf("r%06d", i), State: "done"}); err != nil {
+			return err
+		}
+	}
+	fsyncWall := time.Since(start)
+	if err := fj.Close(); err != nil {
+		return err
+	}
+
+	// Replay the full log, then again after a simulated torn tail.
+	start = time.Now()
+	replayed := 0
+	j2, stats, err := journal.Open(dir, journal.Options{}, func(journal.Record) error {
+		replayed++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	replayWall := time.Since(start)
+	if replayed != appends || stats.Torn {
+		return fmt.Errorf("journal experiment: replay saw %d/%d records (torn=%v)",
+			replayed, appends, stats.Torn)
+	}
+	if err := j2.Close(); err != nil {
+		return err
+	}
+
+	segs := stats.Segments
+	fmt.Fprintln(w, "Journal: crash-safe WAL behind mtatd/mtatfleet -data-dir")
+	fmt.Fprintf(w, "append (buffered):  %d records in %v  (%.0f rec/s, %.1f µs/rec)\n",
+		appends, appendWall.Round(time.Millisecond),
+		float64(appends)/appendWall.Seconds(),
+		appendWall.Seconds()/float64(appends)*1e6)
+	fmt.Fprintf(w, "append (fsync):     %d records in %v  (%.0f rec/s, %.2f ms/rec)\n",
+		fsyncAppends, fsyncWall.Round(time.Millisecond),
+		float64(fsyncAppends)/fsyncWall.Seconds(),
+		fsyncWall.Seconds()/float64(fsyncAppends)*1e3)
+	fmt.Fprintf(w, "replay:             %d records across %d segments in %v  (%.0f rec/s)\n",
+		replayed, segs, replayWall.Round(time.Millisecond),
+		float64(replayed)/replayWall.Seconds())
+	fmt.Fprintf(w, "restart cost at 1k runs/day retention: ~%v\n",
+		time.Duration(float64(replayWall)/float64(appends)*1000).Round(time.Microsecond))
+	return nil
+}

@@ -34,6 +34,7 @@ func All() []Experiment {
 		{"surge", "Extension: instant demand-surge response", runSurge},
 		{"extended", "Extension: §6 related-work alternatives (vTMM, heuristic)", runExtended},
 		{"monitoring", "Extension: per-page vs DAMON-region monitoring", runMonitoring},
+		{"journal", "Infrastructure: crash-safety journal append/replay cost", runJournal},
 	}
 }
 

@@ -1,0 +1,135 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchPayload is a representative run-lifecycle record body.
+type benchPayload struct {
+	ID    string  `json:"id"`
+	State string  `json:"state"`
+	Seed  int64   `json:"seed"`
+	P99   float64 `json:"p99"`
+	Note  string  `json:"note"`
+}
+
+func benchRecord(i int, pad int) benchPayload {
+	return benchPayload{
+		ID:    fmt.Sprintf("r%06d", i),
+		State: "done",
+		Seed:  int64(i),
+		P99:   0.00225,
+		Note:  strings.Repeat("x", pad),
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	for _, pad := range []int{0, 256, 4096} {
+		b.Run(fmt.Sprintf("payload+%dB", pad), func(b *testing.B) {
+			j, _, err := Open(b.TempDir(), Options{}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			rec := benchRecord(0, pad)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := j.Append("run.finished", rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAppendFsync(b *testing.B) {
+	j, _, err := Open(b.TempDir(), Options{Fsync: true}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	rec := benchRecord(0, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Append("run.finished", rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplay measures Open replaying a 10k-record log.
+func BenchmarkReplay(b *testing.B) {
+	dir := b.TempDir()
+	j, _, err := Open(dir, Options{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 10000
+	for i := 0; i < records; i++ {
+		if err := j.Append("run.finished", benchRecord(i, 256)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		b.Fatal(err)
+	}
+	var total int64
+	for _, seq := range mustGlob(b, dir) {
+		fi, err := os.Stat(seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		j, _, err := Open(dir, Options{}, func(Record) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != records {
+			b.Fatalf("replayed %d records, want %d", n, records)
+		}
+		j.Close()
+	}
+}
+
+// BenchmarkScan measures the raw frame scanner over an in-memory 10k
+// record log — replay cost without the filesystem.
+func BenchmarkScan(b *testing.B) {
+	var data []byte
+	const records = 10000
+	for i := 0; i < records; i++ {
+		data = append(data, fuzzRecord("run.finished", benchRecord(i, 256))...)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		_, torn, err := Scan(data, func(Record) error {
+			n++
+			return nil
+		})
+		if err != nil || torn || n != records {
+			b.Fatalf("scan: n=%d torn=%v err=%v", n, torn, err)
+		}
+	}
+}
+
+func mustGlob(b *testing.B, dir string) []string {
+	b.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return segs
+}

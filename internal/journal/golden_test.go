@@ -1,0 +1,121 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden testdata fixtures")
+
+// goldenResult is the committed replay outcome for one fixture: the
+// decoded records plus where and how the scan stopped.
+type goldenResult struct {
+	Records  []Record `json:"records"`
+	Consumed int      `json:"consumed"`
+	Torn     bool     `json:"torn"`
+}
+
+// goldenCases builds each fixture's bytes deterministically — the
+// generator behind `go test -run TestGolden -update`, kept next to the
+// assertions so the fixtures are reproducible from source.
+func goldenCases() map[string][]byte {
+	clean := bytes.Join([][]byte{
+		fuzzRecord("run.submitted", map[string]any{"id": "r000001", "seed": 7}),
+		fuzzRecord("run.started", map[string]any{"id": "r000001"}),
+		fuzzRecord("run.finished", map[string]any{"id": "r000001", "state": "done"}),
+	}, nil)
+
+	truncated := bytes.Clone(clean[:len(clean)-5])
+
+	bitflip := bytes.Clone(clean)
+	bitflip[len(bitflip)-10] ^= 0x01
+
+	zeroLen := bytes.Clone(clean)
+	binary.LittleEndian.PutUint32(zeroLen[len(clean)-len(fuzzRecord("run.finished",
+		map[string]any{"id": "r000001", "state": "done"})):], 0)
+
+	snapshot := bytes.Join([][]byte{
+		fuzzRecord("snapshot", map[string]any{"next_id": 2, "runs": []string{"r000001"}}),
+		fuzzRecord("run.submitted", map[string]any{"id": "r000002", "seed": 9}),
+	}, nil)
+
+	return map[string][]byte{
+		"clean-log":      clean,
+		"torn-truncated": truncated,
+		"torn-bitflip":   bitflip,
+		"torn-zero-len":  zeroLen,
+		"snapshot-delta": snapshot,
+		"empty":          {},
+	}
+}
+
+// TestGoldenReplay scans the committed .wal fixtures and compares the
+// replay outcome against the committed .golden.json files byte for
+// byte. A framing or scan change that silently alters how old logs
+// replay fails here first.
+func TestGoldenReplay(t *testing.T) {
+	cases := goldenCases()
+	if *update {
+		for name, data := range cases {
+			if err := os.WriteFile(fixturePath(name, ".wal"), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			res := scanGolden(t, data)
+			out, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(fixturePath(name, ".golden.json"), append(out, '\n'), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for name := range cases {
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(fixturePath(name, ".wal"))
+			if err != nil {
+				t.Fatalf("missing fixture (regenerate with -update): %v", err)
+			}
+			// The committed fixture must match the generator — otherwise
+			// the fixtures no longer test what the source claims.
+			if !bytes.Equal(data, cases[name]) {
+				t.Fatalf("fixture %s.wal diverged from its generator (regenerate with -update)", name)
+			}
+			want, err := os.ReadFile(fixturePath(name, ".golden.json"))
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			got, err := json.MarshalIndent(scanGolden(t, data), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			if !bytes.Equal(got, want) {
+				t.Errorf("replay outcome drifted from golden:\n--- want\n%s\n--- got\n%s", want, got)
+			}
+		})
+	}
+}
+
+func scanGolden(t *testing.T, data []byte) goldenResult {
+	t.Helper()
+	var res goldenResult
+	consumed, torn, err := Scan(data, func(rec Record) error {
+		res.Records = append(res.Records, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	res.Consumed, res.Torn = consumed, torn
+	return res
+}
+
+func fixturePath(name, ext string) string {
+	return filepath.Join("testdata", name+ext)
+}

@@ -1,0 +1,468 @@
+// Package journal is the control plane's durability layer: an
+// append-only write-ahead log of typed JSON records, framed with a
+// length and a CRC32 so that a torn tail (the half-written record a
+// crash leaves behind) is detected and cleanly discarded on replay.
+//
+// A journal is a directory of numbered segment files. Appends go to the
+// newest segment; once it exceeds Options.SegmentBytes the journal
+// rotates to a fresh one. Compaction replaces history with a snapshot:
+// Compact writes the caller's snapshot record as the first record of a
+// new segment and deletes every older segment, so replay cost stays
+// proportional to the state since the last snapshot, not the daemon's
+// lifetime.
+//
+// Crash semantics: a record is durable once Append returns (written to
+// the OS; fsynced when Options.Fsync is set). Replay delivers every
+// intact record in append order and stops at the first torn or corrupt
+// record, truncating the log there — records after a corruption are
+// unreachable by construction (their predecessor's frame is broken), so
+// dropping them is the only consistent recovery.
+//
+// internal/server journals run lifecycle transitions and
+// internal/cluster journals sweep and cell settlements; both replay on
+// daemon restart to resume interrupted work (see DESIGN.md §10).
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+// Frame layout: a fixed header followed by the JSON payload.
+const (
+	// headerBytes is the frame header size: uint32 payload length +
+	// uint32 CRC32-Castagnoli of the payload, both little-endian.
+	headerBytes = 8
+	// MaxRecordBytes bounds one record's payload; a length field beyond
+	// it marks the frame as torn (corrupt lengths must not drive huge
+	// allocations).
+	MaxRecordBytes = 1 << 24
+)
+
+// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+// is unset.
+const DefaultSegmentBytes = 4 << 20
+
+// castagnoli is the CRC32 polynomial used for frame checksums (better
+// error detection than IEEE, hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one journaled entry: a type tag the owner dispatches on and
+// an opaque JSON payload.
+type Record struct {
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Decode unmarshals the record's payload into v.
+func (r Record) Decode(v any) error {
+	if err := json.Unmarshal(r.Data, v); err != nil {
+		return fmt.Errorf("journal: decode %q record: %w", r.Type, err)
+	}
+	return nil
+}
+
+// Options tunes a journal.
+type Options struct {
+	// SegmentBytes is the rotation threshold (<= 0 selects
+	// DefaultSegmentBytes).
+	SegmentBytes int64
+	// Fsync syncs the segment file after every append. Off by default:
+	// an OS crash can then lose the page-cache tail, but a process
+	// crash (the case the control plane recovers from) loses nothing.
+	Fsync bool
+	// Telemetry receives append latency, replay counters, and
+	// torn-record events. Nil disables them.
+	Telemetry *telemetry.Telemetry
+}
+
+// ReplayStats summarizes what Open found on disk.
+type ReplayStats struct {
+	// Segments is the number of segment files scanned.
+	Segments int `json:"segments"`
+	// Records is the number of intact records replayed.
+	Records int `json:"records"`
+	// Torn reports whether replay stopped at a torn or corrupt record.
+	Torn bool `json:"torn,omitempty"`
+	// TruncatedBytes is the size of the discarded tail (the torn record
+	// and everything after it in its segment).
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+	// DroppedSegments counts segments after the torn one that were
+	// removed (unreachable once their predecessor is broken).
+	DroppedSegments int `json:"dropped_segments,omitempty"`
+}
+
+// Journal is an open write-ahead log. All methods are safe for
+// concurrent use.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File
+	seq    uint64
+	size   int64
+	recs   int64 // records appended since Open or the last Compact
+	closed bool
+
+	start     time.Time
+	tr        *telemetry.Tracer
+	hAppend   *telemetry.Histogram
+	mAppends  *telemetry.Counter
+	mRotates  *telemetry.Counter
+	mCompacts *telemetry.Counter
+	mReplayed *telemetry.Counter
+	mTorn     *telemetry.Counter
+}
+
+// Open opens (creating if needed) the journal in dir, replays every
+// intact record through fn in append order, truncates any torn tail,
+// and returns the journal positioned for appends. fn may be nil to
+// skip delivery (the scan and truncation still happen); an fn error
+// aborts the open.
+func Open(dir string, opts Options, fn func(Record) error) (*Journal, ReplayStats, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, ReplayStats{}, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir, opts: opts, start: time.Now(), tr: opts.Telemetry.Tracer()}
+	m := opts.Telemetry.Metrics()
+	j.hAppend = m.Histogram(telemetry.MetricJournalAppendTime)
+	j.mAppends = m.Counter(telemetry.MetricJournalAppends)
+	j.mRotates = m.Counter(telemetry.MetricJournalRotations)
+	j.mCompacts = m.Counter(telemetry.MetricJournalCompactions)
+	j.mReplayed = m.Counter(telemetry.MetricJournalReplayed)
+	j.mTorn = m.Counter(telemetry.MetricJournalTorn)
+
+	seqs, err := j.segments()
+	if err != nil {
+		return nil, ReplayStats{}, err
+	}
+	var stats ReplayStats
+	for i, seq := range seqs {
+		path := j.segmentPath(seq)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, stats, fmt.Errorf("journal: %w", err)
+		}
+		stats.Segments++
+		consumed, torn, err := Scan(data, func(rec Record) error {
+			stats.Records++
+			j.mReplayed.Inc()
+			if fn != nil {
+				return fn(rec)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, stats, err
+		}
+		if torn {
+			// Discard the torn tail and everything past it: records
+			// beyond a broken frame cannot be trusted.
+			stats.Torn = true
+			stats.TruncatedBytes = int64(len(data) - consumed)
+			j.mTorn.Inc()
+			j.tr.EmitMsg(j.now(), telemetry.EvJournalTorn, telemetry.WLNone,
+				filepath.Base(path), telemetry.I("offset", consumed),
+				telemetry.I("dropped_bytes", len(data)-consumed))
+			if err := os.Truncate(path, int64(consumed)); err != nil {
+				return nil, stats, fmt.Errorf("journal: truncate torn tail: %w", err)
+			}
+			for _, later := range seqs[i+1:] {
+				if err := os.Remove(j.segmentPath(later)); err != nil {
+					return nil, stats, fmt.Errorf("journal: drop segment: %w", err)
+				}
+				stats.DroppedSegments++
+			}
+			seqs = seqs[:i+1]
+			break
+		}
+	}
+
+	// Position for appends: continue the newest segment, or start the
+	// first one on an empty directory.
+	if len(seqs) == 0 {
+		j.seq = 1
+		if j.f, err = os.OpenFile(j.segmentPath(j.seq),
+			os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644); err != nil {
+			return nil, stats, fmt.Errorf("journal: %w", err)
+		}
+	} else {
+		j.seq = seqs[len(seqs)-1]
+		f, err := os.OpenFile(j.segmentPath(j.seq), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, stats, fmt.Errorf("journal: %w", err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, stats, fmt.Errorf("journal: %w", err)
+		}
+		j.f, j.size = f, fi.Size()
+	}
+	j.tr.EmitMsg(j.now(), telemetry.EvJournalReplay, telemetry.WLNone, dir,
+		telemetry.I("segments", stats.Segments), telemetry.I("records", stats.Records),
+		telemetry.I("torn", boolInt(stats.Torn)))
+	return j, stats, nil
+}
+
+// Append journals one record: v is marshaled as the payload of a typ
+// record, framed, and written to the newest segment (rotating first when
+// the segment is over the threshold). The record is durable against
+// process crash once Append returns.
+func (j *Journal) Append(typ string, v any) error {
+	payload, err := encodeRecord(typ, v)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, headerBytes+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[headerBytes:], payload)
+
+	start := time.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	if j.size >= j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if j.opts.Fsync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	j.size += int64(len(frame))
+	j.recs++
+	j.mAppends.Inc()
+	j.hAppend.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// Compact replaces the journal's history with a snapshot: v is written
+// as the sole record of a fresh segment and every older segment is
+// deleted. On the next Open, replay starts at the snapshot record. The
+// snapshot segment is always fsynced before old segments are removed,
+// so a crash during compaction never loses both the history and the
+// snapshot.
+func (j *Journal) Compact(typ string, v any) error {
+	payload, err := encodeRecord(typ, v)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	oldSeq := j.seq
+	if err := j.rotateLocked(); err != nil {
+		return err
+	}
+	frame := make([]byte, headerBytes+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[headerBytes:], payload)
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	// The snapshot must be on disk before history disappears.
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: compact sync: %w", err)
+	}
+	j.size += int64(len(frame))
+	seqs, err := j.segments()
+	if err != nil {
+		return err
+	}
+	for _, seq := range seqs {
+		if seq <= oldSeq {
+			if err := os.Remove(j.segmentPath(seq)); err != nil {
+				return fmt.Errorf("journal: compact: %w", err)
+			}
+		}
+	}
+	j.recs = 1
+	j.mCompacts.Inc()
+	j.tr.EmitMsg(j.now(), telemetry.EvJournalCompact, telemetry.WLNone, typ,
+		telemetry.I("dropped_segments", len(seqs)-1))
+	return nil
+}
+
+// Records returns the number of records appended since Open or the last
+// Compact — the owner's compaction trigger signal.
+func (j *Journal) Records() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recs
+}
+
+// Dir returns the journal's directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Sync flushes the newest segment to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return fmt.Errorf("journal: close: %w", err)
+	}
+	return j.f.Close()
+}
+
+// rotateLocked closes the current segment and starts the next one.
+func (j *Journal) rotateLocked() error {
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: rotate sync: %w", err)
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("journal: rotate: %w", err)
+	}
+	j.seq++
+	f, err := os.OpenFile(j.segmentPath(j.seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: rotate: %w", err)
+	}
+	j.f, j.size = f, 0
+	j.mRotates.Inc()
+	return nil
+}
+
+// segmentPath names segment seq inside the journal directory.
+func (j *Journal) segmentPath(seq uint64) string {
+	return filepath.Join(j.dir, fmt.Sprintf("seg-%08d.wal", seq))
+}
+
+// segments lists the directory's segment sequence numbers in order.
+func (j *Journal) segments() ([]uint64, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "seg-%d.wal", &seq); err != nil || seq == 0 {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(a, b int) bool { return seqs[a] < seqs[b] })
+	return seqs, nil
+}
+
+// now is the journal's telemetry clock: seconds since Open.
+func (j *Journal) now() float64 { return time.Since(j.start).Seconds() }
+
+// encodeRecord marshals a record payload.
+func encodeRecord(typ string, v any) ([]byte, error) {
+	if typ == "" {
+		return nil, fmt.Errorf("journal: empty record type")
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("journal: marshal %q record: %w", typ, err)
+	}
+	payload, err := json.Marshal(Record{Type: typ, Data: data})
+	if err != nil {
+		return nil, fmt.Errorf("journal: marshal %q record: %w", typ, err)
+	}
+	return payload, nil
+}
+
+// Scan walks one segment's raw bytes, delivering every intact record to
+// fn in order. It returns the number of bytes consumed by intact
+// records and whether scanning stopped at a torn record (short header,
+// oversized or short payload, checksum mismatch, or undecodable JSON).
+// Scan never panics, whatever the input — the fuzz target in this
+// package holds it to that. A non-nil error comes only from fn and
+// aborts the scan.
+func Scan(data []byte, fn func(Record) error) (consumed int, torn bool, err error) {
+	off := 0
+	for {
+		if off == len(data) {
+			return off, false, nil // clean end of segment
+		}
+		if len(data)-off < headerBytes {
+			return off, true, nil // torn header
+		}
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n == 0 || n > MaxRecordBytes {
+			return off, true, nil // nonsense length
+		}
+		if len(data)-off-headerBytes < int(n) {
+			return off, true, nil // torn payload
+		}
+		payload := data[off+headerBytes : off+headerBytes+int(n)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return off, true, nil // checksum mismatch
+		}
+		var rec Record
+		if json.Unmarshal(payload, &rec) != nil || rec.Type == "" {
+			return off, true, nil // framed but not a record
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return off, false, err
+			}
+		}
+		off += headerBytes + int(n)
+	}
+}
+
+// ScanFile is Scan over a segment file on disk — the golden-format tests
+// replay committed .wal fixtures through it.
+func ScanFile(path string, fn func(Record) error) (consumed int, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false, fmt.Errorf("journal: %w", err)
+	}
+	return Scan(data, fn)
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,501 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+// entry is the payload type the tests journal.
+type entry struct {
+	ID string `json:"id"`
+	N  int    `json:"n"`
+}
+
+// collect replays a journal directory into a flat record list.
+func collect(t *testing.T, dir string, opts Options) ([]Record, ReplayStats, *Journal) {
+	t.Helper()
+	var recs []Record
+	j, stats, err := Open(dir, opts, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return recs, stats, j
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, stats, err := Open(dir, Options{}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if stats.Records != 0 || stats.Segments != 0 {
+		t.Fatalf("fresh journal replayed %+v", stats)
+	}
+	for i := 0; i < 100; i++ {
+		if err := j.Append("entry", entry{ID: fmt.Sprintf("e%03d", i), N: i}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if got := j.Records(); got != 100 {
+		t.Fatalf("Records() = %d, want 100", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	recs, stats, j2 := collect(t, dir, Options{})
+	defer j2.Close()
+	if stats.Torn {
+		t.Fatalf("clean log reported torn: %+v", stats)
+	}
+	if len(recs) != 100 {
+		t.Fatalf("replayed %d records, want 100", len(recs))
+	}
+	for i, r := range recs {
+		if r.Type != "entry" {
+			t.Fatalf("record %d type %q", i, r.Type)
+		}
+		var e entry
+		if err := r.Decode(&e); err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if e.N != i {
+			t.Fatalf("record %d decoded N=%d", i, e.N)
+		}
+	}
+}
+
+func TestAppendAfterReopenContinuesLog(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := j.Append("entry", entry{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, _, j2 := collect(t, dir, Options{})
+	if err := j2.Append("entry", entry{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	recs, _, j3 := collect(t, dir, Options{})
+	defer j3.Close()
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(recs))
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation every couple of records.
+	j, _, err := Open(dir, Options{SegmentBytes: 128}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := j.Append("entry", entry{ID: "rotate", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("expected >= 3 segments, got %d (%v)", len(segs), err)
+	}
+	recs, stats, j2 := collect(t, dir, Options{SegmentBytes: 128})
+	defer j2.Close()
+	if len(recs) != 50 {
+		t.Fatalf("replayed %d records across %d segments, want 50", len(recs), stats.Segments)
+	}
+	for i, r := range recs {
+		var e entry
+		if err := r.Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		if e.N != i {
+			t.Fatalf("rotation broke ordering: record %d has N=%d", i, e.N)
+		}
+	}
+}
+
+func TestCompactionDropsHistory(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{SegmentBytes: 256}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := j.Append("entry", entry{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Compact("snapshot", entry{ID: "snap", N: 40}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if got := j.Records(); got != 1 {
+		t.Fatalf("Records() after compact = %d, want 1", got)
+	}
+	if err := j.Append("entry", entry{N: 41}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	recs, stats, j2 := collect(t, dir, Options{})
+	defer j2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records after compaction, want 2 (snapshot + 1 delta)", len(recs))
+	}
+	if recs[0].Type != "snapshot" {
+		t.Fatalf("first replayed record is %q, want snapshot", recs[0].Type)
+	}
+	var e entry
+	if err := recs[1].Decode(&e); err != nil || e.N != 41 {
+		t.Fatalf("delta after snapshot = %+v (err %v)", e, err)
+	}
+	if stats.Segments != 1 {
+		t.Fatalf("compaction left %d segments, want 1", stats.Segments)
+	}
+}
+
+// TestTornTailTable drives replay through every corruption class a crash
+// can leave behind and asserts the intact prefix survives each one.
+func TestTornTailTable(t *testing.T) {
+	// build writes a clean 3-record log and returns its single segment.
+	build := func(t *testing.T) (dir, seg string) {
+		t.Helper()
+		dir = t.TempDir()
+		j, _, err := Open(dir, Options{}, nil)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := j.Append("entry", entry{ID: "torn", N: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		j.Close()
+		return dir, filepath.Join(dir, "seg-00000001.wal")
+	}
+
+	tests := []struct {
+		name    string
+		corrupt func(t *testing.T, seg string)
+		want    int  // intact records expected on replay
+		torn    bool // replay should report a torn tail
+	}{
+		{"clean", func(t *testing.T, seg string) {}, 3, false},
+		{"truncated mid-payload", func(t *testing.T, seg string) {
+			data := read(t, seg)
+			write(t, seg, data[:len(data)-5])
+		}, 2, true},
+		{"truncated mid-header", func(t *testing.T, seg string) {
+			data := read(t, seg)
+			bounds := frameBounds(t, data)
+			write(t, seg, data[:bounds[2]+3])
+		}, 2, true},
+		{"bit flip in last payload", func(t *testing.T, seg string) {
+			data := read(t, seg)
+			data[len(data)-2] ^= 0x40
+			write(t, seg, data)
+		}, 2, true},
+		{"bit flip in first payload", func(t *testing.T, seg string) {
+			data := read(t, seg)
+			data[headerBytes+2] ^= 0x01
+			write(t, seg, data)
+		}, 0, true},
+		{"length field garbage", func(t *testing.T, seg string) {
+			data := read(t, seg)
+			bounds := frameBounds(t, data)
+			binary.LittleEndian.PutUint32(data[bounds[1]:], 0xFFFFFFFF)
+			write(t, seg, data)
+		}, 1, true},
+		{"zero length field", func(t *testing.T, seg string) {
+			data := read(t, seg)
+			bounds := frameBounds(t, data)
+			binary.LittleEndian.PutUint32(data[bounds[2]:], 0)
+			write(t, seg, data)
+		}, 2, true},
+		{"appended garbage", func(t *testing.T, seg string) {
+			data := append(read(t, seg), []byte("garbage tail not a frame")...)
+			write(t, seg, data)
+		}, 3, true},
+		{"valid frame, non-record JSON", func(t *testing.T, seg string) {
+			payload := []byte(`[1,2,3]`)
+			frame := make([]byte, headerBytes+len(payload))
+			binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+			copy(frame[headerBytes:], payload)
+			write(t, seg, append(read(t, seg), frame...))
+		}, 3, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			dir, seg := build(t)
+			tt.corrupt(t, seg)
+
+			recs, stats, j := collect(t, dir, Options{})
+			if len(recs) != tt.want {
+				t.Fatalf("replayed %d records, want %d (stats %+v)", len(recs), tt.want, stats)
+			}
+			if stats.Torn != tt.torn {
+				t.Fatalf("torn = %v, want %v", stats.Torn, tt.torn)
+			}
+			// The journal must be appendable after recovery, and the new
+			// record must land right after the surviving prefix.
+			if err := j.Append("entry", entry{ID: "after", N: 99}); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			j.Close()
+			recs2, stats2, j2 := collect(t, dir, Options{})
+			j2.Close()
+			if stats2.Torn {
+				t.Fatalf("second replay still torn: %+v", stats2)
+			}
+			if len(recs2) != tt.want+1 {
+				t.Fatalf("after recovery+append replayed %d, want %d", len(recs2), tt.want+1)
+			}
+			var e entry
+			if err := recs2[len(recs2)-1].Decode(&e); err != nil || e.ID != "after" {
+				t.Fatalf("last record = %+v (err %v)", e, err)
+			}
+		})
+	}
+}
+
+// TestTornMiddleSegmentDropsLaterSegments: a corruption in segment k makes
+// segments > k unreachable; replay must stop at k's good prefix and the
+// later files must be removed.
+func TestTornMiddleSegmentDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{SegmentBytes: 96}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := j.Append("entry", entry{ID: "mid", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(segs))
+	}
+	// Corrupt the second segment's first record.
+	data := read(t, segs[1])
+	data[headerBytes+1] ^= 0x80
+	write(t, segs[1], data)
+
+	recs, stats, j2 := collect(t, dir, Options{SegmentBytes: 96})
+	defer j2.Close()
+	if !stats.Torn {
+		t.Fatalf("expected torn, got %+v", stats)
+	}
+	if stats.DroppedSegments != len(segs)-2 {
+		t.Fatalf("dropped %d segments, want %d", stats.DroppedSegments, len(segs)-2)
+	}
+	// Every surviving record is the uncorrupted prefix, in order.
+	for i, r := range recs {
+		var e entry
+		if err := r.Decode(&e); err != nil || e.N != i {
+			t.Fatalf("record %d = %+v (err %v)", i, e, err)
+		}
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(left) != 2 {
+		t.Fatalf("%d segment files left, want 2", len(left))
+	}
+}
+
+func TestReplayFnErrorAbortsOpen(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append("entry", entry{N: 1})
+	j.Close()
+
+	wantErr := fmt.Errorf("replay veto")
+	_, _, err = Open(dir, Options{}, func(Record) error { return wantErr })
+	if err == nil || !strings.Contains(err.Error(), "replay veto") {
+		t.Fatalf("Open error = %v, want replay veto", err)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{SegmentBytes: 512}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const writers, each = 8, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := j.Append("entry", entry{ID: fmt.Sprintf("w%d", w), N: i}); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	j.Close()
+
+	recs, stats, j2 := collect(t, dir, Options{})
+	defer j2.Close()
+	if stats.Torn {
+		t.Fatalf("concurrent appends tore the log: %+v", stats)
+	}
+	if len(recs) != writers*each {
+		t.Fatalf("replayed %d records, want %d", len(recs), writers*each)
+	}
+	// Per-writer order must be preserved even though writers interleave.
+	last := map[string]int{}
+	for _, r := range recs {
+		var e entry
+		if err := r.Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := last[e.ID]; ok && e.N != prev+1 {
+			t.Fatalf("writer %s jumped %d -> %d", e.ID, prev, e.N)
+		}
+		last[e.ID] = e.N
+	}
+}
+
+func TestTelemetryWiring(t *testing.T) {
+	tel := telemetry.New()
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{SegmentBytes: 64, Telemetry: tel}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := j.Append("entry", entry{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Compact("snapshot", entry{N: 10}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	m := tel.Metrics()
+	if got := m.Counter(telemetry.MetricJournalAppends).Value(); got != 10 {
+		t.Fatalf("appends counter = %d, want 10", got)
+	}
+	if got := m.Counter(telemetry.MetricJournalCompactions).Value(); got != 1 {
+		t.Fatalf("compactions counter = %d, want 1", got)
+	}
+	if got := m.Counter(telemetry.MetricJournalRotations).Value(); got == 0 {
+		t.Fatal("rotations counter stayed 0 despite 64-byte segments")
+	}
+	if got := m.Histogram(telemetry.MetricJournalAppendTime).Count(); got != 10 {
+		t.Fatalf("append latency histogram count = %d, want 10", got)
+	}
+
+	// A reopen with a torn tail feeds the torn counter and event.
+	seg, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	data := read(t, seg[len(seg)-1])
+	write(t, seg[len(seg)-1], append(data, 0xDE, 0xAD))
+	tel2 := telemetry.New()
+	_, stats, j2 := collect(t, dir, Options{Telemetry: tel2})
+	j2.Close()
+	if !stats.Torn {
+		t.Fatalf("expected torn tail, got %+v", stats)
+	}
+	if got := tel2.Metrics().Counter(telemetry.MetricJournalTorn).Value(); got != 1 {
+		t.Fatalf("torn counter = %d, want 1", got)
+	}
+	if got := tel2.Metrics().Counter(telemetry.MetricJournalReplayed).Value(); got == 0 {
+		t.Fatal("replayed counter stayed 0")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j, _, err := Open(t.TempDir(), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Append("entry", entry{}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestFsyncOption(t *testing.T) {
+	j, _, err := Open(t.TempDir(), Options{Fsync: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append("entry", entry{N: 1}); err != nil {
+		t.Fatalf("fsync append: %v", err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+}
+
+func TestDecodeError(t *testing.T) {
+	r := Record{Type: "entry", Data: json.RawMessage(`{"n": "not a number"}`)}
+	var e entry
+	if err := r.Decode(&e); err == nil {
+		t.Fatal("Decode of mistyped payload succeeded")
+	}
+}
+
+// frameBounds returns the byte offset of each frame boundary in data
+// (offset 0, then after record 1, record 2, ...).
+func frameBounds(t *testing.T, data []byte) []int {
+	t.Helper()
+	bounds := []int{0}
+	off := 0
+	for off < len(data) {
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		off += headerBytes + int(n)
+		bounds = append(bounds, off)
+	}
+	return bounds
+}
+
+func read(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func write(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

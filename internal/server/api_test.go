@@ -16,7 +16,7 @@ func newTestAPI(t *testing.T, cfg Config) (*Client, *Manager) {
 	t.Helper()
 	tel := telemetry.New()
 	cfg.Telemetry = tel
-	m := NewManager(cfg)
+	m := newTestManager(t, cfg)
 	srv := httptest.NewServer(NewHandler(m, tel))
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)

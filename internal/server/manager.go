@@ -12,10 +12,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
 	"sync"
 	"time"
 
+	"github.com/tieredmem/mtat/internal/journal"
 	"github.com/tieredmem/mtat/internal/sim"
 	"github.com/tieredmem/mtat/internal/telemetry"
 )
@@ -46,6 +48,9 @@ const (
 	// telemetry default (1<<16 events) is sized for one process-wide
 	// sink; a service retaining hundreds of runs wants a smaller ring.
 	DefaultRunTraceCapacity = 1 << 12
+	// DefaultCompactEvery is the number of journal delta records between
+	// snapshot compactions when persistence is enabled.
+	DefaultCompactEvery = 1024
 )
 
 // Config sizes the run manager.
@@ -68,6 +73,21 @@ type Config struct {
 	// Telemetry is the daemon-level sink for the manager's own metrics
 	// (submissions, completions, queue depth). Nil disables them.
 	Telemetry *telemetry.Telemetry
+	// DataDir enables crash-safe persistence: accepted specs, state
+	// transitions, and result summaries are journaled there, and a
+	// restarted manager replays the journal, re-enqueueing every run the
+	// previous incarnation accepted but did not finish (at-least-once
+	// execution — see DESIGN.md §10). Empty keeps all state in memory.
+	DataDir string
+	// CompactEvery is the number of journal delta records between
+	// snapshot compactions (<= 0 selects DefaultCompactEvery).
+	CompactEvery int
+	// Fsync syncs the journal after every append; off, a process crash
+	// loses nothing but an OS crash may drop the page-cache tail.
+	Fsync bool
+	// Logf receives operational log lines (evictions, journal errors,
+	// recovery summaries). Nil selects the standard library logger.
+	Logf func(format string, args ...any)
 }
 
 // Submission errors.
@@ -94,7 +114,11 @@ type run struct {
 	finished  time.Time
 	errMsg    string
 	result    *sim.Result
-	tel       *telemetry.Telemetry
+	// summary is the journaled result of a run finished by a previous
+	// incarnation — the full sim.Result and trace die with the process,
+	// the summary survives it.
+	summary *RunResult
+	tel     *telemetry.Telemetry
 	ctx       context.Context
 	cancel    context.CancelFunc
 	done      chan struct{}
@@ -103,27 +127,33 @@ type run struct {
 // Manager owns the submission queue, the worker pool, and the run
 // registry. All methods are safe for concurrent use.
 type Manager struct {
-	cfg Config
+	cfg  Config
+	jn   *journal.Journal // nil without a DataDir
+	logf func(format string, args ...any)
 
-	mu       sync.Mutex
-	runs     map[string]*run
-	order    []string // submission order, for List
-	finished []string // finish order, for result-store eviction
-	closed   bool
-	nextID   int
+	mu        sync.Mutex
+	runs      map[string]*run
+	order     []string // submission order, for List
+	finished  []string // finish order, for result-store eviction
+	closed    bool
+	nextID    int
+	recovered int // runs re-enqueued by journal replay at startup
 
 	queue chan *run
 	wg    sync.WaitGroup
 
 	mSubmitted, mRejected *telemetry.Counter
 	mDone, mFailed        *telemetry.Counter
-	mCancelled            *telemetry.Counter
+	mCancelled, mEvicted  *telemetry.Counter
 	gQueued, gRunning     *telemetry.Gauge
 	gRetained             *telemetry.Gauge
 }
 
-// NewManager builds a manager and starts its worker pool.
-func NewManager(cfg Config) *Manager {
+// NewManager builds a manager and starts its worker pool. With a
+// Config.DataDir it first opens the journal there, replays it, and
+// re-enqueues every run the previous incarnation accepted but did not
+// finish; the error reports an unreadable data dir or a replay veto.
+func NewManager(cfg Config) (*Manager, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -136,10 +166,16 @@ func NewManager(cfg Config) *Manager {
 	if cfg.RunTraceCapacity <= 0 {
 		cfg.RunTraceCapacity = DefaultRunTraceCapacity
 	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = DefaultCompactEvery
+	}
 	m := &Manager{
-		cfg:   cfg,
-		runs:  make(map[string]*run),
-		queue: make(chan *run, cfg.QueueCap),
+		cfg:  cfg,
+		logf: cfg.Logf,
+		runs: make(map[string]*run),
+	}
+	if m.logf == nil {
+		m.logf = log.Printf
 	}
 	reg := cfg.Telemetry.Metrics()
 	m.mSubmitted = reg.Counter("server_runs_submitted_total")
@@ -147,14 +183,54 @@ func NewManager(cfg Config) *Manager {
 	m.mDone = reg.Counter("server_runs_done_total")
 	m.mFailed = reg.Counter("server_runs_failed_total")
 	m.mCancelled = reg.Counter("server_runs_cancelled_total")
+	m.mEvicted = reg.Counter("server_results_evicted_total")
 	m.gQueued = reg.Gauge("server_queue_depth")
 	m.gRunning = reg.Gauge("server_runs_running")
 	m.gRetained = reg.Gauge("server_results_retained")
+
+	var pending []*run
+	if cfg.DataDir != "" {
+		rs := newReplayState()
+		jn, stats, err := journal.Open(cfg.DataDir,
+			journal.Options{Fsync: cfg.Fsync, Telemetry: cfg.Telemetry}, rs.apply)
+		if err != nil {
+			return nil, dataDirError(err)
+		}
+		m.jn = jn
+		pending = m.restore(rs)
+		m.recovered = len(pending)
+		if stats.Records > 0 || stats.Torn {
+			m.logf("server: journal replay: %d records, %d runs retained, %d re-enqueued, torn=%v",
+				stats.Records, len(m.runs), len(pending), stats.Torn)
+		}
+	}
+	// The queue must absorb the recovered backlog even when it exceeds
+	// the admission cap (Submit still enforces cfg.QueueCap for new work).
+	capacity := cfg.QueueCap
+	if len(pending) > capacity {
+		capacity = len(pending)
+	}
+	m.queue = make(chan *run, capacity)
+	for _, r := range pending {
+		m.queue <- r
+	}
+	m.gQueued.Set(float64(len(m.queue)))
+	m.gRetained.Set(float64(len(m.finished)))
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
 	}
-	return m
+	return m, nil
+}
+
+// newRunTelemetry builds one run's private telemetry sink.
+func newRunTelemetry(cfg Config) *telemetry.Telemetry {
+	return telemetry.NewWithConfig(telemetry.Config{TraceCapacity: cfg.RunTraceCapacity})
+}
+
+// newRunContext builds one run's cancellation context.
+func newRunContext() (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background())
 }
 
 // Workers returns the worker pool size.
@@ -174,6 +250,7 @@ func (m *Manager) Stats() Stats {
 		RetainedResults: len(m.finished),
 		MaxRuns:         m.cfg.MaxRuns,
 		TotalRuns:       len(m.runs),
+		RecoveredRuns:   m.recovered,
 		Draining:        m.closed,
 	}
 	for _, r := range m.runs {
@@ -200,25 +277,38 @@ func (m *Manager) Submit(spec sim.RunSpec) (RunStatus, error) {
 		m.mRejected.Inc()
 		return RunStatus{}, ErrShuttingDown
 	}
+	// Admission is checked against the configured cap (the channel may be
+	// larger while a recovered backlog drains); under m.mu the queue only
+	// shrinks, so the send below cannot block.
+	if len(m.queue) >= m.cfg.QueueCap || len(m.queue) == cap(m.queue) {
+		m.mRejected.Inc()
+		return RunStatus{}, ErrQueueFull
+	}
 	m.nextID++
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := newRunContext()
 	r := &run{
 		id:        fmt.Sprintf("r%06d", m.nextID),
 		spec:      spec,
 		state:     StateQueued,
 		submitted: time.Now(),
-		tel:       telemetry.NewWithConfig(telemetry.Config{TraceCapacity: m.cfg.RunTraceCapacity}),
+		tel:       newRunTelemetry(m.cfg),
 		ctx:       ctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
 	}
-	select {
-	case m.queue <- r:
-	default:
-		cancel()
-		m.mRejected.Inc()
-		return RunStatus{}, ErrQueueFull
+	// Journal before exposing the run: once Submit returns the ID, the
+	// acceptance must survive a crash. A failed append rejects the
+	// submission instead of silently degrading durability.
+	if m.jn != nil {
+		rec := runSubmittedRec{ID: r.id, Spec: r.spec, SubmittedAt: r.submitted}
+		if err := m.jn.Append(recRunSubmitted, rec); err != nil {
+			m.nextID--
+			cancel()
+			m.mRejected.Inc()
+			return RunStatus{}, fmt.Errorf("server: journal submission: %w", err)
+		}
 	}
+	m.queue <- r
 	m.runs[r.id] = r
 	m.order = append(m.order, r.id)
 	m.mSubmitted.Inc()
@@ -331,9 +421,9 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		m.wg.Wait()
 		close(drained)
 	}()
+	var err error
 	select {
 	case <-drained:
-		return nil
 	case <-ctx.Done():
 		m.mu.Lock()
 		for _, r := range m.runs {
@@ -343,8 +433,14 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		}
 		m.mu.Unlock()
 		<-drained
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if m.jn != nil {
+		if cerr := m.jn.Close(); cerr != nil {
+			m.logf("server: journal close: %v", cerr)
+		}
+	}
+	return err
 }
 
 // worker drains the queue until it is closed.
@@ -365,6 +461,7 @@ func (m *Manager) runOne(r *run) {
 	}
 	r.state = StateRunning
 	r.started = time.Now()
+	m.journalLocked(recRunStarted, runStartedRec{ID: r.id, StartedAt: r.started})
 	m.gQueued.Set(float64(len(m.queue)))
 	m.gRunning.Set(m.gRunning.Value() + 1)
 	m.mu.Unlock()
@@ -402,6 +499,18 @@ func (m *Manager) finishLocked(r *run, st State, msg string, res *sim.Result) {
 		m.mCancelled.Inc()
 	}
 	m.finished = append(m.finished, r.id)
+	m.journalLocked(recRunFinished, runFinishedRec{
+		ID: r.id, State: st, Error: msg, FinishedAt: r.finished, Result: summarizeOrNil(res),
+	})
+	m.evictLocked()
+	m.maybeCompactLocked()
+}
+
+// evictLocked drops the oldest finished runs beyond the result-store
+// cap. Every eviction is accounted: the server_results_evicted_total
+// counter and a log line record what vanished, so recovery tests can
+// reconcile retained+evicted against submissions. Callers hold m.mu.
+func (m *Manager) evictLocked() {
 	for len(m.finished) > m.cfg.MaxRuns {
 		evict := m.finished[0]
 		m.finished = m.finished[1:]
@@ -412,8 +521,20 @@ func (m *Manager) finishLocked(r *run, st State, msg string, res *sim.Result) {
 				break
 			}
 		}
+		m.mEvicted.Inc()
+		m.logf("server: result store full (max %d): evicted oldest finished run %s",
+			m.cfg.MaxRuns, evict)
 	}
 	m.gRetained.Set(float64(len(m.finished)))
+}
+
+// summarizeOrNil is summarize tolerating the nil result of a failed or
+// cancelled run.
+func summarizeOrNil(res *sim.Result) *RunResult {
+	if res == nil {
+		return nil
+	}
+	return summarize(res)
 }
 
 // execute materializes and runs one spec: scenario build, policy

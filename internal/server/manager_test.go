@@ -11,6 +11,17 @@ import (
 	"github.com/tieredmem/mtat/internal/telemetry"
 )
 
+// newTestManager fails the test instead of returning NewManager's error
+// (only reachable with a DataDir).
+func newTestManager(t testing.TB, cfg Config) *Manager {
+	t.Helper()
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return m
+}
+
 // shortSpec is a scenario that finishes in well under a second: 1/16
 // scale, constant load, 10 simulated seconds.
 func shortSpec(seed int64) sim.RunSpec {
@@ -66,7 +77,7 @@ func shutdownOrFail(t *testing.T, m *Manager, timeout time.Duration) {
 }
 
 func TestSubmitComplete(t *testing.T) {
-	m := NewManager(Config{Workers: 2})
+	m := newTestManager(t, Config{Workers: 2})
 	defer shutdownOrFail(t, m, 30*time.Second)
 
 	st, err := m.Submit(shortSpec(1))
@@ -98,7 +109,7 @@ func TestSubmitComplete(t *testing.T) {
 }
 
 func TestSubmitInvalidSpec(t *testing.T) {
-	m := NewManager(Config{Workers: 1})
+	m := newTestManager(t, Config{Workers: 1})
 	defer shutdownOrFail(t, m, 10*time.Second)
 	spec := shortSpec(1)
 	spec.LC = "postgres"
@@ -111,7 +122,7 @@ func TestSubmitInvalidSpec(t *testing.T) {
 // flight at once, each with isolated per-run telemetry.
 func TestConcurrentRuns(t *testing.T) {
 	const n = 8
-	m := NewManager(Config{Workers: n, QueueCap: n})
+	m := newTestManager(t, Config{Workers: n, QueueCap: n})
 	defer shutdownOrFail(t, m, 60*time.Second)
 
 	ids := make([]string, n)
@@ -165,7 +176,7 @@ func TestConcurrentRuns(t *testing.T) {
 }
 
 func TestCancelRunning(t *testing.T) {
-	m := NewManager(Config{Workers: 1})
+	m := newTestManager(t, Config{Workers: 1})
 	defer shutdownOrFail(t, m, 30*time.Second)
 
 	st, err := m.Submit(longSpec(1))
@@ -191,7 +202,7 @@ func TestCancelRunning(t *testing.T) {
 }
 
 func TestCancelQueued(t *testing.T) {
-	m := NewManager(Config{Workers: 1, QueueCap: 4})
+	m := newTestManager(t, Config{Workers: 1, QueueCap: 4})
 	defer shutdownOrFail(t, m, 30*time.Second)
 
 	blocker, err := m.Submit(longSpec(1))
@@ -219,7 +230,7 @@ func TestCancelQueued(t *testing.T) {
 }
 
 func TestQueueFullBackpressure(t *testing.T) {
-	m := NewManager(Config{Workers: 1, QueueCap: 1})
+	m := newTestManager(t, Config{Workers: 1, QueueCap: 1})
 	defer shutdownOrFail(t, m, 30*time.Second)
 
 	running, err := m.Submit(longSpec(1))
@@ -244,7 +255,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 }
 
 func TestShutdownDrains(t *testing.T) {
-	m := NewManager(Config{Workers: 2, QueueCap: 8})
+	m := newTestManager(t, Config{Workers: 2, QueueCap: 8})
 	ids := make([]string, 4)
 	for i := range ids {
 		st, err := m.Submit(shortSpec(int64(i + 1)))
@@ -277,7 +288,7 @@ func TestShutdownDrains(t *testing.T) {
 }
 
 func TestShutdownDeadlineCancelsRuns(t *testing.T) {
-	m := NewManager(Config{Workers: 1, QueueCap: 4})
+	m := newTestManager(t, Config{Workers: 1, QueueCap: 4})
 	running, err := m.Submit(longSpec(1))
 	if err != nil {
 		t.Fatal(err)
@@ -308,7 +319,7 @@ func TestShutdownDeadlineCancelsRuns(t *testing.T) {
 func TestShutdownLeavesNoGoroutines(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	m := NewManager(Config{Workers: 4, QueueCap: 8})
+	m := newTestManager(t, Config{Workers: 4, QueueCap: 8})
 	st, err := m.Submit(shortSpec(1))
 	if err != nil {
 		t.Fatal(err)
@@ -341,7 +352,7 @@ func TestShutdownLeavesNoGoroutines(t *testing.T) {
 }
 
 func TestResultStoreEviction(t *testing.T) {
-	m := NewManager(Config{Workers: 1, QueueCap: 8, MaxRuns: 2})
+	m := newTestManager(t, Config{Workers: 1, QueueCap: 8, MaxRuns: 2})
 	defer shutdownOrFail(t, m, 60*time.Second)
 
 	ids := make([]string, 3)
@@ -372,7 +383,7 @@ func TestResultStoreEviction(t *testing.T) {
 
 func TestManagerMetrics(t *testing.T) {
 	tel := telemetry.New()
-	m := NewManager(Config{Workers: 1, Telemetry: tel})
+	m := newTestManager(t, Config{Workers: 1, Telemetry: tel})
 	defer shutdownOrFail(t, m, 30*time.Second)
 
 	st, err := m.Submit(shortSpec(1))

@@ -1,0 +1,343 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/journal"
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+// seedJournal writes raw lifecycle records into dir — the journal a
+// crashed daemon leaves behind (no finished records for unfinished
+// work, no clean close).
+func seedJournal(t *testing.T, dir string, write func(j *journal.Journal)) {
+	t.Helper()
+	j, _, err := journal.Open(dir, journal.Options{}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	write(j)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func mustAppend(t *testing.T, j *journal.Journal, typ string, v any) {
+	t.Helper()
+	if err := j.Append(typ, v); err != nil {
+		t.Fatalf("Append(%s): %v", typ, err)
+	}
+}
+
+// TestRecoveryReenqueuesUnfinished: a journal holding one queued and one
+// in-flight run (submitted, one also started, neither finished — what a
+// SIGKILL mid-run leaves) must yield a manager that re-runs both to
+// completion.
+func TestRecoveryReenqueuesUnfinished(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now()
+	seedJournal(t, dir, func(j *journal.Journal) {
+		mustAppend(t, j, recRunSubmitted, runSubmittedRec{ID: "r000001", Spec: shortSpec(1), SubmittedAt: now})
+		mustAppend(t, j, recRunSubmitted, runSubmittedRec{ID: "r000002", Spec: shortSpec(2), SubmittedAt: now})
+		mustAppend(t, j, recRunStarted, runStartedRec{ID: "r000002", StartedAt: now})
+	})
+
+	m := newTestManager(t, Config{Workers: 2, DataDir: dir})
+	if got := m.Stats().RecoveredRuns; got != 2 {
+		t.Fatalf("RecoveredRuns = %d, want 2", got)
+	}
+	for _, id := range []string{"r000001", "r000002"} {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		st, err := m.WaitRun(ctx, id)
+		cancel()
+		if err != nil {
+			t.Fatalf("WaitRun(%s): %v", id, err)
+		}
+		if st.State != StateDone || st.Result == nil {
+			t.Fatalf("recovered run %s = %s (result %v), want done with result", id, st.State, st.Result)
+		}
+	}
+	shutdownOrFail(t, m, 30*time.Second)
+
+	// Third incarnation: everything is terminal now, nothing re-enqueues,
+	// and the journaled summaries survive.
+	m2 := newTestManager(t, Config{Workers: 1, DataDir: dir})
+	defer shutdownOrFail(t, m2, 30*time.Second)
+	if got := m2.Stats().RecoveredRuns; got != 0 {
+		t.Fatalf("second recovery re-enqueued %d runs, want 0", got)
+	}
+	st, err := m2.Get("r000002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Result == nil || st.Result.Ticks == 0 {
+		t.Fatalf("post-recovery status = %s result %+v", st.State, st.Result)
+	}
+	// The private trace died with the old process; the events endpoint
+	// must degrade to an empty stream, not a panic.
+	tr, err := m2.Events("r000002")
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if n := tr.Len(); n != 0 {
+		t.Fatalf("recovered run has %d trace events, want 0", n)
+	}
+}
+
+// TestRecoveryPreservesFinished: a run finished before the restart keeps
+// its terminal state and result summary across incarnations.
+func TestRecoveryPreservesFinished(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, Config{Workers: 1, DataDir: dir})
+	st, err := m.Submit(shortSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	final, err := m.WaitRun(ctx, st.ID)
+	cancel()
+	if err != nil || final.State != StateDone {
+		t.Fatalf("run: %v state %s", err, final.State)
+	}
+	shutdownOrFail(t, m, 30*time.Second)
+
+	m2 := newTestManager(t, Config{Workers: 1, DataDir: dir})
+	defer shutdownOrFail(t, m2, 30*time.Second)
+	got, err := m2.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone {
+		t.Fatalf("state = %s, want done", got.State)
+	}
+	if got.Result == nil || got.Result.Ticks != final.Result.Ticks ||
+		got.Result.Policy != final.Result.Policy {
+		t.Fatalf("recovered result %+v != original %+v", got.Result, final.Result)
+	}
+	if got.FinishedAt == nil || !got.FinishedAt.Equal(*final.FinishedAt) {
+		t.Fatalf("recovered FinishedAt %v != %v", got.FinishedAt, final.FinishedAt)
+	}
+}
+
+// TestRecoveryTornTail: garbage appended to the journal (the torn tail a
+// crash mid-append leaves) must not prevent recovery of the intact
+// prefix.
+func TestRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now()
+	seedJournal(t, dir, func(j *journal.Journal) {
+		mustAppend(t, j, recRunSubmitted, runSubmittedRec{ID: "r000001", Spec: shortSpec(1), SubmittedAt: now})
+	})
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x37, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m := newTestManager(t, Config{Workers: 1, DataDir: dir})
+	defer shutdownOrFail(t, m, 60*time.Second)
+	if got := m.Stats().RecoveredRuns; got != 1 {
+		t.Fatalf("RecoveredRuns = %d, want 1", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := m.WaitRun(ctx, "r000001")
+	if err != nil || st.State != StateDone {
+		t.Fatalf("recovered run after torn tail: %v state %s", err, st.State)
+	}
+}
+
+// TestRecoveryNextIDMonotonic: IDs issued after recovery must not
+// collide with replayed ones.
+func TestRecoveryNextIDMonotonic(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now()
+	seedJournal(t, dir, func(j *journal.Journal) {
+		mustAppend(t, j, recRunSubmitted, runSubmittedRec{ID: "r000005", Spec: shortSpec(1), SubmittedAt: now})
+	})
+	m := newTestManager(t, Config{Workers: 1, DataDir: dir})
+	defer shutdownOrFail(t, m, 60*time.Second)
+	st, err := m.Submit(shortSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "r000006" {
+		t.Fatalf("post-recovery ID = %s, want r000006", st.ID)
+	}
+}
+
+// TestRecoveryBacklogBeyondQueueCap: a recovered backlog larger than the
+// admission cap must still be fully enqueued and executed.
+func TestRecoveryBacklogBeyondQueueCap(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now()
+	const backlog = 6
+	seedJournal(t, dir, func(j *journal.Journal) {
+		for i := 1; i <= backlog; i++ {
+			mustAppend(t, j, recRunSubmitted, runSubmittedRec{
+				ID: ids(i), Spec: shortSpec(int64(i)), SubmittedAt: now,
+			})
+		}
+	})
+	m := newTestManager(t, Config{Workers: 2, QueueCap: 2, DataDir: dir})
+	defer shutdownOrFail(t, m, 60*time.Second)
+	if got := m.Stats().RecoveredRuns; got != backlog {
+		t.Fatalf("RecoveredRuns = %d, want %d", got, backlog)
+	}
+	// New submissions are rejected while the backlog holds the queue
+	// over its admission cap.
+	if _, err := m.Submit(shortSpec(99)); err == nil {
+		t.Log("note: backlog drained before over-cap submission; continuing")
+	}
+	for i := 1; i <= backlog; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		st, err := m.WaitRun(ctx, ids(i))
+		cancel()
+		if err != nil || st.State != StateDone {
+			t.Fatalf("backlog run %s: %v state %s", ids(i), err, st.State)
+		}
+	}
+}
+
+// TestEvictionAccounted: evicting beyond MaxRuns bumps
+// server_results_evicted_total, and a restart converges to the same
+// retained set.
+func TestEvictionAccounted(t *testing.T) {
+	dir := t.TempDir()
+	tel := telemetry.New()
+	var logged []string
+	m := newTestManager(t, Config{
+		Workers: 1, MaxRuns: 2, DataDir: dir, Telemetry: tel,
+		Logf: func(format string, args ...any) {
+			logged = append(logged, format)
+		},
+	})
+	const total = 5
+	var idList []string
+	for i := 0; i < total; i++ {
+		st, err := m.Submit(shortSpec(int64(i + 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idList = append(idList, st.ID)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		if _, err := m.WaitRun(ctx, st.ID); err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		cancel()
+	}
+	evicted := tel.Metrics().Counter("server_results_evicted_total").Value()
+	if evicted != total-2 {
+		t.Fatalf("evicted counter = %d, want %d", evicted, total-2)
+	}
+	if int(evicted)+len(m.List()) != total {
+		t.Fatalf("retained %d + evicted %d != submitted %d", len(m.List()), evicted, total)
+	}
+	found := false
+	for _, l := range logged {
+		if l == "server: result store full (max %d): evicted oldest finished run %s" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no eviction log line emitted (got %q)", logged)
+	}
+	shutdownOrFail(t, m, 30*time.Second)
+
+	m2 := newTestManager(t, Config{Workers: 1, MaxRuns: 2, DataDir: dir})
+	defer shutdownOrFail(t, m2, 30*time.Second)
+	runs := m2.List()
+	if len(runs) != 2 {
+		t.Fatalf("recovered %d retained runs, want 2", len(runs))
+	}
+	// The newest two survive.
+	if runs[0].ID != idList[total-2] || runs[1].ID != idList[total-1] {
+		t.Fatalf("retained %s,%s want %s,%s", runs[0].ID, runs[1].ID, idList[total-2], idList[total-1])
+	}
+}
+
+// TestCompactionRoundTrip: aggressive compaction must not change what a
+// restart recovers.
+func TestCompactionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, Config{Workers: 1, DataDir: dir, CompactEvery: 3})
+	var idList []string
+	for i := 0; i < 4; i++ {
+		st, err := m.Submit(shortSpec(int64(i + 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idList = append(idList, st.ID)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		if _, err := m.WaitRun(ctx, st.ID); err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		cancel()
+	}
+	shutdownOrFail(t, m, 30*time.Second)
+
+	m2 := newTestManager(t, Config{Workers: 1, DataDir: dir})
+	defer shutdownOrFail(t, m2, 30*time.Second)
+	if got := m2.Stats().RecoveredRuns; got != 0 {
+		t.Fatalf("RecoveredRuns = %d, want 0", got)
+	}
+	runs := m2.List()
+	if len(runs) != len(idList) {
+		t.Fatalf("recovered %d runs, want %d", len(runs), len(idList))
+	}
+	for i, st := range runs {
+		if st.ID != idList[i] || st.State != StateDone || st.Result == nil {
+			t.Fatalf("run %d = %s %s (result %v)", i, st.ID, st.State, st.Result)
+		}
+	}
+}
+
+// TestRecoveredCancelledRunStaysCancelled: a run cancelled before the
+// restart must not be re-enqueued.
+func TestRecoveredCancelledRunStaysCancelled(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, Config{Workers: 1, QueueCap: 4, DataDir: dir})
+	// Occupy the worker so the second submission stays queued.
+	blocker, err := m.Submit(longSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, blocker.ID, StateRunning)
+	queued, err := m.Submit(shortSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	shutdownOrFail(t, m, 60*time.Second)
+
+	m2 := newTestManager(t, Config{Workers: 1, DataDir: dir})
+	defer shutdownOrFail(t, m2, 30*time.Second)
+	if got := m2.Stats().RecoveredRuns; got != 0 {
+		t.Fatalf("RecoveredRuns = %d, want 0 (both runs were cancelled)", got)
+	}
+	st, err := m2.Get(queued.ID)
+	if err != nil || st.State != StateCancelled {
+		t.Fatalf("cancelled run after restart: %v state %s", err, st.State)
+	}
+}
+
+func ids(i int) string { return fmt.Sprintf("r%06d", i) }

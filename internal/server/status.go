@@ -45,10 +45,14 @@ type Stats struct {
 	QueueCap        int  `json:"queue_cap"`
 	QueuedRuns      int  `json:"queued_runs"`
 	ActiveRuns      int  `json:"active_runs"`
-	RetainedResults int  `json:"retained_results"`
-	MaxRuns         int  `json:"max_runs"`
-	TotalRuns       int  `json:"total_runs"`
-	Draining        bool `json:"draining"`
+	RetainedResults int `json:"retained_results"`
+	MaxRuns         int `json:"max_runs"`
+	TotalRuns       int `json:"total_runs"`
+	// RecoveredRuns counts the runs this incarnation re-enqueued from
+	// the journal at startup (queued or in flight when the previous
+	// incarnation died).
+	RecoveredRuns int  `json:"recovered_runs"`
+	Draining      bool `json:"draining"`
 }
 
 // BEOutcome is one best-effort workload's aggregate in a RunResult.
@@ -76,8 +80,13 @@ func (r *run) status() RunStatus {
 		t := r.finished
 		st.FinishedAt = &t
 	}
-	if r.result != nil {
+	switch {
+	case r.result != nil:
 		st.Result = summarize(r.result)
+	case r.summary != nil:
+		// Finished by a previous incarnation: serve the journaled
+		// summary (the full time series did not survive the crash).
+		st.Result = r.summary
 	}
 	return st
 }

@@ -47,6 +47,17 @@ const (
 	// EvPPEPolicyError marks a policy file PP-E could not apply.
 	// attrs: generation.
 	EvPPEPolicyError = "ppe.policy_error"
+
+	// EvJournalReplay summarizes a journal open. msg=directory;
+	// attrs: segments, records, torn (0/1).
+	EvJournalReplay = "journal.replay"
+	// EvJournalTorn marks a torn or corrupt record found during replay;
+	// the tail from that record on was discarded. msg=segment file;
+	// attrs: offset (last good byte), dropped_bytes.
+	EvJournalTorn = "journal.torn"
+	// EvJournalCompact marks a snapshot compaction. msg=snapshot record
+	// type; attrs: dropped_segments.
+	EvJournalCompact = "journal.compact"
 )
 
 // Metric names. Counters end in _total; gauges and histograms carry a
@@ -74,6 +85,13 @@ const (
 	MetricFSReads    = "cgroupfs_reads_total"
 	MetricFSWrites   = "cgroupfs_writes_total"
 	MetricFSNotFound = "cgroupfs_notfound_total"
+
+	MetricJournalAppendTime  = "journal_append_seconds"
+	MetricJournalAppends     = "journal_appends_total"
+	MetricJournalRotations   = "journal_rotations_total"
+	MetricJournalCompactions = "journal_compactions_total"
+	MetricJournalReplayed    = "journal_replayed_records_total"
+	MetricJournalTorn        = "journal_torn_records_total"
 
 	MetricSimTicks      = "sim_ticks_total"
 	MetricSimViolations = "sim_slo_violations_total"
