@@ -25,6 +25,10 @@
 //	mtatctl sweep nodes -add 127.0.0.1:7070                  # register a mtatd node
 //	mtatctl sweep cancel s000001
 //
+//	mtatctl trace r000001                                    # render a run's distributed trace tree
+//	mtatctl trace -fleet 127.0.0.1:7171 s000001              # a sweep's tree, merged across daemons
+//	mtatctl metrics -format prom                             # scrape a daemon's /metrics
+//
 // The mtatd address comes from -addr, then $MTATD_ADDR, then
 // 127.0.0.1:7070. Sweep subcommands talk to the fleet daemon instead:
 // -addr (when set explicitly), then $MTATFLEET_ADDR, then
@@ -44,6 +48,7 @@ import (
 	"github.com/tieredmem/mtat/internal/cluster"
 	"github.com/tieredmem/mtat/internal/server"
 	"github.com/tieredmem/mtat/internal/sim"
+	"github.com/tieredmem/mtat/internal/telemetry"
 )
 
 func main() {
@@ -63,7 +68,9 @@ func usage(fs *flag.FlagSet) func() {
 			"  wait     block until a run reaches a terminal state\n"+
 			"  logs     stream a run's trace as JSONL\n"+
 			"  cancel   cancel a queued or running run\n"+
-			"  sweep    drive a mtatfleet scheduler (submit|status|wait|results|nodes|cancel)\n\n"+
+			"  sweep    drive a mtatfleet scheduler (submit|status|wait|results|nodes|cancel)\n"+
+			"  trace    render a distributed trace tree (run ID, sweep ID, or 32-hex trace ID)\n"+
+			"  metrics  scrape a daemon's /metrics (-node URL, -format json|prom)\n\n"+
 			"flags:\n")
 		fs.PrintDefaults()
 	}
@@ -111,6 +118,10 @@ func run(args []string) error {
 		return cmdLogs(ctx, c, rest[1:])
 	case "cancel":
 		return cmdCancel(ctx, c, rest[1:])
+	case "trace":
+		return cmdTrace(ctx, c, rest[1:])
+	case "metrics":
+		return cmdMetrics(ctx, c, rest[1:])
 	default:
 		fs.Usage()
 		return fmt.Errorf("unknown command %q", rest[0])
@@ -177,6 +188,10 @@ func cmdSubmit(ctx context.Context, c *server.Client, args []string) error {
 			spec.Load = &sim.LoadSpec{Kind: "constant", Frac: *loadSpec, DurationSeconds: d}
 		}
 	}
+	// Open a fresh distributed trace for the submission: the traceparent
+	// rides the HTTP request, so the daemon's server span, journal append,
+	// and run.execute all hang under this trace ID.
+	ctx, trace := telemetry.NewTraceContext(ctx)
 	st, err := c.Submit(ctx, spec)
 	if err != nil {
 		return err
@@ -184,6 +199,7 @@ func cmdSubmit(ctx context.Context, c *server.Client, args []string) error {
 	// The bare run ID on stdout is the scripting contract; context goes
 	// to stderr.
 	fmt.Fprintf(os.Stderr, "submitted %s (%s, policy %s)\n", st.ID, st.State, spec.PolicyName())
+	fmt.Fprintf(os.Stderr, "trace %s\n", trace)
 	fmt.Println(st.ID)
 	if !*wait && *timeout == 0 {
 		return nil

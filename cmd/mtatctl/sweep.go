@@ -10,6 +10,7 @@ import (
 	"github.com/tieredmem/mtat/internal/cluster"
 	"github.com/tieredmem/mtat/internal/server"
 	"github.com/tieredmem/mtat/internal/sim"
+	"github.com/tieredmem/mtat/internal/telemetry"
 )
 
 // cmdSweep dispatches the mtatfleet subcommand family.
@@ -69,6 +70,10 @@ func cmdSweepSubmit(ctx context.Context, c *cluster.Client, args []string) error
 	if err != nil {
 		return err
 	}
+	// Open a fresh distributed trace: the fleet's sweep.run span, every
+	// cell.dispatch/node.run, and the node-side run.execute spans all
+	// join it, so `mtatctl trace <sweep-id>` renders one connected tree.
+	ctx, trace := telemetry.NewTraceContext(ctx)
 	st, err := c.SubmitSweep(ctx, spec)
 	if err != nil {
 		return err
@@ -76,6 +81,7 @@ func cmdSweepSubmit(ctx context.Context, c *cluster.Client, args []string) error
 	// The bare sweep ID on stdout is the scripting contract; context goes
 	// to stderr.
 	fmt.Fprintf(os.Stderr, "submitted %s (%s, %d cells)\n", st.ID, st.Name, st.Cells)
+	fmt.Fprintf(os.Stderr, "trace %s\n", trace)
 	fmt.Println(st.ID)
 	if !*wait && *timeout == 0 {
 		return nil

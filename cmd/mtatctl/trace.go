@@ -1,0 +1,223 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/cluster"
+	"github.com/tieredmem/mtat/internal/server"
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+// cmdTrace renders a distributed trace as a tree. The argument is a run
+// ID (resolved via mtatd), a sweep ID (resolved via mtatfleet), or a
+// bare 32-hex trace ID. Spans are fetched from mtatd, the fleet, and
+// every node the fleet has registered, then merged — each daemon only
+// retains its own spans, so the full tree exists nowhere but here.
+func cmdTrace(ctx context.Context, c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("mtatctl trace", flag.ContinueOnError)
+	fleetAddr := fs.String("fleet", defaultFleetAddr(),
+		"mtatfleet address to include in the merge (also $MTATFLEET_ADDR; empty = mtatd only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace: exactly one run ID, sweep ID, or 32-hex trace ID required")
+	}
+	arg := fs.Arg(0)
+
+	var fc *cluster.Client
+	if *fleetAddr != "" {
+		fc = cluster.NewClient(*fleetAddr)
+	}
+	trace, err := resolveTrace(ctx, c, fc, arg)
+	if err != nil {
+		return err
+	}
+
+	spans := collectSpans(ctx, c, fc, trace)
+	if len(spans) == 0 {
+		return fmt.Errorf("trace %s: no spans found (span stores are bounded rings — old traces age out)", trace)
+	}
+	fmt.Println(trace)
+	renderTraceTree(os.Stdout, spans)
+	return nil
+}
+
+// resolveTrace maps the CLI argument to a trace ID. A 32-hex string is
+// taken verbatim; "s..." IDs ask the fleet, anything else asks mtatd.
+func resolveTrace(ctx context.Context, c *server.Client, fc *cluster.Client, arg string) (string, error) {
+	if id, err := telemetry.ParseTraceID(arg); err == nil {
+		return id.String(), nil
+	}
+	if strings.HasPrefix(arg, "s") {
+		if fc == nil {
+			return "", fmt.Errorf("trace: sweep ID %s needs a fleet address (-fleet)", arg)
+		}
+		st, err := fc.Sweep(ctx, arg)
+		if err != nil {
+			return "", err
+		}
+		if st.Trace == "" {
+			return "", fmt.Errorf("trace: sweep %s has no trace (submitted without a traceparent)", arg)
+		}
+		return st.Trace, nil
+	}
+	st, err := c.Run(ctx, arg)
+	if err != nil {
+		return "", err
+	}
+	if st.Trace == "" {
+		return "", fmt.Errorf("trace: run %s has no trace (submitted without a traceparent)", arg)
+	}
+	return st.Trace, nil
+}
+
+// collectSpans sweeps every reachable daemon for the trace's spans and
+// dedupes them by span ID. Unreachable sources degrade to a stderr
+// warning — a partial tree beats no tree.
+func collectSpans(ctx context.Context, c *server.Client, fc *cluster.Client, trace string) []telemetry.Span {
+	type source struct {
+		name  string
+		fetch func(context.Context, string) ([]telemetry.Span, error)
+	}
+	seen := map[string]bool{c.BaseURL: true}
+	sources := []source{{c.BaseURL, c.Traces}}
+	if fc != nil && !seen[fc.BaseURL] {
+		seen[fc.BaseURL] = true
+		sources = append(sources, source{fc.BaseURL, fc.Traces})
+		if nodes, err := fc.Nodes(ctx); err == nil {
+			for _, n := range nodes {
+				nc := server.NewClient(n.Addr)
+				if !seen[nc.BaseURL] {
+					seen[nc.BaseURL] = true
+					sources = append(sources, source{nc.BaseURL, nc.Traces})
+				}
+			}
+		}
+	}
+
+	byID := make(map[telemetry.SpanID]telemetry.Span)
+	for _, src := range sources {
+		spans, err := src.fetch(ctx, trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %s unreachable, tree may be partial: %v\n", src.name, err)
+			continue
+		}
+		for _, sp := range spans {
+			byID[sp.ID] = sp
+		}
+	}
+	out := make([]telemetry.Span, 0, len(byID))
+	for _, sp := range byID {
+		out = append(out, sp)
+	}
+	return out
+}
+
+// renderTraceTree prints the spans as an indented tree. Spans whose
+// parent is zero or absent from the merged set are roots — the client's
+// own root span is never recorded anywhere, so the first server span of
+// each daemon naturally tops its subtree.
+func renderTraceTree(w *os.File, spans []telemetry.Span) {
+	present := make(map[telemetry.SpanID]bool, len(spans))
+	for _, sp := range spans {
+		present[sp.ID] = true
+	}
+	children := make(map[telemetry.SpanID][]telemetry.Span)
+	var roots []telemetry.Span
+	for _, sp := range spans {
+		if sp.Parent.IsZero() || !present[sp.Parent] {
+			roots = append(roots, sp)
+		} else {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		}
+	}
+	byStart := func(s []telemetry.Span) {
+		sort.Slice(s, func(i, j int) bool {
+			if !s[i].Start.Equal(s[j].Start) {
+				return s[i].Start.Before(s[j].Start)
+			}
+			return s[i].Name < s[j].Name
+		})
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+
+	var render func(sp telemetry.Span, prefix string, last bool)
+	render = func(sp telemetry.Span, prefix string, last bool) {
+		branch, cont := "├─ ", "│  "
+		if last {
+			branch, cont = "└─ ", "   "
+		}
+		fmt.Fprintf(w, "%s%s%s\n", prefix, branch, spanLine(sp))
+		kids := children[sp.ID]
+		for i, kid := range kids {
+			render(kid, prefix+cont, i == len(kids)-1)
+		}
+	}
+	for i, root := range roots {
+		render(root, "", i == len(roots)-1)
+	}
+}
+
+// spanLine formats one span: name, owning service, wall duration, the
+// most useful attrs, and the error when the span failed.
+func spanLine(sp telemetry.Span) string {
+	var b strings.Builder
+	b.WriteString(sp.Name)
+	if sp.Service != "" {
+		fmt.Fprintf(&b, " (%s)", sp.Service)
+	}
+	fmt.Fprintf(&b, "  %s", fmtSpanDur(sp.Duration))
+	for _, a := range sp.Attrs {
+		fmt.Fprintf(&b, "  %s=%s", a.Key, a.Val)
+	}
+	if sp.Error != "" {
+		fmt.Fprintf(&b, "  ERROR: %s", sp.Error)
+	}
+	return b.String()
+}
+
+// fmtSpanDur renders a duration in seconds at a human scale.
+func fmtSpanDur(secs float64) string {
+	d := time.Duration(secs * float64(time.Second))
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// cmdMetrics scrapes a daemon's /metrics endpoint — by default the
+// mtatd this invocation targets, or any node/fleet URL via -node.
+func cmdMetrics(ctx context.Context, c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("mtatctl metrics", flag.ContinueOnError)
+	node := fs.String("node", "", "daemon address to scrape instead of the default mtatd")
+	format := fs.String("format", "", "exposition format: json or prom (empty = server default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("metrics: no positional arguments")
+	}
+	switch *format {
+	case "", "json", "prom":
+	default:
+		return fmt.Errorf("metrics: unknown format %q (valid: json, prom)", *format)
+	}
+	if *node != "" {
+		c = server.NewClient(*node)
+	}
+	return c.Metrics(ctx, *format, os.Stdout)
+}

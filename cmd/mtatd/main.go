@@ -18,14 +18,44 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/tieredmem/mtat/internal/server"
 	"github.com/tieredmem/mtat/internal/telemetry"
 )
+
+// setupLogging installs a structured slog default logger on stderr —
+// the sink for both the API middleware's request lines and the
+// manager's operational lines. Returns an error on an unknown level.
+func setupLogging(level, format string) error {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "text", "":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return fmt.Errorf("-log-format %q: want text or json", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}
+
+// slogf adapts the structured default logger to the printf-style Logf
+// hooks the manager exposes.
+func slogf(format string, args ...any) {
+	slog.Info(fmt.Sprintf(format, args...))
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -45,10 +75,15 @@ func run() error {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 		dataDir  = flag.String("data-dir", "", "journal directory for crash-safe run recovery (empty = in-memory only)")
 		fsync    = flag.Bool("fsync", false, "fsync the journal after every append (with -data-dir)")
+		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFmt   = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
 
-	tel := telemetry.New()
+	if err := setupLogging(*logLevel, *logFmt); err != nil {
+		return err
+	}
+	tel := telemetry.NewWithConfig(telemetry.Config{Service: "mtatd"})
 	mgr, err := server.NewManager(server.Config{
 		Workers:          *workers,
 		QueueCap:         *queueCap,
@@ -58,13 +93,14 @@ func run() error {
 		Telemetry:        tel,
 		DataDir:          *dataDir,
 		Fsync:            *fsync,
+		Logf:             slogf,
 	})
 	if err != nil {
 		return fmt.Errorf("-data-dir: %w", err)
 	}
 	if st := mgr.Stats(); st.RecoveredRuns > 0 {
-		fmt.Fprintf(os.Stderr, "mtatd: recovered %d unfinished run(s) from %s\n",
-			st.RecoveredRuns, *dataDir)
+		slog.Info("recovered unfinished runs from journal",
+			"runs", st.RecoveredRuns, "data_dir", *dataDir)
 	}
 
 	srv, err := telemetry.Serve(*addr, server.NewHandler(mgr, tel))
@@ -81,11 +117,11 @@ func run() error {
 	<-ctx.Done()
 	stop()
 
-	fmt.Fprintf(os.Stderr, "mtatd: shutting down (drain %s)\n", *drain)
+	slog.Info("shutting down", "drain", drain.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := mgr.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "mtatd: drain deadline hit, outstanding runs cancelled\n")
+		slog.Warn("drain deadline hit, outstanding runs cancelled")
 	}
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelHTTP()

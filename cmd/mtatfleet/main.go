@@ -20,6 +20,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +30,34 @@ import (
 	"github.com/tieredmem/mtat/internal/cluster"
 	"github.com/tieredmem/mtat/internal/telemetry"
 )
+
+// setupLogging installs a structured slog default logger on stderr —
+// the sink for both the API middleware's request lines and the fleet's
+// operational lines. Returns an error on an unknown level.
+func setupLogging(level, format string) error {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "text", "":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return fmt.Errorf("-log-format %q: want text or json", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}
+
+// slogf adapts the structured default logger to the printf-style Logf
+// hook the fleet exposes.
+func slogf(format string, args ...any) {
+	slog.Info(fmt.Sprintf(format, args...))
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -52,15 +81,20 @@ func run() error {
 		drain        = flag.Duration("drain", 60*time.Second, "graceful-shutdown drain deadline")
 		dataDir      = flag.String("data-dir", "", "journal directory for crash-safe sweep recovery (empty = in-memory only)")
 		fsync        = flag.Bool("fsync", false, "fsync the journal after every append (with -data-dir)")
+		logLevel     = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFmt       = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
 
+	if err := setupLogging(*logLevel, *logFmt); err != nil {
+		return err
+	}
 	strategy, err := cluster.StrategyByName(*strategyName)
 	if err != nil {
 		return err
 	}
 
-	tel := telemetry.New()
+	tel := telemetry.NewWithConfig(telemetry.Config{Service: "mtatfleet"})
 	fleet, err := cluster.NewFleet(cluster.FleetConfig{
 		Registry: cluster.RegistryConfig{
 			ProbeInterval:   *probe,
@@ -77,6 +111,7 @@ func run() error {
 		Telemetry:        tel,
 		DataDir:          *dataDir,
 		Fsync:            *fsync,
+		Logf:             slogf,
 	})
 	if err != nil {
 		return fmt.Errorf("-data-dir: %w", err)
@@ -87,19 +122,15 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("-nodes %s: %w", nodeAddr, err)
 		}
-		state := "healthy"
-		if !info.Healthy {
-			state = "down"
-		}
-		fmt.Fprintf(os.Stderr, "mtatfleet: node %s = %s (%s)\n", info.Name, info.Addr, state)
+		slog.Info("registered node", "name", info.Name, "addr", info.Addr, "healthy", info.Healthy)
 	}
 
 	// Resume journaled unfinished sweeps only after the node pool is
 	// registered — dispatching against an empty registry fails every
 	// cell immediately.
 	for _, st := range fleet.Resume() {
-		fmt.Fprintf(os.Stderr, "mtatfleet: resumed sweep %s (%s): %d/%d cells left\n",
-			st.ID, st.Name, st.Cells-st.Done-st.Failed, st.Cells)
+		slog.Info("resumed sweep from journal", "sweep", st.ID, "name", st.Name,
+			"cells_left", st.Cells-st.Done-st.Failed, "cells", st.Cells)
 	}
 
 	srv, err := telemetry.Serve(*addr, cluster.NewHandler(fleet, tel))
@@ -116,11 +147,11 @@ func run() error {
 	<-ctx.Done()
 	stop()
 
-	fmt.Fprintf(os.Stderr, "mtatfleet: shutting down (drain %s)\n", *drain)
+	slog.Info("shutting down", "drain", drain.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := fleet.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "mtatfleet: drain deadline hit, running sweeps cancelled\n")
+		slog.Warn("drain deadline hit, running sweeps cancelled")
 	}
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelHTTP()

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 
@@ -34,9 +35,15 @@ type AddNodeRequest struct {
 //	GET    /api/v1/nodes                node pool with health and load
 //	POST   /api/v1/nodes                register a mtatd node {"addr","weight"}
 //	DELETE /api/v1/nodes/{name}         deregister a node (by name or address)
+//	GET    /api/v1/traces               retained distributed traces (summaries, NDJSON)
+//	GET    /api/v1/traces/{id}          one trace's spans as JSONL
+//	GET    /healthz                     liveness probe
+//	GET    /readyz                      readiness probe (replay done, recovery resumed)
 //
 // tel is the fleet-level telemetry sink; its handler is mounted at
-// /metrics, /trace, and /debug/pprof/ (nil serves empty snapshots).
+// /metrics, /trace, and /debug/pprof/ (nil serves empty snapshots), and
+// every route is wrapped in telemetry.Middleware for request metrics,
+// server spans, and structured logs.
 func NewHandler(f *Fleet, tel *telemetry.Telemetry) http.Handler {
 	mux := http.NewServeMux()
 
@@ -51,7 +58,7 @@ func NewHandler(f *Fleet, tel *telemetry.Telemetry) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		st, err := f.Submit(spec)
+		st, err := f.SubmitCtx(r.Context(), spec)
 		switch {
 		case errors.Is(err, ErrFleetClosed):
 			writeError(w, http.StatusServiceUnavailable, err)
@@ -142,6 +149,25 @@ func NewHandler(f *Fleet, tel *telemetry.Telemetry) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"removed": r.PathValue("name")})
 	})
 
+	// Distributed-trace surface: the spans this daemon retains, listed
+	// and fetched per trace (mtatctl trace merges them across daemons).
+	mux.HandleFunc("GET /api/v1/traces", tel.ServeTraceList)
+	mux.HandleFunc("GET /api/v1/traces/{id}", tel.ServeTrace)
+
+	// Probes: /healthz is pure liveness; /readyz additionally demands
+	// journal replay finished and recovered sweeps resumed, so
+	// orchestration and CI gate traffic on it.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ok, reason := f.Ready(); !ok {
+			http.Error(w, reason, http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+
 	th := tel.Handler()
 	mux.Handle("/metrics", th)
 	mux.Handle("/trace", th)
@@ -162,12 +188,20 @@ func NewHandler(f *Fleet, tel *telemetry.Telemetry) http.Handler {
 			"GET    /api/v1/nodes\n"+
 			"POST   /api/v1/nodes\n"+
 			"DELETE /api/v1/nodes/{name}\n"+
-			"GET    /metrics\n"+
+			"GET    /api/v1/traces\n"+
+			"GET    /api/v1/traces/{id}\n"+
+			"GET    /healthz\n"+
+			"GET    /readyz\n"+
+			"GET    /metrics  (?format=prom for Prometheus text)\n"+
 			"GET    /trace\n"+
 			"GET    /debug/pprof/\n")
 	})
 
-	return mux
+	// Every route passes through the shared instrumentation: per-route
+	// latency histograms, status-class counters, the in-flight gauge, a
+	// server span per request (joined to the caller's trace via
+	// traceparent), and one structured request log line.
+	return telemetry.Middleware(tel, slog.Default())(mux)
 }
 
 // apiError is the JSON error envelope (same shape as mtatd's).

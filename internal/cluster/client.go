@@ -13,6 +13,7 @@ import (
 	"github.com/tieredmem/mtat/internal/backoff"
 	"github.com/tieredmem/mtat/internal/server"
 	"github.com/tieredmem/mtat/internal/sim"
+	"github.com/tieredmem/mtat/internal/telemetry"
 )
 
 // Client drives the mtatfleet control plane over HTTP — the library
@@ -70,6 +71,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	telemetry.Inject(ctx, req.Header)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -132,11 +134,67 @@ func (c *Client) Results(ctx context.Context, id string) ([]CellSummary, error) 
 // ResultsTo streams the sweep's results in the given export format
 // (json, jsonl, or csv) into w.
 func (c *Client) ResultsTo(ctx context.Context, id, format string, w io.Writer) error {
+	return c.stream(ctx, "/api/v1/sweeps/"+id+"/results?format="+format, w)
+}
+
+// Traces fetches the spans the fleet daemon retains for one distributed
+// trace. An unknown trace is not an error — the daemon simply holds no
+// spans for it — so the caller can sweep fleet plus nodes and merge.
+func (c *Client) Traces(ctx context.Context, trace string) ([]telemetry.Span, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.BaseURL+"/api/v1/sweeps/"+id+"/results?format="+format, nil)
+		c.BaseURL+"/api/v1/traces/"+trace, nil)
+	if err != nil {
+		return nil, err
+	}
+	telemetry.Inject(ctx, req.Header)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return telemetry.DecodeSpansJSONL(resp.Body)
+}
+
+// Metrics streams the fleet's /metrics endpoint into w in the given
+// format ("json" or "prom"; "" keeps the server default).
+func (c *Client) Metrics(ctx context.Context, format string, w io.Writer) error {
+	path := "/metrics"
+	if format != "" {
+		path += "?format=" + format
+	}
+	return c.stream(ctx, path, w)
+}
+
+// Ready polls GET /readyz once; a non-200 answer (or transport error)
+// comes back as an error carrying the daemon's reason.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
 	if err != nil {
 		return err
 	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return fmt.Errorf("mtatfleet: not ready: %s (HTTP %d)",
+			strings.TrimSpace(string(data)), resp.StatusCode)
+	}
+	return nil
+}
+
+// stream copies a GET response body into w.
+func (c *Client) stream(ctx context.Context, path string, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	telemetry.Inject(ctx, req.Header)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err

@@ -115,10 +115,20 @@ func (d *Dispatcher) Do(ctx context.Context, spec sim.RunSpec) (DispatchResult, 
 			continue
 		}
 
+		// One node.run span per accepted attempt; the submit and the
+		// status polls carry its traceparent, so the node's server spans
+		// and run.execute hang under it in the merged tree.
+		nctx := ctx
+		var span *telemetry.ActiveSpan
+		if telemetry.SpanContextFrom(ctx).Valid() {
+			nctx, span = d.tel.Spans().StartSpan(ctx, "node.run",
+				telemetry.SA("node", h.name))
+		}
 		start := time.Now()
-		st, err := h.client.Submit(ctx, spec)
+		st, err := h.client.Submit(nctx, spec)
 		d.hDispatch.Observe(time.Since(start).Seconds())
 		if err != nil {
+			span.End(err)
 			h.release()
 			if ctx.Err() != nil {
 				return res, ctx.Err()
@@ -144,8 +154,10 @@ func (d *Dispatcher) Do(ctx context.Context, spec sim.RunSpec) (DispatchResult, 
 		res.NodeAttempts++
 		d.mDispatched.Inc()
 		d.reg.noteDispatched(h.name)
+		span.SetAttr("run", st.ID)
 
-		final, err := h.client.Wait(ctx, st.ID, d.cfg.PollMax)
+		final, err := h.client.Wait(nctx, st.ID, d.cfg.PollMax)
+		span.End(err)
 		h.release()
 		if err == nil {
 			res.Status = final

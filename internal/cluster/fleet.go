@@ -110,9 +110,15 @@ type sweep struct {
 	state     SweepState
 	submitted time.Time
 	finished  time.Time
-	ctx       context.Context
-	cancel    context.CancelFunc
-	done      chan struct{}
+	// sc is the submit-time span context (the API request's server span);
+	// runSweep parents the sweep.run span under it so every cell dispatch
+	// — and, via traceparent, the remote run on the node — joins the
+	// submitter's trace. trace alone survives journal replay.
+	sc     telemetry.SpanContext
+	trace  telemetry.TraceID
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
 }
 
 // Fleet owns the node registry, the dispatcher, and the sweep registry,
@@ -238,24 +244,35 @@ func (f *Fleet) Resume() []SweepStatus {
 // Submit compiles the sweep and starts dispatching its cells across the
 // fleet, returning the running sweep's status.
 func (f *Fleet) Submit(spec sim.SweepSpec) (SweepStatus, error) {
+	return f.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit under a caller context: when ctx carries a span
+// context (the API middleware puts the request's server span there), the
+// sweep joins that trace — sweep.run, every cell.dispatch, and the
+// remote runs on the nodes all record as one tree.
+func (f *Fleet) SubmitCtx(ctx context.Context, spec sim.SweepSpec) (SweepStatus, error) {
 	cells, err := spec.Cells()
 	if err != nil {
 		return SweepStatus{}, err
 	}
+	sc := telemetry.SpanContextFrom(ctx)
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
 		return SweepStatus{}, ErrFleetClosed
 	}
 	f.nextID++
-	ctx, cancel := context.WithCancel(context.Background())
+	sweepCtx, cancel := context.WithCancel(context.Background())
 	sw := &sweep{
 		id:        fmt.Sprintf("s%06d", f.nextID),
 		name:      spec.Name,
 		spec:      spec,
 		state:     SweepRunning,
 		submitted: time.Now(),
-		ctx:       ctx,
+		sc:        sc,
+		trace:     sc.Trace,
+		ctx:       sweepCtx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
 	}
@@ -269,9 +286,16 @@ func (f *Fleet) Submit(spec sim.SweepSpec) (SweepStatus, error) {
 	// so an unjournalable sweep is rejected rather than silently
 	// volatile.
 	if f.jn != nil {
+		var jspan *telemetry.ActiveSpan
+		if sc.Valid() {
+			_, jspan = f.tel.Spans().StartSpan(ctx, "journal.append",
+				telemetry.SA("sweep", sw.id), telemetry.SA("rec", recSweepSubmitted))
+		}
 		err := f.jn.Append(recSweepSubmitted, sweepSubmittedRec{
 			ID: sw.id, Name: sw.name, Spec: spec, SubmittedAt: sw.submitted,
+			Trace: fleetTraceOrEmpty(sw.trace),
 		})
+		jspan.End(err)
 		if err != nil {
 			f.nextID--
 			cancel()
@@ -297,6 +321,15 @@ func (f *Fleet) Submit(spec sim.SweepSpec) (SweepStatus, error) {
 // parallelism, then settles the sweep's terminal state.
 func (f *Fleet) runSweep(sw *sweep) {
 	defer f.wg.Done()
+	// With a submit-time span context, the whole dispatch runs under a
+	// sweep.run span; each cell then opens its own cell.dispatch child.
+	ctx := sw.ctx
+	var span *telemetry.ActiveSpan
+	if sw.sc.Valid() {
+		ctx, span = f.tel.Spans().StartSpan(
+			telemetry.ContextWithSpanContext(sw.ctx, sw.sc), "sweep.run",
+			telemetry.SA("sweep", sw.id), telemetry.SA("cells", fmt.Sprint(len(sw.cells))))
+	}
 	jobs := make(chan *cellRun)
 	var workers sync.WaitGroup
 	n := f.cfg.SweepParallelism
@@ -308,7 +341,7 @@ func (f *Fleet) runSweep(sw *sweep) {
 		go func() {
 			defer workers.Done()
 			for cr := range jobs {
-				f.runCell(sw, cr)
+				f.runCell(ctx, sw, cr)
 			}
 		}()
 	}
@@ -322,6 +355,7 @@ func (f *Fleet) runSweep(sw *sweep) {
 	}
 	close(jobs)
 	workers.Wait()
+	span.End(sw.ctx.Err())
 
 	f.mu.Lock()
 	state := SweepDone
@@ -361,8 +395,9 @@ func (f *Fleet) runSweep(sw *sweep) {
 	f.tel.Tracer().EmitMsg(f.Reg.now(), "fleet.sweep.end", telemetry.WLNone, sw.id)
 }
 
-// runCell dispatches one cell and records its outcome.
-func (f *Fleet) runCell(sw *sweep, cr *cellRun) {
+// runCell dispatches one cell and records its outcome. ctx is the sweep
+// context, possibly carrying the sweep.run span for trace propagation.
+func (f *Fleet) runCell(ctx context.Context, sw *sweep, cr *cellRun) {
 	f.mu.Lock()
 	if sw.ctx.Err() != nil {
 		cr.state = CellFailed
@@ -375,7 +410,14 @@ func (f *Fleet) runCell(sw *sweep, cr *cellRun) {
 	f.gCellsRunningInternal.Set(f.gCellsRunningInternal.Value() + 1)
 	f.mu.Unlock()
 
-	res, err := f.disp.Do(sw.ctx, cr.cell.Spec)
+	var span *telemetry.ActiveSpan
+	if telemetry.SpanContextFrom(ctx).Valid() {
+		ctx, span = f.tel.Spans().StartSpan(ctx, "cell.dispatch",
+			telemetry.SA("sweep", sw.id), telemetry.SA("cell", cr.cell.Label))
+	}
+	res, err := f.disp.Do(ctx, cr.cell.Spec)
+	span.SetAttr("node", res.Node)
+	span.End(err)
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -539,6 +581,31 @@ type FleetStats struct {
 	Draining        bool `json:"draining"`
 }
 
+// Ready reports whether the fleet should receive traffic: journal
+// replay finished (implied by construction), any recovered sweeps have
+// been handed to Resume, and the fleet is not draining. The reason
+// string explains a false verdict — served verbatim by GET /readyz.
+func (f *Fleet) Ready() (bool, string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return false, "draining: shutdown in progress"
+	}
+	if len(f.resumable) > 0 {
+		return false, fmt.Sprintf("recovery pending: %d sweeps awaiting Resume", len(f.resumable))
+	}
+	return true, "ok"
+}
+
+// fleetTraceOrEmpty renders a trace ID for a journal record, "" when
+// unset.
+func fleetTraceOrEmpty(id telemetry.TraceID) string {
+	if id.IsZero() {
+		return ""
+	}
+	return id.String()
+}
+
 // Stats reports the fleet's registry size and startup-recovery counts.
 func (f *Fleet) Stats() FleetStats {
 	nodes := len(f.Reg.Nodes())
@@ -576,6 +643,10 @@ type SweepStatus struct {
 	SubmittedAt time.Time    `json:"submitted_at"`
 	FinishedAt  *time.Time   `json:"finished_at,omitempty"`
 	CellStates  []CellStatus `json:"cell_states,omitempty"`
+	// Trace is the distributed trace the submission joined (hex trace
+	// ID), "" for submissions that carried no traceparent. Feed it to
+	// `mtatctl trace` to render the span tree.
+	Trace string `json:"trace,omitempty"`
 }
 
 // CellStatus is one cell's row in a SweepStatus.
@@ -596,6 +667,7 @@ func (f *Fleet) statusLocked(sw *sweep) SweepStatus {
 		State:       sw.state,
 		Cells:       len(sw.cells),
 		SubmittedAt: sw.submitted,
+		Trace:       fleetTraceOrEmpty(sw.trace),
 	}
 	if !sw.finished.IsZero() {
 		t := sw.finished

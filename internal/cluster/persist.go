@@ -9,6 +9,7 @@ import (
 
 	"github.com/tieredmem/mtat/internal/journal"
 	"github.com/tieredmem/mtat/internal/sim"
+	"github.com/tieredmem/mtat/internal/telemetry"
 )
 
 // Journal record types written by the fleet. Deltas follow the sweep
@@ -30,6 +31,9 @@ type sweepSubmittedRec struct {
 	Name        string        `json:"name"`
 	Spec        sim.SweepSpec `json:"spec"`
 	SubmittedAt time.Time     `json:"submitted_at"`
+	// Trace preserves the submission's distributed trace ID across a
+	// crash (absent in pre-tracing journals).
+	Trace string `json:"trace,omitempty"`
 }
 
 // cellSettledRec journals one cell reaching a terminal state. A
@@ -57,6 +61,7 @@ type sweepSnapshot struct {
 	SubmittedAt time.Time     `json:"submitted_at"`
 	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
 	Cells       []CellSummary `json:"cells,omitempty"`
+	Trace       string        `json:"trace,omitempty"`
 }
 
 // fleetSnapshot is the compaction record: the full sweep registry at
@@ -77,6 +82,7 @@ type sweepImage struct {
 	state     SweepState
 	submitted time.Time
 	finished  time.Time
+	trace     string
 	settled   map[int]CellSummary
 }
 
@@ -108,7 +114,8 @@ func (rs *fleetReplay) apply(rec journal.Record) error {
 		for _, ss := range snap.Sweeps {
 			img := &sweepImage{
 				id: ss.ID, name: ss.Name, spec: ss.Spec, state: ss.State,
-				submitted: ss.SubmittedAt, settled: make(map[int]CellSummary, len(ss.Cells)),
+				submitted: ss.SubmittedAt, trace: ss.Trace,
+				settled: make(map[int]CellSummary, len(ss.Cells)),
 			}
 			if ss.FinishedAt != nil {
 				img.finished = *ss.FinishedAt
@@ -134,7 +141,8 @@ func (rs *fleetReplay) apply(rec journal.Record) error {
 		}
 		rs.sweeps[r.ID] = &sweepImage{
 			id: r.ID, name: r.Name, spec: r.Spec, state: SweepRunning,
-			submitted: r.SubmittedAt, settled: make(map[int]CellSummary),
+			submitted: r.SubmittedAt, trace: r.Trace,
+			settled: make(map[int]CellSummary),
 		}
 		rs.order = append(rs.order, r.ID)
 		rs.noteID(r.ID)
@@ -189,6 +197,14 @@ func (f *Fleet) restore(rs *fleetReplay) []*sweep {
 			spec:      img.spec,
 			submitted: img.submitted,
 			done:      make(chan struct{}),
+		}
+		if img.trace != "" {
+			// The trace ID survives the crash for status linkage; the
+			// submit-time span does not, so resumed dispatch records no
+			// further spans under it.
+			if tid, err := telemetry.ParseTraceID(img.trace); err == nil {
+				sw.trace = tid
+			}
 		}
 		unsettled := 0
 		for _, c := range cells {
@@ -256,7 +272,7 @@ func (f *Fleet) snapshotLocked() fleetSnapshot {
 		}
 		ss := sweepSnapshot{
 			ID: sw.id, Name: sw.name, Spec: sw.spec, State: sw.state,
-			SubmittedAt: sw.submitted,
+			SubmittedAt: sw.submitted, Trace: fleetTraceOrEmpty(sw.trace),
 		}
 		if !sw.finished.IsZero() {
 			t := sw.finished

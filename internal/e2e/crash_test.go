@@ -190,7 +190,8 @@ func TestMtatdCrashRecovery(t *testing.T) {
 	if st.RecoveredRuns != len(ids) {
 		t.Fatalf("recovered_runs = %d, want %d; stderr:\n%s", st.RecoveredRuns, len(ids), d2.stderrText())
 	}
-	if !strings.Contains(d2.stderrText(), "recovered 2 unfinished run(s)") {
+	if !strings.Contains(d2.stderrText(), "recovered unfinished runs from journal") ||
+		!strings.Contains(d2.stderrText(), "runs=2") {
 		t.Errorf("restart did not log recovery; stderr:\n%s", d2.stderrText())
 	}
 
@@ -275,7 +276,8 @@ func TestMtatfleetCrashRecovery(t *testing.T) {
 	if fst.RecoveredCells <= 0 || fst.RecoveredCells >= 12 {
 		t.Fatalf("recovered_cells = %d, want in (0,12): the crash landed mid-sweep", fst.RecoveredCells)
 	}
-	if !strings.Contains(fleet2.stderrText(), "resumed sweep "+st.ID) {
+	if !strings.Contains(fleet2.stderrText(), "resumed sweep from journal") ||
+		!strings.Contains(fleet2.stderrText(), "sweep="+st.ID) {
 		t.Errorf("restart did not log the resumed sweep; stderr:\n%s", fleet2.stderrText())
 	}
 

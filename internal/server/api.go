@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 
@@ -36,9 +37,15 @@ type Meta struct {
 //	DELETE /api/v1/runs/{id}        cancel a queued or running run
 //	GET    /api/v1/status           node load signal (queue depth, active runs, store occupancy)
 //	GET    /api/v1/meta             valid workload/policy/load names
+//	GET    /api/v1/traces           retained distributed traces (summaries, NDJSON)
+//	GET    /api/v1/traces/{id}      one trace's spans as JSONL
+//	GET    /healthz                 liveness probe
+//	GET    /readyz                  readiness probe (replay done, queue has headroom)
 //
 // tel is the daemon-level telemetry sink; its handler is mounted at
-// /metrics, /trace, and /debug/pprof/ (nil serves empty snapshots).
+// /metrics, /trace, and /debug/pprof/ (nil serves empty snapshots), and
+// every route is wrapped in telemetry.Middleware for request metrics,
+// server spans, and structured logs.
 func NewHandler(m *Manager, tel *telemetry.Telemetry) http.Handler {
 	mux := http.NewServeMux()
 
@@ -53,7 +60,7 @@ func NewHandler(m *Manager, tel *telemetry.Telemetry) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		st, err := m.Submit(spec)
+		st, err := m.SubmitCtx(r.Context(), spec)
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
@@ -116,6 +123,25 @@ func NewHandler(m *Manager, tel *telemetry.Telemetry) http.Handler {
 		})
 	})
 
+	// Distributed-trace surface: the spans this daemon retains, listed
+	// and fetched per trace (mtatctl trace merges them across daemons).
+	mux.HandleFunc("GET /api/v1/traces", tel.ServeTraceList)
+	mux.HandleFunc("GET /api/v1/traces/{id}", tel.ServeTrace)
+
+	// Probes: /healthz is pure liveness; /readyz additionally demands
+	// journal replay done (implied by the manager existing) and admission
+	// headroom, so orchestration and CI gate traffic on it.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ok, reason := m.Ready(); !ok {
+			http.Error(w, reason, http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+
 	// Daemon-level observability: the existing telemetry handler serves
 	// the debug surface (/metrics and /trace snapshots, pprof under
 	// /debug/pprof/).
@@ -137,12 +163,20 @@ func NewHandler(m *Manager, tel *telemetry.Telemetry) http.Handler {
 			"DELETE /api/v1/runs/{id}\n"+
 			"GET    /api/v1/status\n"+
 			"GET    /api/v1/meta\n"+
-			"GET    /metrics\n"+
+			"GET    /api/v1/traces\n"+
+			"GET    /api/v1/traces/{id}\n"+
+			"GET    /healthz\n"+
+			"GET    /readyz\n"+
+			"GET    /metrics  (?format=prom for Prometheus text)\n"+
 			"GET    /trace\n"+
 			"GET    /debug/pprof/\n")
 	})
 
-	return mux
+	// Every route passes through the shared instrumentation: per-route
+	// latency histograms, status-class counters, the in-flight gauge, a
+	// server span per request (joined to the caller's trace via
+	// traceparent), and one structured request log line.
+	return telemetry.Middleware(tel, slog.Default())(mux)
 }
 
 // apiError is the JSON error envelope.

@@ -12,6 +12,7 @@ import (
 
 	"github.com/tieredmem/mtat/internal/backoff"
 	"github.com/tieredmem/mtat/internal/sim"
+	"github.com/tieredmem/mtat/internal/telemetry"
 )
 
 // Client drives the mtatd control plane over HTTP — the library behind
@@ -68,6 +69,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	telemetry.Inject(ctx, req.Header)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -136,11 +138,67 @@ func (c *Client) Meta(ctx context.Context) (Meta, error) {
 
 // Events streams the run's trace (JSONL) into w.
 func (c *Client) Events(ctx context.Context, id string, w io.Writer) error {
+	return c.stream(ctx, "/api/v1/runs/"+id+"/events", w)
+}
+
+// Traces fetches the spans this daemon retains for one distributed
+// trace. An unknown trace is not an error — the daemon simply holds no
+// spans for it — so the caller can sweep a whole fleet and merge.
+func (c *Client) Traces(ctx context.Context, trace string) ([]telemetry.Span, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.BaseURL+"/api/v1/runs/"+id+"/events", nil)
+		c.BaseURL+"/api/v1/traces/"+trace, nil)
+	if err != nil {
+		return nil, err
+	}
+	telemetry.Inject(ctx, req.Header)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return telemetry.DecodeSpansJSONL(resp.Body)
+}
+
+// Metrics streams the daemon's /metrics endpoint into w in the given
+// format ("json" or "prom"; "" keeps the server default).
+func (c *Client) Metrics(ctx context.Context, format string, w io.Writer) error {
+	path := "/metrics"
+	if format != "" {
+		path += "?format=" + format
+	}
+	return c.stream(ctx, path, w)
+}
+
+// Ready polls GET /readyz once; a non-200 answer (or transport error)
+// comes back as an error carrying the daemon's reason.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
 	if err != nil {
 		return err
 	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return fmt.Errorf("mtatd: not ready: %s (HTTP %d)",
+			strings.TrimSpace(string(data)), resp.StatusCode)
+	}
+	return nil
+}
+
+// stream copies a GET response body into w.
+func (c *Client) stream(ctx context.Context, path string, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	telemetry.Inject(ctx, req.Header)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err

@@ -119,9 +119,15 @@ type run struct {
 	// the summary survives it.
 	summary *RunResult
 	tel     *telemetry.Telemetry
-	ctx       context.Context
-	cancel    context.CancelFunc
-	done      chan struct{}
+	// sc is the submit-time span context (the API request's server span
+	// when the submission arrived with a traceparent); the worker parents
+	// the run.execute span under it so the whole run joins the caller's
+	// trace. trace alone survives journal replay.
+	sc     telemetry.SpanContext
+	trace  telemetry.TraceID
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
 }
 
 // Manager owns the submission queue, the worker pool, and the run
@@ -236,6 +242,30 @@ func newRunContext() (context.Context, context.CancelFunc) {
 // Workers returns the worker pool size.
 func (m *Manager) Workers() int { return m.cfg.Workers }
 
+// Ready reports whether the node should receive traffic: construction
+// already implies the journal replay finished, so readiness is "not
+// draining and the admission queue below capacity". The reason string
+// explains a false verdict — served verbatim by GET /readyz.
+func (m *Manager) Ready() (bool, string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false, "draining: shutdown in progress"
+	}
+	if len(m.queue) >= m.cfg.QueueCap {
+		return false, fmt.Sprintf("queue saturated: %d/%d", len(m.queue), m.cfg.QueueCap)
+	}
+	return true, "ok"
+}
+
+// traceOrEmpty renders a trace ID for a journal record, "" when unset.
+func traceOrEmpty(id telemetry.TraceID) string {
+	if id.IsZero() {
+		return ""
+	}
+	return id.String()
+}
+
 // Stats snapshots the manager's load signal — the numbers a fleet
 // scheduler weighs when placing work on this node. Served at
 // GET /api/v1/status and mirrored by the server_queue_depth,
@@ -268,9 +298,18 @@ func (m *Manager) Stats() Stats {
 // status. It fails fast with ErrQueueFull when the queue is at capacity
 // and ErrShuttingDown after Shutdown began.
 func (m *Manager) Submit(spec sim.RunSpec) (RunStatus, error) {
+	return m.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit under a caller context: when ctx carries a span
+// context (the API middleware puts the request's server span there), the
+// run joins that trace — the journal append and the eventual execution
+// record child spans, and the run's status reports the trace ID.
+func (m *Manager) SubmitCtx(ctx context.Context, spec sim.RunSpec) (RunStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return RunStatus{}, err
 	}
+	sc := telemetry.SpanContextFrom(ctx)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -285,14 +324,16 @@ func (m *Manager) Submit(spec sim.RunSpec) (RunStatus, error) {
 		return RunStatus{}, ErrQueueFull
 	}
 	m.nextID++
-	ctx, cancel := newRunContext()
+	runCtx, cancel := newRunContext()
 	r := &run{
 		id:        fmt.Sprintf("r%06d", m.nextID),
 		spec:      spec,
 		state:     StateQueued,
 		submitted: time.Now(),
 		tel:       newRunTelemetry(m.cfg),
-		ctx:       ctx,
+		sc:        sc,
+		trace:     sc.Trace,
+		ctx:       runCtx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
 	}
@@ -300,13 +341,20 @@ func (m *Manager) Submit(spec sim.RunSpec) (RunStatus, error) {
 	// acceptance must survive a crash. A failed append rejects the
 	// submission instead of silently degrading durability.
 	if m.jn != nil {
-		rec := runSubmittedRec{ID: r.id, Spec: r.spec, SubmittedAt: r.submitted}
+		var jspan *telemetry.ActiveSpan
+		if sc.Valid() {
+			_, jspan = m.cfg.Telemetry.Spans().StartSpan(ctx, "journal.append",
+				telemetry.SA("run", r.id), telemetry.SA("rec", recRunSubmitted))
+		}
+		rec := runSubmittedRec{ID: r.id, Spec: r.spec, SubmittedAt: r.submitted, Trace: traceOrEmpty(r.trace)}
 		if err := m.jn.Append(recRunSubmitted, rec); err != nil {
+			jspan.End(err)
 			m.nextID--
 			cancel()
 			m.mRejected.Inc()
 			return RunStatus{}, fmt.Errorf("server: journal submission: %w", err)
 		}
+		jspan.End(nil)
 	}
 	m.queue <- r
 	m.runs[r.id] = r
@@ -466,7 +514,18 @@ func (m *Manager) runOne(r *run) {
 	m.gRunning.Set(m.gRunning.Value() + 1)
 	m.mu.Unlock()
 
-	res, err := execute(r.ctx, r.spec, r.tel, m.cfg.DefaultEpisodes)
+	// When the submission carried a span context, the execution becomes a
+	// child span in the submitter's trace: mtatctl submit → fleet dispatch
+	// → node submit → run.execute read as one tree.
+	ctx := r.ctx
+	var span *telemetry.ActiveSpan
+	if r.sc.Valid() {
+		ctx, span = m.cfg.Telemetry.Spans().StartSpan(
+			telemetry.ContextWithSpanContext(ctx, r.sc), "run.execute",
+			telemetry.SA("run", r.id), telemetry.SA("policy", r.spec.PolicyName()))
+	}
+	res, err := execute(ctx, r.spec, r.tel, m.cfg.DefaultEpisodes)
+	span.End(err)
 
 	m.mu.Lock()
 	m.gRunning.Set(m.gRunning.Value() - 1)

@@ -8,6 +8,7 @@ import (
 
 	"github.com/tieredmem/mtat/internal/journal"
 	"github.com/tieredmem/mtat/internal/sim"
+	"github.com/tieredmem/mtat/internal/telemetry"
 )
 
 // Journal record types written by the manager. Deltas follow the run
@@ -26,6 +27,9 @@ type runSubmittedRec struct {
 	ID          string      `json:"id"`
 	Spec        sim.RunSpec `json:"spec"`
 	SubmittedAt time.Time   `json:"submitted_at"`
+	// Trace preserves the submission's distributed trace ID across a
+	// crash (absent in pre-tracing journals).
+	Trace string `json:"trace,omitempty"`
 }
 
 // runStartedRec journals a queued→running transition.
@@ -99,6 +103,7 @@ func (rs *replayState) apply(rec journal.Record) error {
 		}
 		rs.runs[r.ID] = &RunStatus{
 			ID: r.ID, State: StateQueued, Spec: r.Spec, SubmittedAt: r.SubmittedAt,
+			Trace: r.Trace,
 		}
 		rs.order = append(rs.order, r.ID)
 		rs.noteID(r.ID)
@@ -154,6 +159,14 @@ func (m *Manager) restore(rs *replayState) []*run {
 			id:        st.ID,
 			spec:      st.Spec,
 			submitted: st.SubmittedAt,
+		}
+		if st.Trace != "" {
+			// The trace ID survives the crash for status linkage; the
+			// submit-time span does not, so a re-executed run records no
+			// further spans under it.
+			if id, err := telemetry.ParseTraceID(st.Trace); err == nil {
+				r.trace = id
+			}
 		}
 		if st.State.Terminal() {
 			r.state = st.State

@@ -17,6 +17,10 @@ type RunStatus struct {
 	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
 	Error       string      `json:"error,omitempty"`
 	Result      *RunResult  `json:"result,omitempty"`
+	// Trace is the distributed trace the submission joined (hex trace
+	// ID), "" for submissions that carried no traceparent. Feed it to
+	// `mtatctl trace` to render the span tree.
+	Trace string `json:"trace,omitempty"`
 }
 
 // RunResult is the JSON summary of a finished run — the aggregate slice
@@ -40,11 +44,11 @@ type RunResult struct {
 // fleet scheduler reads it to place new runs; the same numbers are
 // exported as telemetry gauges.
 type Stats struct {
-	Workers         int  `json:"workers"`
-	QueueDepth      int  `json:"queue_depth"`
-	QueueCap        int  `json:"queue_cap"`
-	QueuedRuns      int  `json:"queued_runs"`
-	ActiveRuns      int  `json:"active_runs"`
+	Workers         int `json:"workers"`
+	QueueDepth      int `json:"queue_depth"`
+	QueueCap        int `json:"queue_cap"`
+	QueuedRuns      int `json:"queued_runs"`
+	ActiveRuns      int `json:"active_runs"`
 	RetainedResults int `json:"retained_results"`
 	MaxRuns         int `json:"max_runs"`
 	TotalRuns       int `json:"total_runs"`
@@ -71,6 +75,7 @@ func (r *run) status() RunStatus {
 		Spec:        r.spec,
 		SubmittedAt: r.submitted,
 		Error:       r.errMsg,
+		Trace:       traceOrEmpty(r.trace),
 	}
 	if !r.started.IsZero() {
 		t := r.started

@@ -20,7 +20,18 @@ type Histogram struct {
 	count   uint64    // total observations ever
 	sum     float64   // all-time sum (for the all-time mean)
 	scratch []float64 // reused sort buffer for snapshots
+	// buckets counts all-time observations <= each DefBuckets bound
+	// (non-cumulative per cell; cumulated at export). Observations above
+	// the last bound land only in count — the implicit +Inf bucket.
+	buckets [len(DefBuckets)]uint64
 }
+
+// DefBuckets are the fixed upper bounds of the histogram's all-time
+// cumulative buckets — the Prometheus client default latency ladder
+// (seconds), which spans this system's request and dispatch latencies.
+// Unlike the quantile window, bucket counts never reset, so scrapes at
+// any interval can compute rates over them.
+var DefBuckets = [...]float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 
 // NewHistogram returns a histogram retaining the last window samples
 // (<= 0 selects DefaultHistWindow).
@@ -47,7 +58,30 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	for i, bound := range DefBuckets {
+		if v <= bound {
+			h.buckets[i]++
+			break
+		}
+	}
 	h.mu.Unlock()
+}
+
+// Buckets returns the all-time cumulative bucket counts aligned with
+// DefBuckets, plus the all-time sum and count (the implicit +Inf
+// bucket). A nil histogram returns zeros.
+func (h *Histogram) Buckets() (counts [len(DefBuckets)]uint64, sum float64, count uint64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		counts[i] = cum
+	}
+	return counts, h.sum, h.count
 }
 
 // Count returns the total number of observations ever recorded.

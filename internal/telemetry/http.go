@@ -2,16 +2,110 @@ package telemetry
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
+
+// PromContentType is the Content-Type of the Prometheus text
+// exposition format served at /metrics?format=prom.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// ServeMetrics renders the registry with content negotiation:
+// `?format=prom` (or a scraper Accept header preferring text/plain /
+// OpenMetrics over JSON) selects the Prometheus text exposition;
+// anything else keeps the original JSON snapshot. Drop stats are
+// synced first so every scrape sees current ring-buffer loss.
+func (t *Telemetry) ServeMetrics(w http.ResponseWriter, r *http.Request) {
+	t.SyncDropStats()
+	if wantsProm(r) {
+		w.Header().Set("Content-Type", PromContentType)
+		if err := t.Metrics().WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := t.Metrics().WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// wantsProm decides the metrics wire format. The explicit query
+// parameter wins; otherwise a Prometheus-style Accept header
+// (text/plain or OpenMetrics, without asking for JSON) selects the
+// exposition format. The bare default stays JSON for compatibility
+// with the PR-1 consumers.
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// TraceSummary is one row of the trace-listing endpoint.
+type TraceSummary struct {
+	Trace TraceID `json:"trace"`
+	Spans int     `json:"spans"`
+	// Root is the name of the trace's root-most retained span (no
+	// retained parent), "" when every span's parent is elsewhere.
+	Root string `json:"root,omitempty"`
+}
+
+// ServeTraceList writes one JSON line per retained trace, oldest
+// first.
+func (t *Telemetry) ServeTraceList(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	store := t.Spans()
+	enc := json.NewEncoder(w)
+	for _, id := range store.TraceIDs() {
+		spans := store.ByTrace(id)
+		sum := TraceSummary{Trace: id, Spans: len(spans)}
+		local := make(map[SpanID]bool, len(spans))
+		for _, sp := range spans {
+			local[sp.ID] = true
+		}
+		for _, sp := range spans {
+			if sp.Parent.IsZero() || !local[sp.Parent] {
+				sum.Root = sp.Name
+				break
+			}
+		}
+		_ = enc.Encode(sum)
+	}
+}
+
+// ServeTrace writes the spans of the trace named by the id path value
+// as JSONL; 400 on a malformed ID. An unknown trace yields an empty
+// body (this process simply holds no spans for it — another daemon
+// might).
+func (t *Telemetry) ServeTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = WriteSpansJSONL(w, t.Spans().ByTrace(id))
+}
 
 // Handler serves the sink over HTTP for runtime introspection:
 //
-//	/metrics       registry snapshot as JSON (expvar-style)
+//	/metrics       registry snapshot (JSON, or Prometheus text with ?format=prom)
 //	/trace         retained events as JSONL
+//	/traces        retained request traces (one summary line per trace)
+//	/traces/{id}   one trace's spans as JSONL
 //	/debug/pprof/  the standard Go profiler endpoints
 //
 // Wire it with an http.Server on the address of your choice (cmd/mtatsim
@@ -24,14 +118,9 @@ func (t *Telemetry) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "mtat telemetry\n\n/metrics\n/trace\n/debug/pprof/\n")
+		fmt.Fprint(w, "mtat telemetry\n\n/metrics\n/trace\n/traces\n/traces/{id}\n/debug/pprof/\n")
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := t.Metrics().WriteJSON(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
+	mux.HandleFunc("/metrics", t.ServeMetrics)
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		if tr := t.Tracer(); tr != nil {
@@ -40,6 +129,8 @@ func (t *Telemetry) Handler() http.Handler {
 			}
 		}
 	})
+	mux.HandleFunc("GET /traces", t.ServeTraceList)
+	mux.HandleFunc("GET /traces/{id}", t.ServeTrace)
 	// Explicit pprof wiring: importing net/http/pprof registers on the
 	// DefaultServeMux, but this handler must be self-contained.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

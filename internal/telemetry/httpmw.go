@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Middleware returns an HTTP middleware recording the observability
+// trifecta for every request on a mux:
+//
+//   - metrics: a per-route latency histogram
+//     (http_request_duration_seconds{route=...}), a per-route,
+//     per-status-class counter (http_requests_total{route=...,code=...}),
+//     and an in-flight gauge (http_requests_in_flight);
+//   - tracing: the inbound traceparent header (if any) is extracted, a
+//     server span named after the route is opened in t's span store,
+//     and the request context is rewritten so handlers and downstream
+//     clients parent under it;
+//   - logging: one structured slog line per request carrying method,
+//     route, status, duration, and trace ID.
+//
+// Routes are normalized (IDs collapsed to {id}) so metric cardinality
+// stays bounded. Requests to the debug surface (/metrics, /trace,
+// /healthz, /readyz, /debug/...) log at Debug to keep scrape traffic
+// out of the operational log. A nil sink or logger disables that leg;
+// the middleware itself is always safe to install.
+func Middleware(t *Telemetry, logger *slog.Logger) func(http.Handler) http.Handler {
+	reg := t.Metrics()
+	inflight := reg.Gauge(MetricHTTPInFlight)
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			route := NormalizeRoute(r.Method, r.URL.Path)
+			inflight.Add(1)
+			start := time.Now()
+
+			ctx := r.Context()
+			if sc, ok := Extract(r.Header); ok {
+				ctx = ContextWithSpanContext(ctx, sc)
+			}
+			ctx, span := t.Spans().StartSpan(ctx, "http "+route)
+			rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+
+			next.ServeHTTP(rec, r.WithContext(ctx))
+
+			elapsed := time.Since(start)
+			inflight.Add(-1)
+			span.SetAttr("status", strconv.Itoa(rec.code))
+			span.End(statusErr(rec.code))
+			reg.Histogram(SeriesName(MetricHTTPDuration, "route", route)).
+				Observe(elapsed.Seconds())
+			reg.Counter(SeriesName(MetricHTTPRequests,
+				"route", route, "code", statusClass(rec.code))).Inc()
+
+			if logger != nil {
+				level := slog.LevelInfo
+				if isDebugSurface(r.URL.Path) {
+					level = slog.LevelDebug
+				}
+				attrs := []slog.Attr{
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.String("route", route),
+					slog.Int("status", rec.code),
+					slog.Duration("duration", elapsed),
+				}
+				if sc := SpanContextFrom(ctx); sc.Valid() {
+					attrs = append(attrs, slog.String("trace", sc.Trace.String()))
+				}
+				logger.LogAttrs(r.Context(), level, "http request", attrs...)
+			}
+		})
+	}
+}
+
+// statusRecorder captures the response status code for metrics and
+// logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	code    int
+	written bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.written {
+		r.code = code
+		r.written = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.written = true
+	return r.ResponseWriter.Write(b)
+}
+
+// statusErr maps a 5xx status onto a span error (client errors are the
+// caller's problem — the span stays ok).
+func statusErr(code int) error {
+	if code >= 500 {
+		return &httpStatusError{code: code}
+	}
+	return nil
+}
+
+type httpStatusError struct{ code int }
+
+func (e *httpStatusError) Error() string {
+	return "HTTP " + strconv.Itoa(e.code) + " " + http.StatusText(e.code)
+}
+
+// statusClass buckets a status code into 1xx..5xx.
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	case code >= 200:
+		return "2xx"
+	default:
+		return "1xx"
+	}
+}
+
+// isDebugSurface reports whether the path is scrape/health traffic.
+func isDebugSurface(path string) bool {
+	switch path {
+	case "/metrics", "/trace", "/healthz", "/readyz":
+		return true
+	}
+	return strings.HasPrefix(path, "/debug/")
+}
+
+// collections whose next path segment is a per-entity ID.
+var idCollections = map[string]bool{
+	"runs": true, "sweeps": true, "nodes": true, "traces": true,
+}
+
+// NormalizeRoute renders "METHOD /path" with per-entity IDs collapsed
+// to {id} ("GET /api/v1/runs/r000017/events" → "GET
+// /api/v1/runs/{id}/events"), keeping metric and span cardinality
+// bounded by the API surface, not by traffic.
+func NormalizeRoute(method, path string) string {
+	segs := strings.Split(path, "/")
+	for i := 1; i < len(segs); i++ {
+		if idCollections[segs[i-1]] && segs[i] != "" {
+			segs[i] = "{id}"
+		}
+	}
+	return method + " " + strings.Join(segs, "/")
+}

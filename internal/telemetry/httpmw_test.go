@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNormalizeRoute(t *testing.T) {
+	cases := map[string]string{
+		"/api/v1/runs":                                    "GET /api/v1/runs",
+		"/api/v1/runs/r000017":                            "GET /api/v1/runs/{id}",
+		"/api/v1/runs/r000017/events":                     "GET /api/v1/runs/{id}/events",
+		"/api/v1/sweeps/s000001":                          "GET /api/v1/sweeps/{id}",
+		"/api/v1/nodes/n1":                                "GET /api/v1/nodes/{id}",
+		"/api/v1/traces/0123456789abcdef0123456789abcdef": "GET /api/v1/traces/{id}",
+		"/metrics":                                        "GET /metrics",
+		"/":                                               "GET /",
+	}
+	for path, want := range cases {
+		if got := NormalizeRoute("GET", path); got != want {
+			t.Errorf("NormalizeRoute(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestMiddlewareRecordsMetricsSpansLogs(t *testing.T) {
+	tel := NewWithConfig(Config{Service: "testd"})
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+
+	var sawCtx context.Context
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawCtx = r.Context()
+		if strings.HasSuffix(r.URL.Path, "boom") {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "ok")
+	})
+	h := Middleware(tel, logger)(inner)
+
+	// Request with an inbound traceparent: the handler must see a child
+	// span context of the same trace.
+	parent := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	req := httptest.NewRequest("GET", "/api/v1/runs/r000001", nil)
+	req.Header.Set(TraceparentHeader, FormatTraceparent(parent))
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	if rw.Code != http.StatusOK {
+		t.Fatalf("status %d", rw.Code)
+	}
+	inCtx := SpanContextFrom(sawCtx)
+	if inCtx.Trace != parent.Trace {
+		t.Fatalf("handler saw trace %v, want %v", inCtx.Trace, parent.Trace)
+	}
+	if inCtx.Span == parent.Span {
+		t.Fatalf("handler saw the parent span, not a server child span")
+	}
+
+	// A 5xx response marks the span as an error.
+	req2 := httptest.NewRequest("GET", "/api/v1/runs/boom", nil)
+	h.ServeHTTP(httptest.NewRecorder(), req2)
+
+	spans := tel.Spans().Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "http GET /api/v1/runs/{id}" {
+		t.Fatalf("span name %q", spans[0].Name)
+	}
+	if spans[0].Parent != parent.Span || spans[0].Trace != parent.Trace {
+		t.Fatalf("server span not parented under traceparent: %+v", spans[0])
+	}
+	if spans[0].Status != SpanOK || spans[0].Service != "testd" {
+		t.Fatalf("span 0: %+v", spans[0])
+	}
+	if spans[1].Status != SpanError {
+		t.Fatalf("5xx span not an error: %+v", spans[1])
+	}
+
+	snap := tel.Metrics().Snapshot()
+	durKey := SeriesName(MetricHTTPDuration, "route", "GET /api/v1/runs/{id}")
+	if hs, ok := snap.Histograms[durKey]; !ok || hs.Count != 2 {
+		t.Fatalf("latency histogram %q missing or wrong count: %+v", durKey, hs)
+	}
+	okKey := SeriesName(MetricHTTPRequests, "route", "GET /api/v1/runs/{id}", "code", "2xx")
+	errKey := SeriesName(MetricHTTPRequests, "route", "GET /api/v1/runs/{id}", "code", "5xx")
+	if snap.Counters[okKey] != 1 || snap.Counters[errKey] != 1 {
+		t.Fatalf("status-class counters: %v", snap.Counters)
+	}
+	if snap.Gauges[MetricHTTPInFlight] != 0 {
+		t.Fatalf("in-flight gauge did not return to 0: %v", snap.Gauges[MetricHTTPInFlight])
+	}
+
+	logs := logBuf.String()
+	if !strings.Contains(logs, `"route":"GET /api/v1/runs/{id}"`) ||
+		!strings.Contains(logs, `"trace":"`+parent.Trace.String()+`"`) {
+		t.Fatalf("request log missing route/trace: %s", logs)
+	}
+}
+
+func TestMiddlewareNilSinkAndLogger(t *testing.T) {
+	h := Middleware(nil, nil)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/x", nil))
+	if rw.Code != http.StatusNoContent {
+		t.Fatalf("status %d", rw.Code)
+	}
+}
+
+func TestServeMetricsNegotiation(t *testing.T) {
+	tel := New()
+	tel.Metrics().Counter("server_results_retained_total").Inc()
+
+	get := func(target, accept string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", target, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rw := httptest.NewRecorder()
+		tel.Handler().ServeHTTP(rw, req)
+		return rw
+	}
+
+	if rw := get("/metrics", ""); !strings.HasPrefix(rw.Header().Get("Content-Type"), "application/json") {
+		t.Fatalf("default /metrics content type %q", rw.Header().Get("Content-Type"))
+	}
+	rw := get("/metrics?format=prom", "")
+	if ct := rw.Header().Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("?format=prom content type %q", ct)
+	}
+	if !strings.Contains(rw.Body.String(), "# TYPE server_results_retained_total counter") {
+		t.Fatalf("prom body missing TYPE line:\n%s", rw.Body.String())
+	}
+	if !strings.Contains(rw.Body.String(), MetricSpansDropped+" 0") {
+		t.Fatalf("prom body missing synced drop stats:\n%s", rw.Body.String())
+	}
+	// Prometheus-style Accept header selects the exposition format too.
+	if rw := get("/metrics", "text/plain;version=0.0.4"); rw.Header().Get("Content-Type") != PromContentType {
+		t.Fatalf("Accept negotiation failed: %q", rw.Header().Get("Content-Type"))
+	}
+	// An explicit JSON ask stays JSON.
+	if rw := get("/metrics", "application/json"); !strings.HasPrefix(rw.Header().Get("Content-Type"), "application/json") {
+		t.Fatalf("Accept: application/json did not return JSON")
+	}
+}
+
+func TestHandlerServesTraces(t *testing.T) {
+	tel := NewWithConfig(Config{Service: "svc"})
+	ctx, root := tel.Spans().StartSpan(context.Background(), "root")
+	_, child := tel.Spans().StartSpan(ctx, "child")
+	child.End(nil)
+	root.End(nil)
+	trace := root.Context().Trace
+
+	rw := httptest.NewRecorder()
+	tel.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/traces", nil))
+	if !strings.Contains(rw.Body.String(), trace.String()) ||
+		!strings.Contains(rw.Body.String(), `"root":"root"`) {
+		t.Fatalf("trace list: %s", rw.Body.String())
+	}
+
+	rw = httptest.NewRecorder()
+	tel.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/traces/"+trace.String(), nil))
+	spans, err := DecodeSpansJSONL(rw.Body)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+
+	rw = httptest.NewRecorder()
+	tel.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/traces/zzz", nil))
+	if rw.Code != http.StatusBadRequest {
+		t.Fatalf("malformed id: status %d", rw.Code)
+	}
+}

@@ -47,6 +47,21 @@ func (g *Gauge) Set(v float64) {
 	g.bits.Store(math.Float64bits(v))
 }
 
+// Add shifts the gauge by delta atomically (CAS loop) — safe for
+// concurrent in-flight accounting where Set(Value()+1) would race.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the current value (0 on a nil receiver).
 func (g *Gauge) Value() float64 {
 	if g == nil {

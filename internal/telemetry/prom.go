@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for the Registry, served
+// at /metrics?format=prom (and via Accept negotiation) so any
+// Prometheus-compatible scraper can consume the same registry the JSON
+// snapshot exposes.
+//
+// The registry itself is label-free: a metric is one named series.
+// Labelled series are encoded in the registry key by convention —
+// SeriesName("http_requests_total", "route", "GET /x") produces
+// `http_requests_total{route="GET /x"}` — and the renderer splits the
+// key back into family name and label set. Keys that merely contain
+// dots (the per-workload ".<id>" suffix convention) are sanitized into
+// legal metric names (`ppm_lc_target_pages.0` → `ppm_lc_target_pages_0`).
+
+// SeriesName builds a registry key carrying a label set, in the exact
+// form the Prometheus renderer parses back: base{k1="v1",k2="v2"}.
+// Pairs are alternating key, value; a trailing odd key is dropped.
+// Label values are escaped here, so any string is safe to pass.
+func SeriesName(base string, pairs ...string) string {
+	if len(pairs) < 2 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double-quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// sanitizeMetricName maps an arbitrary registry name onto the legal
+// metric-name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			if b != nil {
+				b = append(b, c)
+			}
+			continue
+		}
+		if b == nil { // first illegal byte: start rewriting
+			b = append(b, name[:i]...)
+		}
+		b = append(b, '_')
+	}
+	if b == nil {
+		return name
+	}
+	return string(b)
+}
+
+// splitSeriesKey splits a registry key into its family name and its
+// raw label block ("" when unlabelled). The label block is kept as the
+// already-escaped text between the braces.
+func splitSeriesKey(key string) (base, labels string) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 || !strings.HasSuffix(key, "}") {
+		return key, ""
+	}
+	return key[:open], key[open+1 : len(key)-1]
+}
+
+// promSeries is one renderable series: a family name, its optional
+// label block, and where it came from.
+type promSeries struct {
+	family string // sanitized family name
+	labels string // raw escaped label block, "" when none
+	kind   string // counter | gauge | histogram
+	value  float64
+	hist   *Histogram
+}
+
+// formatPromValue renders a sample value (Prometheus accepts Go 'g'
+// formatting, including +Inf/-Inf/NaN spellings).
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders every registered metric in the Prometheus text
+// exposition format: counters and gauges as single samples, histograms
+// as cumulative _bucket series over the all-time DefBuckets counts
+// plus _sum and _count (the le="+Inf" bucket equals _count by
+// construction). Families are sorted by name; a # TYPE line precedes
+// each family. A nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	var series []promSeries
+	if r != nil {
+		r.mu.RLock()
+		for key, c := range r.counters {
+			base, labels := splitSeriesKey(key)
+			series = append(series, promSeries{
+				family: sanitizeMetricName(base), labels: labels,
+				kind: "counter", value: float64(c.Value()),
+			})
+		}
+		for key, g := range r.gauges {
+			base, labels := splitSeriesKey(key)
+			series = append(series, promSeries{
+				family: sanitizeMetricName(base), labels: labels,
+				kind: "gauge", value: g.Value(),
+			})
+		}
+		for key, h := range r.hists {
+			base, labels := splitSeriesKey(key)
+			series = append(series, promSeries{
+				family: sanitizeMetricName(base), labels: labels,
+				kind: "histogram", hist: h,
+			})
+		}
+		r.mu.RUnlock()
+	}
+	sort.Slice(series, func(i, j int) bool {
+		if series[i].family != series[j].family {
+			return series[i].family < series[j].family
+		}
+		return series[i].labels < series[j].labels
+	})
+
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, s := range series {
+		if s.family != lastFamily {
+			bw.WriteString("# TYPE ")
+			bw.WriteString(s.family)
+			bw.WriteByte(' ')
+			bw.WriteString(s.kind)
+			bw.WriteByte('\n')
+			lastFamily = s.family
+		}
+		switch s.kind {
+		case "counter", "gauge":
+			writePromSample(bw, s.family, s.labels, "", s.value)
+		case "histogram":
+			counts, sum, count := s.hist.Buckets()
+			for i, bound := range DefBuckets {
+				writePromSample(bw, s.family+"_bucket", s.labels,
+					`le="`+formatPromValue(bound)+`"`, float64(counts[i]))
+			}
+			writePromSample(bw, s.family+"_bucket", s.labels, `le="+Inf"`, float64(count))
+			writePromSample(bw, s.family+"_sum", s.labels, "", sum)
+			writePromSample(bw, s.family+"_count", s.labels, "", float64(count))
+		}
+	}
+	return bw.Flush()
+}
+
+// writePromSample writes one sample line, merging the series' label
+// block with an extra label (the histogram le).
+func writePromSample(bw *bufio.Writer, name, labels, extra string, v float64) {
+	bw.WriteString(name)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatPromValue(v))
+	bw.WriteByte('\n')
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestPromGolden pins the Prometheus text exposition byte-for-byte:
+// family sorting, TYPE lines, name sanitization (dotted per-workload
+// names), label-block passthrough, label-value escaping, cumulative
+// histogram buckets, and the +Inf bucket == _count invariant.
+// Histogram samples are powers of two so the _sum is exact.
+func TestPromGolden(t *testing.T) {
+	r := NewRegistry(16)
+	r.Counter("requests_total").Add(3)
+	r.Counter(SeriesName("http_requests_total",
+		"route", "GET /api/v1/runs/{id}", "code", "2xx")).Add(2)
+	r.Counter(SeriesName("weird_total", "msg", "a\"b\\c\nd")).Inc()
+	r.Gauge("queue_depth").Set(4.5)
+	r.Gauge("ppm_lc_target_pages.0").Set(7)
+	h := r.Histogram("lat_seconds")
+	for _, v := range []float64{0.0625, 0.25, 0.5, 8} {
+		h.Observe(v)
+	}
+
+	want := `# TYPE http_requests_total counter
+http_requests_total{route="GET /api/v1/runs/{id}",code="2xx"} 2
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.005"} 0
+lat_seconds_bucket{le="0.01"} 0
+lat_seconds_bucket{le="0.025"} 0
+lat_seconds_bucket{le="0.05"} 0
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="0.25"} 2
+lat_seconds_bucket{le="0.5"} 3
+lat_seconds_bucket{le="1"} 3
+lat_seconds_bucket{le="2.5"} 3
+lat_seconds_bucket{le="5"} 3
+lat_seconds_bucket{le="10"} 4
+lat_seconds_bucket{le="+Inf"} 4
+lat_seconds_sum 8.8125
+lat_seconds_count 4
+# TYPE ppm_lc_target_pages_0 gauge
+ppm_lc_target_pages_0 7
+# TYPE queue_depth gauge
+queue_depth 4.5
+# TYPE requests_total counter
+requests_total 3
+# TYPE weird_total counter
+weird_total{msg="a\"b\\c\nd"} 1
+`
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if err := ValidatePromLines(buf.String()); err != nil {
+		t.Fatalf("golden output fails its own validator: %v", err)
+	}
+}
+
+func TestPromInfBucketEqualsCount(t *testing.T) {
+	h := NewHistogram(8)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i%37) / 3.0) // values straddling every bucket and +Inf
+	}
+	counts, _, count := h.Buckets()
+	if count != 1000 {
+		t.Fatalf("count=%d", count)
+	}
+	prev := uint64(0)
+	for i, c := range counts {
+		if c < prev {
+			t.Fatalf("bucket %d not cumulative: %d < %d", i, c, prev)
+		}
+		prev = c
+	}
+	if counts[len(counts)-1] > count {
+		t.Fatalf("largest bucket %d exceeds count %d", counts[len(counts)-1], count)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name_total":         "ok_name_total",
+		"ppm_lc_target_pages.0": "ppm_lc_target_pages_0",
+		"be_np.stream":          "be_np_stream",
+		"9starts_with_digit":    "_starts_with_digit",
+		"has space":             "has_space",
+		"":                      "_",
+		"colon:ok":              "colon:ok",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePromNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatalf("nil registry: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", buf.String())
+	}
+}
+
+// promLine matches one exposition sample or comment line — the same
+// check the CI observability-smoke job applies with grep.
+var promLine = regexp.MustCompile(
+	`^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* .*` +
+		`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? ([0-9eE+.\-]+|\+Inf|-Inf|NaN))$`)
+
+// ValidatePromLines checks every non-empty line against the exposition
+// line grammar (approximated — full label grammar is checked by the
+// golden test above).
+func ValidatePromLines(out string) error {
+	for i, line := range strings.Split(out, "\n") {
+		if line == "" {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			return fmt.Errorf("line %d violates exposition syntax: %q", i+1, line)
+		}
+	}
+	return nil
+}

@@ -98,4 +98,14 @@ const (
 	MetricSimP99        = "sim_lc_p99_seconds"
 	MetricSimLoad       = "sim_lc_load_frac"
 	MetricSimFMemRatio  = "sim_lc_fmem_ratio"
+
+	// Observability self-metrics: ring-buffer loss in the event tracer
+	// and the span store (synced by Telemetry.SyncDropStats), and the
+	// HTTP middleware's request families (per-route series via
+	// SeriesName).
+	MetricTraceDropped = "telemetry_trace_dropped_total"
+	MetricSpansDropped = "telemetry_spans_dropped_total"
+	MetricHTTPDuration = "http_request_duration_seconds"
+	MetricHTTPRequests = "http_requests_total"
+	MetricHTTPInFlight = "http_requests_in_flight"
 )

@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	v := FormatTraceparent(sc)
+	if !strings.HasPrefix(v, "00-") || !strings.HasSuffix(v, "-01") {
+		t.Fatalf("unexpected traceparent shape: %q", v)
+	}
+	got, err := ParseTraceparent(v)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got != sc {
+		t.Fatalf("round trip mismatch: %v != %v", got, sc)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-short",
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-00000000000000000000000000000000-0000000000000000-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",
+		"00x4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+	}
+	for _, v := range bad {
+		if _, err := ParseTraceparent(v); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted", v)
+		}
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	h := http.Header{}
+	Inject(context.Background(), h) // no span context: no header
+	if h.Get(TraceparentHeader) != "" {
+		t.Fatalf("header injected from bare context")
+	}
+	ctx, trace := NewTraceContext(context.Background())
+	Inject(ctx, h)
+	sc, ok := Extract(h)
+	if !ok {
+		t.Fatalf("extract failed from %q", h.Get(TraceparentHeader))
+	}
+	if sc.Trace != trace {
+		t.Fatalf("trace ID did not survive: %v != %v", sc.Trace, trace)
+	}
+}
+
+func TestSpanStoreParentChild(t *testing.T) {
+	st := NewSpanStore("test", 16)
+	ctx, root := st.StartSpan(context.Background(), "root")
+	ctx2, child := st.StartSpan(ctx, "child", SA("k", "v"))
+	if SpanContextFrom(ctx2).Span != child.Context().Span {
+		t.Fatalf("derived context does not carry the child span")
+	}
+	child.End(errors.New("boom"))
+	root.End(nil)
+
+	spans := st.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("retained %d spans, want 2", len(spans))
+	}
+	// Record order is end order: child first.
+	c, r := spans[0], spans[1]
+	if c.Name != "child" || r.Name != "root" {
+		t.Fatalf("unexpected order: %q, %q", c.Name, r.Name)
+	}
+	if c.Trace != r.Trace {
+		t.Fatalf("child not in root's trace")
+	}
+	if c.Parent != r.ID {
+		t.Fatalf("child parent %v, want root %v", c.Parent, r.ID)
+	}
+	if !r.Parent.IsZero() {
+		t.Fatalf("root has a parent: %v", r.Parent)
+	}
+	if c.Status != SpanError || c.Error != "boom" {
+		t.Fatalf("child status %q err %q", c.Status, c.Error)
+	}
+	if r.Status != SpanOK {
+		t.Fatalf("root status %q", r.Status)
+	}
+	if c.Service != "test" {
+		t.Fatalf("service %q", c.Service)
+	}
+	if len(c.Attrs) != 1 || c.Attrs[0] != (SpanAttr{Key: "k", Val: "v"}) {
+		t.Fatalf("attrs %v", c.Attrs)
+	}
+	if got := st.ByTrace(r.Trace); len(got) != 2 {
+		t.Fatalf("ByTrace: %d spans", len(got))
+	}
+	if ids := st.TraceIDs(); len(ids) != 1 || ids[0] != r.Trace {
+		t.Fatalf("TraceIDs: %v", ids)
+	}
+}
+
+func TestSpanStoreDropsOldest(t *testing.T) {
+	st := NewSpanStore("test", 4)
+	for i := 0; i < 10; i++ {
+		_, sp := st.StartSpan(context.Background(), "s")
+		sp.End(nil)
+	}
+	if st.Len() != 4 {
+		t.Fatalf("Len=%d, want 4", st.Len())
+	}
+	if st.Count() != 10 {
+		t.Fatalf("Count=%d, want 10", st.Count())
+	}
+	if st.Dropped() != 6 {
+		t.Fatalf("Dropped=%d, want 6", st.Dropped())
+	}
+}
+
+func TestNilSpanStoreIsInert(t *testing.T) {
+	var st *SpanStore
+	ctx, sp := st.StartSpan(context.Background(), "x", SA("a", "b"))
+	if ctx == nil {
+		t.Fatalf("nil context back")
+	}
+	sp.SetAttr("k", "v") // must not panic
+	sp.End(nil)
+	if sp.Context().Valid() {
+		t.Fatalf("nil store produced a valid span context")
+	}
+	if st.Len() != 0 || st.Count() != 0 || st.Dropped() != 0 {
+		t.Fatalf("nil store has state")
+	}
+	if st.Spans() != nil || st.ByTrace(TraceID{}) != nil {
+		t.Fatalf("nil store returned spans")
+	}
+}
+
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	st := NewSpanStore("svc", 8)
+	ctx, root := st.StartSpan(context.Background(), "root")
+	_, child := st.StartSpan(ctx, "child", SA("cell", "p=1"))
+	child.End(nil)
+	root.End(errors.New("late"))
+
+	var buf bytes.Buffer
+	if err := WriteSpansJSONL(&buf, st.Spans()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := DecodeSpansJSONL(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want := st.Spans()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d spans, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || got[i].Trace != want[i].Trace ||
+			got[i].Parent != want[i].Parent || got[i].Name != want[i].Name ||
+			got[i].Status != want[i].Status || got[i].Error != want[i].Error {
+			t.Fatalf("span %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSyncDropStats(t *testing.T) {
+	tel := NewWithConfig(Config{TraceCapacity: 2, SpanCapacity: 2, Service: "t"})
+	for i := 0; i < 5; i++ {
+		tel.Tracer().Emit(0, "x", WLNone)
+		_, sp := tel.Spans().StartSpan(context.Background(), "s")
+		sp.End(nil)
+	}
+	tel.SyncDropStats()
+	snap := tel.Metrics().Snapshot()
+	if got := snap.Counters[MetricTraceDropped]; got != 3 {
+		t.Fatalf("%s=%d, want 3", MetricTraceDropped, got)
+	}
+	if got := snap.Counters[MetricSpansDropped]; got != 3 {
+		t.Fatalf("%s=%d, want 3", MetricSpansDropped, got)
+	}
+	// Syncing again must not double-count.
+	tel.SyncDropStats()
+	if got := tel.Metrics().Snapshot().Counters[MetricSpansDropped]; got != 3 {
+		t.Fatalf("resync drifted: %d", got)
+	}
+}

@@ -23,6 +23,12 @@ type Config struct {
 	// HistWindow is the number of samples each windowed histogram
 	// retains for quantile snapshots. 0 selects DefaultHistWindow.
 	HistWindow int
+	// SpanCapacity is the number of finished request spans the span
+	// store retains. 0 selects DefaultSpanCapacity.
+	SpanCapacity int
+	// Service names this process on every span it records (e.g.
+	// "mtatd"); may also be set later via Spans().SetService.
+	Service string
 }
 
 // Buffer defaults.
@@ -31,11 +37,12 @@ const (
 	DefaultHistWindow    = 1 << 12
 )
 
-// Telemetry bundles a metrics registry and an event tracer. The zero value
-// of *Telemetry (nil) is a valid no-op sink.
+// Telemetry bundles a metrics registry, an event tracer, and a request
+// span store. The zero value of *Telemetry (nil) is a valid no-op sink.
 type Telemetry struct {
-	reg *Registry
-	tr  *Tracer
+	reg   *Registry
+	tr    *Tracer
+	spans *SpanStore
 }
 
 // New returns a telemetry sink with default buffer sizes.
@@ -50,8 +57,9 @@ func NewWithConfig(c Config) *Telemetry {
 		c.HistWindow = DefaultHistWindow
 	}
 	return &Telemetry{
-		reg: NewRegistry(c.HistWindow),
-		tr:  NewTracer(c.TraceCapacity),
+		reg:   NewRegistry(c.HistWindow),
+		tr:    NewTracer(c.TraceCapacity),
+		spans: NewSpanStore(c.Service, c.SpanCapacity),
 	}
 }
 
@@ -69,4 +77,30 @@ func (t *Telemetry) Tracer() *Tracer {
 		return nil
 	}
 	return t.tr
+}
+
+// Spans returns the request span store (nil for a nil sink — still
+// safe to use).
+func (t *Telemetry) Spans() *SpanStore {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// SyncDropStats copies the tracer's and span store's monotonic drop
+// counts into the MetricTraceDropped / MetricSpansDropped registry
+// counters, so ring-buffer loss is visible to any scrape. Called by
+// the metrics endpoints before rendering; safe on a nil sink.
+func (t *Telemetry) SyncDropStats() {
+	if t == nil {
+		return
+	}
+	sync := func(c *Counter, want uint64) {
+		if d := int64(want) - c.Value(); d > 0 {
+			c.Add(d)
+		}
+	}
+	sync(t.reg.Counter(MetricTraceDropped), t.tr.Dropped())
+	sync(t.reg.Counter(MetricSpansDropped), t.spans.Dropped())
 }
