@@ -28,6 +28,8 @@
 //	mtatctl trace r000001                                    # render a run's distributed trace tree
 //	mtatctl trace -fleet 127.0.0.1:7171 s000001              # a sweep's tree, merged across daemons
 //	mtatctl metrics -format prom                             # scrape a daemon's /metrics
+//	mtatctl profile cpu -seconds 10                          # fetch a pprof profile (daemon needs -pprof)
+//	mtatctl flight r000001                                   # dump a run's flight recorder JSON
 //
 // The mtatd address comes from -addr, then $MTATD_ADDR, then
 // 127.0.0.1:7070. Sweep subcommands talk to the fleet daemon instead:
@@ -70,7 +72,9 @@ func usage(fs *flag.FlagSet) func() {
 			"  cancel   cancel a queued or running run\n"+
 			"  sweep    drive a mtatfleet scheduler (submit|status|wait|results|nodes|cancel)\n"+
 			"  trace    render a distributed trace tree (run ID, sweep ID, or 32-hex trace ID)\n"+
-			"  metrics  scrape a daemon's /metrics (-node URL, -format json|prom)\n\n"+
+			"  metrics  scrape a daemon's /metrics (-node URL, -format json|prom)\n"+
+			"  profile  fetch a pprof profile from a daemon started with -pprof (cpu|heap|allocs)\n"+
+			"  flight   dump a run's flight-recorder ring (recent core events) as JSON\n\n"+
 			"flags:\n")
 		fs.PrintDefaults()
 	}
@@ -122,6 +126,10 @@ func run(args []string) error {
 		return cmdTrace(ctx, c, rest[1:])
 	case "metrics":
 		return cmdMetrics(ctx, c, rest[1:])
+	case "profile":
+		return cmdProfile(ctx, c, rest[1:])
+	case "flight":
+		return cmdFlight(ctx, c, rest[1:])
 	default:
 		fs.Usage()
 		return fmt.Errorf("unknown command %q", rest[0])

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/tieredmem/mtat/internal/server"
+)
+
+// cmdProfile fetches a pprof profile from a daemon's /debug/pprof/
+// surface and writes it to disk, ready for `go tool pprof`. The kind may
+// come before or after the flags (`mtatctl profile cpu -seconds 10` and
+// `mtatctl profile -seconds 10 cpu` both work).
+func cmdProfile(ctx context.Context, c *server.Client, args []string) error {
+	// Allow the conventional kind-first form: the flag package stops at
+	// the first positional argument, so hoist it out before parsing.
+	var kind string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		kind, args = args[0], args[1:]
+	}
+	fs := flag.NewFlagSet("mtatctl profile", flag.ContinueOnError)
+	node := fs.String("node", "", "daemon address to profile instead of the default mtatd (any mtatd/mtatfleet URL)")
+	seconds := fs.Int("seconds", server.DefaultProfileSeconds, "CPU profile duration (cpu kind only)")
+	out := fs.String("o", "", `output file (default "<kind>.pprof"; "-" for stdout)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		if kind != "" {
+			return fmt.Errorf("profile: exactly one profile kind required")
+		}
+		kind = fs.Arg(0)
+	default:
+		return fmt.Errorf("profile: exactly one profile kind required")
+	}
+	switch kind {
+	case "cpu", "heap", "allocs":
+	default:
+		return fmt.Errorf("profile: unknown kind %q (valid: cpu, heap, allocs)", kind)
+	}
+	if *node != "" {
+		c = server.NewClient(*node)
+	}
+	path := *out
+	if path == "" {
+		path = kind + ".pprof"
+	}
+	if path == "-" {
+		return c.Profile(ctx, kind, *seconds, os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if kind == "cpu" {
+		fmt.Fprintf(os.Stderr, "profiling %s for %ds...\n", c.BaseURL, *seconds)
+	}
+	if err := c.Profile(ctx, kind, *seconds, f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s profile of %s\n", kind, c.BaseURL)
+	// The bare path on stdout is the scripting contract:
+	// `go tool pprof $(mtatctl profile cpu)`.
+	fmt.Println(path)
+	return nil
+}
+
+// cmdFlight dumps a run's flight recorder — the bounded ring of recent
+// core events (promotions, demotions, SLO violations, policy switches,
+// load shifts) — as JSON on stdout. Works on live runs too, for peeking
+// at a slow cell mid-flight.
+func cmdFlight(ctx context.Context, c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("mtatctl flight", flag.ContinueOnError)
+	node := fs.String("node", "", "daemon address to query instead of the default mtatd")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("flight: exactly one run ID required")
+	}
+	if *node != "" {
+		c = server.NewClient(*node)
+	}
+	return c.Flight(ctx, fs.Arg(0), os.Stdout)
+}

@@ -75,6 +75,7 @@ func run() error {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 		dataDir  = flag.String("data-dir", "", "journal directory for crash-safe run recovery (empty = in-memory only)")
 		fsync    = flag.Bool("fsync", false, "fsync the journal after every append (with -data-dir)")
+		pprof    = flag.Bool("pprof", false, "mount Go profiling endpoints under /debug/pprof/")
 		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		logFmt   = flag.String("log-format", "text", "structured log format: text or json")
 	)
@@ -103,7 +104,8 @@ func run() error {
 			"runs", st.RecoveredRuns, "data_dir", *dataDir)
 	}
 
-	srv, err := telemetry.Serve(*addr, server.NewHandler(mgr, tel))
+	srv, err := telemetry.Serve(*addr,
+		server.NewHandlerWith(mgr, tel, server.HandlerConfig{Pprof: *pprof}))
 	if err != nil {
 		return fmt.Errorf("-addr: %w", err)
 	}

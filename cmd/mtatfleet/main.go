@@ -81,8 +81,11 @@ func run() error {
 		drain        = flag.Duration("drain", 60*time.Second, "graceful-shutdown drain deadline")
 		dataDir      = flag.String("data-dir", "", "journal directory for crash-safe sweep recovery (empty = in-memory only)")
 		fsync        = flag.Bool("fsync", false, "fsync the journal after every append (with -data-dir)")
-		logLevel     = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
-		logFmt       = flag.String("log-format", "text", "structured log format: text or json")
+		pprof        = flag.Bool("pprof", false, "mount Go profiling endpoints under /debug/pprof/")
+		slowFactor   = flag.Float64("slow-cell-factor", cluster.DefaultSlowCellFactor,
+			"flag cells slower than this multiple of the sweep's median cell wall time")
+		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFmt   = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
 
@@ -108,6 +111,7 @@ func run() error {
 		},
 		SweepParallelism: *parallel,
 		MaxSweeps:        *maxSweeps,
+		SlowCellFactor:   *slowFactor,
 		Telemetry:        tel,
 		DataDir:          *dataDir,
 		Fsync:            *fsync,
@@ -133,7 +137,8 @@ func run() error {
 			"cells_left", st.Cells-st.Done-st.Failed, "cells", st.Cells)
 	}
 
-	srv, err := telemetry.Serve(*addr, cluster.NewHandler(fleet, tel))
+	srv, err := telemetry.Serve(*addr,
+		cluster.NewHandlerWith(fleet, tel, cluster.HandlerConfig{Pprof: *pprof}))
 	if err != nil {
 		return fmt.Errorf("-addr: %w", err)
 	}

@@ -24,7 +24,20 @@ type AddNodeRequest struct {
 	Weight float64 `json:"weight,omitempty"`
 }
 
-// NewHandler builds the fleet control-plane HTTP API:
+// HandlerConfig tunes the optional surfaces of the fleet API.
+type HandlerConfig struct {
+	// Pprof mounts the Go profiling endpoints under /debug/pprof/. The
+	// daemon keeps it off unless launched with -pprof; NewHandler turns
+	// it on for embedded/test use.
+	Pprof bool
+}
+
+// NewHandler is NewHandlerWith with every optional surface enabled.
+func NewHandler(f *Fleet, tel *telemetry.Telemetry) http.Handler {
+	return NewHandlerWith(f, tel, HandlerConfig{Pprof: true})
+}
+
+// NewHandlerWith builds the fleet control-plane HTTP API:
 //
 //	POST   /api/v1/sweeps               submit a SweepSpec (202; 400 invalid, 503 draining)
 //	GET    /api/v1/sweeps               list retained sweeps
@@ -41,10 +54,11 @@ type AddNodeRequest struct {
 //	GET    /readyz                      readiness probe (replay done, recovery resumed)
 //
 // tel is the fleet-level telemetry sink; its handler is mounted at
-// /metrics, /trace, and /debug/pprof/ (nil serves empty snapshots), and
-// every route is wrapped in telemetry.Middleware for request metrics,
-// server spans, and structured logs.
-func NewHandler(f *Fleet, tel *telemetry.Telemetry) http.Handler {
+// /metrics and /trace (nil serves empty snapshots) — plus /debug/pprof/
+// when cfg.Pprof is set — and every route is wrapped in
+// telemetry.Middleware for request metrics, server spans, and structured
+// logs.
+func NewHandlerWith(f *Fleet, tel *telemetry.Telemetry, cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /api/v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
@@ -171,7 +185,9 @@ func NewHandler(f *Fleet, tel *telemetry.Telemetry) http.Handler {
 	th := tel.Handler()
 	mux.Handle("/metrics", th)
 	mux.Handle("/trace", th)
-	mux.Handle("/debug/", th)
+	if cfg.Pprof {
+		mux.Handle("/debug/", th)
+	}
 
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -194,7 +210,7 @@ func NewHandler(f *Fleet, tel *telemetry.Telemetry) http.Handler {
 			"GET    /readyz\n"+
 			"GET    /metrics  (?format=prom for Prometheus text)\n"+
 			"GET    /trace\n"+
-			"GET    /debug/pprof/\n")
+			"GET    /debug/pprof/  (with -pprof)\n")
 	})
 
 	// Every route passes through the shared instrumentation: per-route

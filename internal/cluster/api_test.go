@@ -172,3 +172,37 @@ func TestAPIErrors(t *testing.T) {
 		t.Error("unknown format accepted")
 	}
 }
+
+// TestAPIPprofGating mirrors the server-side test: the fleet's profiling
+// surface must 404 unless HandlerConfig enables it (mtatfleet -pprof).
+func TestAPIPprofGating(t *testing.T) {
+	tel := telemetry.New()
+	f := newTestFleet(t, tel)
+
+	gated := httptest.NewServer(NewHandlerWith(f, tel, HandlerConfig{Pprof: false}))
+	defer gated.Close()
+	open := httptest.NewServer(NewHandlerWith(f, tel, HandlerConfig{Pprof: true}))
+	defer open.Close()
+
+	for srvURL, want := range map[string]int{
+		gated.URL: http.StatusNotFound,
+		open.URL:  http.StatusOK,
+	} {
+		resp, err := http.Get(srvURL + "/debug/pprof/heap")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s/debug/pprof/heap = %d, want %d", srvURL, resp.StatusCode, want)
+		}
+		resp, err = http.Get(srvURL + "/api/v1/nodes")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s/api/v1/nodes = %d", srvURL, resp.StatusCode)
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
+	"sort"
 	"sync"
 	"time"
 
@@ -44,6 +46,12 @@ const (
 	// DefaultCompactEvery is the journal record count that triggers a
 	// snapshot compaction.
 	DefaultCompactEvery = 1024
+	// DefaultSlowCellFactor flags a finished cell as slow when its wall
+	// time exceeds this multiple of the sweep's median cell wall time.
+	DefaultSlowCellFactor = 3.0
+	// slowCellMinSettled is the number of settled cells a sweep needs
+	// before the median is meaningful enough to flag outliers.
+	slowCellMinSettled = 3
 )
 
 // FleetConfig sizes the fleet scheduler.
@@ -74,6 +82,11 @@ type FleetConfig struct {
 	// journal targets; fsync additionally covers kernel panics and power
 	// loss at a large latency cost.
 	Fsync bool
+	// SlowCellFactor flags a finished cell as slow — counted in
+	// fleet_slow_cells_total and logged with the sweep's trace ID — when
+	// its wall time exceeds this multiple of the sweep's median cell
+	// wall time (<= 0 selects DefaultSlowCellFactor).
+	SlowCellFactor float64
 	// Logf sinks operational log lines (journal failures, replay
 	// summaries). Nil selects log.Printf.
 	Logf func(format string, args ...any)
@@ -110,6 +123,9 @@ type sweep struct {
 	state     SweepState
 	submitted time.Time
 	finished  time.Time
+	// walls holds the wall times (seconds) of cells that completed
+	// successfully, for the slow-cell median. Guarded by the fleet mutex.
+	walls []float64
 	// sc is the submit-time span context (the API request's server span);
 	// runSweep parents the sweep.run span under it so every cell dispatch
 	// — and, via traceparent, the remote run on the node — joins the
@@ -150,6 +166,8 @@ type Fleet struct {
 	mCellsDone            *telemetry.Counter
 	mCellsFailed          *telemetry.Counter
 	mCellsRetried         *telemetry.Counter
+	mSlowCells            *telemetry.Counter
+	hCellWall             *telemetry.Histogram
 	gSweepsRunning        *telemetry.Gauge
 	gCellsRunningInternal *telemetry.Gauge
 }
@@ -168,6 +186,9 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	}
 	if cfg.CompactEvery <= 0 {
 		cfg.CompactEvery = DefaultCompactEvery
+	}
+	if cfg.SlowCellFactor <= 0 {
+		cfg.SlowCellFactor = DefaultSlowCellFactor
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
@@ -193,6 +214,8 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	f.mCellsDone = m.Counter("fleet_cells_done_total")
 	f.mCellsFailed = m.Counter("fleet_cells_failed_total")
 	f.mCellsRetried = m.Counter("fleet_cells_retried_total")
+	f.mSlowCells = m.Counter(telemetry.MetricFleetSlowCells)
+	f.hCellWall = m.Histogram(telemetry.MetricFleetCellWall)
 	f.gSweepsRunning = m.Gauge("fleet_sweeps_running")
 	f.gCellsRunningInternal = m.Gauge("fleet_cells_running")
 	if cfg.DataDir != "" {
@@ -429,6 +452,7 @@ func (f *Fleet) runCell(ctx context.Context, sw *sweep, cr *cellRun) {
 		f.mCellsRetried.Inc()
 	}
 	wall := cr.finished.Sub(cr.started).Seconds()
+	f.hCellWall.Observe(wall)
 	if err != nil {
 		cr.state = CellFailed
 		cr.errMsg = err.Error()
@@ -443,12 +467,49 @@ func (f *Fleet) runCell(ctx context.Context, sw *sweep, cr *cellRun) {
 	}
 	cr.state = CellDone
 	f.mCellsDone.Inc()
+	f.flagSlowCellLocked(sw, cr, wall)
 	s := newCellSummary(sw.name, cr.cell, CellDone, res.Node, "",
 		res.NodeAttempts, wall, &res.Status)
 	cr.summary = &s
 	f.journalLocked(recCellSettled, cellSettledRec{
 		SweepID: sw.id, Index: cr.cell.Index, Summary: s,
 	})
+}
+
+// flagSlowCellLocked compares a completed cell's wall time against the
+// sweep's running median (successful cells only — failures settle at
+// whatever point dispatch gave up and would skew it) and flags outliers
+// beyond SlowCellFactor × median with a counter and a structured
+// warning carrying the sweep's trace ID. Callers hold f.mu.
+func (f *Fleet) flagSlowCellLocked(sw *sweep, cr *cellRun, wall float64) {
+	med := median(sw.walls)
+	sw.walls = append(sw.walls, wall)
+	if len(sw.walls) <= slowCellMinSettled || med <= 0 || wall <= f.cfg.SlowCellFactor*med {
+		return
+	}
+	f.mSlowCells.Inc()
+	slog.Warn("fleet: slow cell",
+		slog.String("sweep", sw.id),
+		slog.String("cell", cr.cell.Label),
+		slog.String("node", cr.node),
+		slog.Float64("wall_s", wall),
+		slog.Float64("median_s", med),
+		slog.Float64("factor", f.cfg.SlowCellFactor),
+		slog.String("trace", fleetTraceOrEmpty(sw.trace)))
+}
+
+// median returns the median of xs, 0 when empty. xs is not mutated.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
 }
 
 // Get returns one sweep's status.

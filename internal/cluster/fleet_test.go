@@ -308,3 +308,64 @@ func TestFleetCancelSweep(t *testing.T) {
 		t.Error("cancel of unknown sweep succeeded")
 	}
 }
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{3}, 3},
+		{[]float64{4, 2}, 3},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{1, 2, 100, 4}, 3},
+	}
+	for _, c := range cases {
+		if got := median(c.xs); got != c.want {
+			t.Errorf("median(%v) = %g, want %g", c.xs, got, c.want)
+		}
+	}
+}
+
+// TestSlowCellFlagging drives flagSlowCellLocked directly: no flag while
+// the sweep has too few settled cells, no flag for cells within the
+// factor, one counter increment (and a histogram observation path via
+// runCell is covered by the sweep e2e tests) for a genuine straggler.
+func TestSlowCellFlagging(t *testing.T) {
+	tel := telemetry.New()
+	f := newTestFleet(t, tel)
+	slow := tel.Metrics().Counter(telemetry.MetricFleetSlowCells)
+
+	sw := &sweep{id: "s000001"}
+	cr := &cellRun{cell: sim.Cell{Label: "redis/memtis/seed1"}, node: "n1"}
+
+	// First cells establish the median; even a huge outlier must not flag
+	// before slowCellMinSettled cells have settled.
+	f.mu.Lock()
+	for _, wall := range []float64{1.0, 1.1, 40.0} {
+		f.flagSlowCellLocked(sw, cr, wall)
+	}
+	f.mu.Unlock()
+	if got := slow.Value(); got != 0 {
+		t.Fatalf("flagged %v cells before min settled", got)
+	}
+
+	// Median is now 1.1; a 2x cell stays under the 3x default factor...
+	f.mu.Lock()
+	f.flagSlowCellLocked(sw, cr, 2.2)
+	f.mu.Unlock()
+	if got := slow.Value(); got != 0 {
+		t.Fatalf("flagged a within-factor cell (count %v)", got)
+	}
+
+	// ...and a 10x cell is a straggler. Median over {1.0 1.1 40 2.2} = 1.65.
+	f.mu.Lock()
+	f.flagSlowCellLocked(sw, cr, 16.5)
+	f.mu.Unlock()
+	if got := slow.Value(); got != 1 {
+		t.Fatalf("slow-cell counter = %v, want 1", got)
+	}
+	if len(sw.walls) != 5 {
+		t.Fatalf("walls len %d, want 5", len(sw.walls))
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/corebench"
+)
+
+// coreReportName is the perf-baseline artifact written into OutDir; the
+// copy committed at the repo root is the baseline CI compares against.
+const coreReportName = "BENCH_core.json"
+
+// runCore benchmarks the simulator-core hot paths (mem migration, hist
+// rebuild/split, PEBS sampling, queue tick, flight-recorder append) at a
+// fixed geometry and writes the machine-readable report to
+// OutDir/BENCH_core.json. The benchmark sizes are independent of the
+// suite Scale so -quick and full runs produce comparable numbers; the
+// committed BENCH_core.json at the repo root is the baseline the CI
+// perf-gate job compares against (mtatbench -core-baseline).
+func runCore(s *Suite, w io.Writer) error {
+	rep := corebench.Run()
+	rep.Go = runtime.Version()
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+
+	fmt.Fprintln(w, "Core: simulator hot-path micro-benchmarks (fixed geometry)")
+	fmt.Fprintf(w, "%-16s %12s %14s %12s %12s\n", "BENCH", "ITERS", "NS/OP", "ALLOCS/OP", "B/OP")
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "%-16s %12d %14.1f %12d %12d\n",
+			r.Name, r.Iterations, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+
+	if s.cfg.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.OutDir, 0o755); err != nil {
+		return fmt.Errorf("experiments: create out dir: %w", err)
+	}
+	path := filepath.Join(s.cfg.OutDir, coreReportName)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: create %s: %w", path, err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("experiments: write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("experiments: close %s: %w", path, err)
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+	return nil
+}

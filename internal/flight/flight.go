@@ -1,0 +1,176 @@
+// Package flight implements the simulator core's flight recorder: a
+// bounded ring of recent core events (page promotions/demotions, SLO
+// violations, policy switches, load shifts) kept per run so a slow,
+// failed, or cancelled cell can be inspected after the fact without
+// paying for a full event trace. The ring overwrites oldest-first and
+// counts what it overwrote, so a dump always says how much history it
+// is missing.
+//
+// Like the telemetry package, everything is nil-safe: a nil *Recorder
+// accepts every call as a no-op, so the simulator records
+// unconditionally and pays nothing when no recorder is attached.
+package flight
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event kinds recorded by the simulator core.
+const (
+	// KindRunStart opens a run. Detail carries the policy name; Value
+	// the scheduled duration in seconds.
+	KindRunStart = "run.start"
+	// KindRunEnd closes a run. Detail carries the policy name; Value
+	// the LC SLO-violation rate.
+	KindRunEnd = "run.end"
+	// KindPromotion reports pages promoted to FMem during one tick
+	// (Value = pages).
+	KindPromotion = "promotion"
+	// KindDemotion reports pages demoted to SMem during one tick
+	// (Value = pages).
+	KindDemotion = "demotion"
+	// KindSLOViolation marks a tick whose LC requests exceeded the SLO
+	// (Value = fraction of the tick's requests beyond it).
+	KindSLOViolation = "slo.violation"
+	// KindPolicySwitch marks a change in the policy's externally visible
+	// regime — the per-request LC stall it imposes flipped (Value = new
+	// stall in seconds). Fault-driven policies like TPP switch when
+	// promotions move on or off the request critical path.
+	KindPolicySwitch = "policy.switch"
+	// KindLoadShift marks a load-pattern level change (Value = new
+	// offered fraction of max load).
+	KindLoadShift = "load.shift"
+)
+
+// Event is one flight-recorder entry.
+type Event struct {
+	// Seq is the monotonically increasing sequence number across the
+	// run; gaps at the start of a dump mean the ring overwrote history.
+	Seq uint64 `json:"seq"`
+	// T is the simulation time in seconds.
+	T float64 `json:"t"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// WL is the workload ID the event concerns, -1 when none.
+	WL int `json:"wl"`
+	// Value is the event's numeric payload (see the Kind* docs).
+	Value float64 `json:"value"`
+	// Detail is an optional human-readable annotation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// WLNone marks an event that concerns no particular workload.
+const WLNone = -1
+
+// DefaultCapacity is the ring size selected by New(0).
+const DefaultCapacity = 512
+
+// Recorder is a bounded ring of Events. All methods are safe for
+// concurrent use and are no-ops on a nil receiver, so a dump can be
+// taken while the run is still ticking.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int    // write cursor
+	length  int    // occupied slots
+	seq     uint64 // next sequence number
+	dropped uint64 // events overwritten
+}
+
+// New returns a recorder retaining up to capacity events (<= 0 selects
+// DefaultCapacity).
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, overwriting the oldest entry when the ring
+// is full. The recorder assigns Seq.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	ev.Seq = r.seq
+	r.seq++
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	if r.length < len(r.buf) {
+		r.length++
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained events (0 on a nil receiver).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.length
+}
+
+// Dropped returns how many events the ring has overwritten.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns the retained events oldest-first. The slice is a
+// snapshot owned by the caller; nil on a nil receiver.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.length)
+	start := r.next - r.length
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.length; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Dump is the JSON document served for one run's flight recorder.
+type Dump struct {
+	// Capacity is the ring size; Dropped counts overwritten events —
+	// nonzero means Events is the tail of a longer history.
+	Capacity int     `json:"capacity"`
+	Dropped  uint64  `json:"dropped"`
+	Events   []Event `json:"events"`
+}
+
+// Snapshot captures the recorder as a Dump. A nil receiver yields an
+// empty dump with a non-nil Events slice.
+func (r *Recorder) Snapshot() Dump {
+	if r == nil {
+		return Dump{Events: []Event{}}
+	}
+	r.mu.Lock()
+	capacity := len(r.buf)
+	dropped := r.dropped
+	r.mu.Unlock()
+	return Dump{Capacity: capacity, Dropped: dropped, Events: r.Events()}
+}
+
+// WriteJSON renders the recorder's snapshot as indented JSON.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -155,7 +155,12 @@ type Builder struct {
 	fmem    Histogram
 	smem    Histogram
 	unified Histogram
+	builds  int64
 }
+
+// Builds returns how many Build passes this builder has run — the
+// simulator's histogram-rebuild count for core-stats accounting.
+func (b *Builder) Builds() int64 { return b.builds }
 
 // Build scans workload w's pages in sys and rebuilds the three histograms
 // of §3.3.2: FMem-resident pages, SMem-resident pages, and all pages
@@ -165,6 +170,7 @@ func (b *Builder) Build(sys *mem.System, w mem.WorkloadID) (fmem, smem, unified 
 	b.fmem.Reset()
 	b.smem.Reset()
 	b.unified.Reset()
+	b.builds++
 	for _, pid := range sys.WorkloadPages(w) {
 		p := sys.Page(pid)
 		if p.Tier == mem.TierFMem {

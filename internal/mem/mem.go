@@ -130,6 +130,9 @@ type System struct {
 	tickLeft   int64      // migration bytes remaining this tick
 	migrated   int64      // cumulative migrated bytes
 	migrations int64      // cumulative migrated pages
+	promotions int64      // cumulative pages moved to FMem
+	demotions  int64      // cumulative pages moved to SMem
+	agings     int64      // cumulative AgeHotness passes (histogram decays)
 }
 
 // NewSystem returns a System with the given configuration.
@@ -252,7 +255,12 @@ func (s *System) AgeHotness() {
 	for i := range s.pages {
 		s.pages[i].Hotness >>= 1
 	}
+	s.agings++
 }
+
+// HotnessAgings returns how many AgeHotness passes (histogram decay
+// steps) have run since construction.
+func (s *System) HotnessAgings() int64 { return s.agings }
 
 // BeginTick resets the migration bandwidth budget for a tick of dt.
 func (s *System) BeginTick(dt time.Duration) {
@@ -272,6 +280,14 @@ func (s *System) MigratedBytes() int64 { return s.migrated }
 
 // MigratedPages returns cumulative pages migrated since construction.
 func (s *System) MigratedPages() int64 { return s.migrations }
+
+// PromotedPages returns cumulative pages moved into FMem since
+// construction.
+func (s *System) PromotedPages() int64 { return s.promotions }
+
+// DemotedPages returns cumulative pages moved into SMem since
+// construction.
+func (s *System) DemotedPages() int64 { return s.demotions }
 
 // Migrate moves page pid to tier to. It fails if the destination tier is
 // full or the migration bandwidth budget for this tick is exhausted.
@@ -294,6 +310,7 @@ func (s *System) Migrate(pid PageID, to Tier) error {
 		s.fmemUsed++
 		s.smemUsed--
 		s.accounts[p.Owner].fmem++
+		s.promotions++
 	} else {
 		if s.smemUsed >= s.smemCap {
 			return ErrTierFull
@@ -301,6 +318,7 @@ func (s *System) Migrate(pid PageID, to Tier) error {
 		s.smemUsed++
 		s.fmemUsed--
 		s.accounts[p.Owner].fmem--
+		s.demotions++
 	}
 	p.Tier = to
 	s.tickLeft -= s.cfg.PageSize

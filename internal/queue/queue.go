@@ -23,6 +23,8 @@ type Model struct {
 	rng      *rand.Rand
 	backlog  float64 // requests queued at tick boundary (overload carry)
 	maxDelay float64 // client timeout bound on queueing delay; 0 = none
+	ticks    int64   // cumulative Tick calls
+	draws    int64   // cumulative Monte Carlo sojourn draws
 }
 
 // NewModel returns a queue with the given number of servers (the cores or
@@ -48,6 +50,13 @@ func (m *Model) SetClientTimeout(maxDelay float64) {
 
 // Servers returns the number of servers.
 func (m *Model) Servers() int { return m.servers }
+
+// Ticks returns the cumulative number of Tick calls since construction.
+func (m *Model) Ticks() int64 { return m.ticks }
+
+// Draws returns the cumulative number of Monte Carlo sojourn draws since
+// construction (mcDraws per tick).
+func (m *Model) Draws() int64 { return m.draws }
 
 // Backlog returns the number of requests carried over from previous ticks.
 func (m *Model) Backlog() float64 { return m.backlog }
@@ -187,6 +196,8 @@ func (m *Model) Tick(arrivalRate, dt float64, svc ServiceDist, slo float64) (Tic
 		}
 	}
 	m.backlog = newBacklog
+	m.ticks++
+	m.draws += mcDraws
 	return res, nil
 }
 

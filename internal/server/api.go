@@ -28,12 +28,26 @@ type Meta struct {
 	Workers     int      `json:"workers"`
 }
 
-// NewHandler builds the control-plane HTTP API around a manager:
+// HandlerConfig tunes the optional surfaces of the control-plane API.
+type HandlerConfig struct {
+	// Pprof mounts the Go profiling endpoints under /debug/pprof/. The
+	// daemons keep it off unless launched with -pprof; NewHandler turns
+	// it on for embedded/test use.
+	Pprof bool
+}
+
+// NewHandler is NewHandlerWith with every optional surface enabled.
+func NewHandler(m *Manager, tel *telemetry.Telemetry) http.Handler {
+	return NewHandlerWith(m, tel, HandlerConfig{Pprof: true})
+}
+
+// NewHandlerWith builds the control-plane HTTP API around a manager:
 //
 //	POST   /api/v1/runs             submit a RunSpec (202; 400 invalid, 429 queue full, 503 draining)
 //	GET    /api/v1/runs             list retained runs
 //	GET    /api/v1/runs/{id}        one run's status and result summary
 //	GET    /api/v1/runs/{id}/events the run's private trace as JSONL
+//	GET    /api/v1/runs/{id}/flight the run's flight-recorder dump (JSON)
 //	DELETE /api/v1/runs/{id}        cancel a queued or running run
 //	GET    /api/v1/status           node load signal (queue depth, active runs, store occupancy)
 //	GET    /api/v1/meta             valid workload/policy/load names
@@ -43,10 +57,11 @@ type Meta struct {
 //	GET    /readyz                  readiness probe (replay done, queue has headroom)
 //
 // tel is the daemon-level telemetry sink; its handler is mounted at
-// /metrics, /trace, and /debug/pprof/ (nil serves empty snapshots), and
-// every route is wrapped in telemetry.Middleware for request metrics,
-// server spans, and structured logs.
-func NewHandler(m *Manager, tel *telemetry.Telemetry) http.Handler {
+// /metrics and /trace (nil serves empty snapshots) — plus /debug/pprof/
+// when cfg.Pprof is set — and every route is wrapped in
+// telemetry.Middleware for request metrics, server spans, and structured
+// logs.
+func NewHandlerWith(m *Manager, tel *telemetry.Telemetry, cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /api/v1/runs", func(w http.ResponseWriter, r *http.Request) {
@@ -100,6 +115,16 @@ func NewHandler(m *Manager, tel *telemetry.Telemetry) http.Handler {
 		}
 	})
 
+	mux.HandleFunc("GET /api/v1/runs/{id}/flight", func(w http.ResponseWriter, r *http.Request) {
+		fl, err := m.Flight(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = fl.WriteJSON(w)
+	})
+
 	mux.HandleFunc("DELETE /api/v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := m.Cancel(r.PathValue("id"))
 		if err != nil {
@@ -144,11 +169,13 @@ func NewHandler(m *Manager, tel *telemetry.Telemetry) http.Handler {
 
 	// Daemon-level observability: the existing telemetry handler serves
 	// the debug surface (/metrics and /trace snapshots, pprof under
-	// /debug/pprof/).
+	// /debug/pprof/ when enabled).
 	th := tel.Handler()
 	mux.Handle("/metrics", th)
 	mux.Handle("/trace", th)
-	mux.Handle("/debug/", th)
+	if cfg.Pprof {
+		mux.Handle("/debug/", th)
+	}
 
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -160,6 +187,7 @@ func NewHandler(m *Manager, tel *telemetry.Telemetry) http.Handler {
 			"GET    /api/v1/runs\n"+
 			"GET    /api/v1/runs/{id}\n"+
 			"GET    /api/v1/runs/{id}/events\n"+
+			"GET    /api/v1/runs/{id}/flight\n"+
 			"DELETE /api/v1/runs/{id}\n"+
 			"GET    /api/v1/status\n"+
 			"GET    /api/v1/meta\n"+
@@ -169,7 +197,7 @@ func NewHandler(m *Manager, tel *telemetry.Telemetry) http.Handler {
 			"GET    /readyz\n"+
 			"GET    /metrics  (?format=prom for Prometheus text)\n"+
 			"GET    /trace\n"+
-			"GET    /debug/pprof/\n")
+			"GET    /debug/pprof/  (with -pprof)\n")
 	})
 
 	// Every route passes through the shared instrumentation: per-route

@@ -3,12 +3,14 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"github.com/tieredmem/mtat/internal/flight"
 	"github.com/tieredmem/mtat/internal/telemetry"
 )
 
@@ -160,5 +162,97 @@ func TestAPIShutdown503(t *testing.T) {
 	apiErr, ok := err.(*APIError)
 	if !ok || apiErr.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-shutdown submit: %v, want HTTP 503", err)
+	}
+}
+
+func TestAPIFlightDump(t *testing.T) {
+	c, _ := newTestAPI(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	st, err := c.Submit(ctx, shortSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, st.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := c.Flight(ctx, st.ID, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump flight.Dump
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("flight dump is not valid JSON: %v\n%.200s", err, buf.String())
+	}
+	if dump.Capacity != DefaultFlightCapacity {
+		t.Errorf("flight capacity %d, want %d", dump.Capacity, DefaultFlightCapacity)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range dump.Events {
+		kinds[ev.Kind] = true
+	}
+	// run.end is always retained; run.start may have been overwritten on
+	// long runs but must survive a 100-tick one.
+	if !kinds[flight.KindRunStart] || !kinds[flight.KindRunEnd] {
+		t.Errorf("flight dump missing run markers, kinds seen: %v", kinds)
+	}
+
+	err = c.Flight(ctx, "r999999", &bytes.Buffer{})
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown run flight: %v, want HTTP 404", err)
+	}
+}
+
+// TestAPIPprofGating checks the HandlerConfig switch: the profiling
+// surface must 404 unless explicitly enabled (mtatd -pprof), while
+// NewHandler keeps it on for embedded/test use.
+func TestAPIPprofGating(t *testing.T) {
+	tel := telemetry.New()
+	m := newTestManager(t, Config{Workers: 1, Telemetry: tel})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = m.Shutdown(ctx)
+	}()
+
+	gated := httptest.NewServer(NewHandlerWith(m, tel, HandlerConfig{Pprof: false}))
+	defer gated.Close()
+	open := httptest.NewServer(NewHandlerWith(m, tel, HandlerConfig{Pprof: true}))
+	defer open.Close()
+
+	for srvURL, want := range map[string]int{
+		gated.URL: http.StatusNotFound,
+		open.URL:  http.StatusOK,
+	} {
+		resp, err := http.Get(srvURL + "/debug/pprof/heap")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s/debug/pprof/heap = %d, want %d", srvURL, resp.StatusCode, want)
+		}
+		// The API itself must work in both modes.
+		resp, err = http.Get(srvURL + "/api/v1/meta")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s/api/v1/meta = %d", srvURL, resp.StatusCode)
+		}
+	}
+
+	// Client.Profile end to end against the open server: the heap profile
+	// must come back non-empty (a gzip'd protobuf, starting 0x1f 0x8b).
+	var prof bytes.Buffer
+	if err := NewClient(open.URL).Profile(context.Background(), "heap", 0, &prof); err != nil {
+		t.Fatal(err)
+	}
+	if prof.Len() == 0 {
+		t.Fatal("empty heap profile")
 	}
 }

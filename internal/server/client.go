@@ -141,6 +141,36 @@ func (c *Client) Events(ctx context.Context, id string, w io.Writer) error {
 	return c.stream(ctx, "/api/v1/runs/"+id+"/events", w)
 }
 
+// Flight streams the run's flight-recorder dump (JSON) into w.
+func (c *Client) Flight(ctx context.Context, id string, w io.Writer) error {
+	return c.stream(ctx, "/api/v1/runs/"+id+"/flight", w)
+}
+
+// DefaultProfileSeconds is the CPU profile duration Profile uses when
+// the caller passes seconds <= 0.
+const DefaultProfileSeconds = 5
+
+// Profile streams a pprof profile from the daemon's /debug/pprof/
+// surface into w: kind "cpu" samples the CPU for the given number of
+// seconds (<= 0 selects DefaultProfileSeconds); "heap" and "allocs"
+// snapshot instantly. The target daemon must have its profiling surface
+// enabled (-pprof) or the request 404s.
+func (c *Client) Profile(ctx context.Context, kind string, seconds int, w io.Writer) error {
+	var path string
+	switch kind {
+	case "cpu":
+		if seconds <= 0 {
+			seconds = DefaultProfileSeconds
+		}
+		path = fmt.Sprintf("/debug/pprof/profile?seconds=%d", seconds)
+	case "heap", "allocs":
+		path = "/debug/pprof/" + kind
+	default:
+		return fmt.Errorf("mtatd: unknown profile kind %q (valid: cpu, heap, allocs)", kind)
+	}
+	return c.stream(ctx, path, w)
+}
+
 // Traces fetches the spans this daemon retains for one distributed
 // trace. An unknown trace is not an error — the daemon simply holds no
 // spans for it — so the caller can sweep a whole fleet and merge.

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/tieredmem/mtat/internal/flight"
 	"github.com/tieredmem/mtat/internal/journal"
 	"github.com/tieredmem/mtat/internal/sim"
 	"github.com/tieredmem/mtat/internal/telemetry"
@@ -51,6 +52,9 @@ const (
 	// DefaultCompactEvery is the number of journal delta records between
 	// snapshot compactions when persistence is enabled.
 	DefaultCompactEvery = 1024
+	// DefaultFlightCapacity sizes each run's flight-recorder ring (recent
+	// core events retained for postmortems).
+	DefaultFlightCapacity = 256
 )
 
 // Config sizes the run manager.
@@ -67,6 +71,9 @@ type Config struct {
 	// RunTraceCapacity sizes each run's private trace ring (<= 0 selects
 	// DefaultRunTraceCapacity).
 	RunTraceCapacity int
+	// FlightCapacity sizes each run's flight-recorder ring (<= 0 selects
+	// DefaultFlightCapacity).
+	FlightCapacity int
 	// DefaultEpisodes is the MTAT in-process training budget for specs
 	// that omit episodes (<= 0 selects sim.DefaultPretrainEpisodes).
 	DefaultEpisodes int
@@ -119,6 +126,7 @@ type run struct {
 	// the summary survives it.
 	summary *RunResult
 	tel     *telemetry.Telemetry
+	flight  *flight.Recorder
 	// sc is the submit-time span context (the API request's server span
 	// when the submission arrived with a traceparent); the worker parents
 	// the run.execute span under it so the whole run joins the caller's
@@ -171,6 +179,9 @@ func NewManager(cfg Config) (*Manager, error) {
 	}
 	if cfg.RunTraceCapacity <= 0 {
 		cfg.RunTraceCapacity = DefaultRunTraceCapacity
+	}
+	if cfg.FlightCapacity <= 0 {
+		cfg.FlightCapacity = DefaultFlightCapacity
 	}
 	if cfg.CompactEvery <= 0 {
 		cfg.CompactEvery = DefaultCompactEvery
@@ -331,6 +342,7 @@ func (m *Manager) SubmitCtx(ctx context.Context, spec sim.RunSpec) (RunStatus, e
 		state:     StateQueued,
 		submitted: time.Now(),
 		tel:       newRunTelemetry(m.cfg),
+		flight:    flight.New(m.cfg.FlightCapacity),
 		sc:        sc,
 		trace:     sc.Trace,
 		ctx:       runCtx,
@@ -410,6 +422,20 @@ func (m *Manager) Events(id string) (*telemetry.Tracer, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	return r.tel.Tracer(), nil
+}
+
+// Flight returns a run's flight recorder. The recorder is safe for
+// concurrent use, so a dump can be taken while the run is live; a run
+// finished by a previous incarnation returns an empty recorder (flight
+// rings are not journaled).
+func (m *Manager) Flight(id string) (*flight.Recorder, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.runs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return r.flight, nil
 }
 
 // Cancel stops a run: a queued run is marked cancelled immediately (the
@@ -524,8 +550,14 @@ func (m *Manager) runOne(r *run) {
 			telemetry.ContextWithSpanContext(ctx, r.sc), "run.execute",
 			telemetry.SA("run", r.id), telemetry.SA("policy", r.spec.PolicyName()))
 	}
-	res, err := execute(ctx, r.spec, r.tel, m.cfg.DefaultEpisodes)
+	res, err := execute(ctx, r.spec, r.tel, r.flight, m.cfg.DefaultEpisodes)
 	span.End(err)
+	// Each run records into a private sink; re-publish its core
+	// accounting on the daemon sink so /metrics carries cross-run
+	// sim_* aggregates.
+	if err == nil && res != nil {
+		res.Core.Publish(m.cfg.Telemetry)
+	}
 
 	m.mu.Lock()
 	m.gRunning.Set(m.gRunning.Value() - 1)
@@ -599,7 +631,7 @@ func summarizeOrNil(res *sim.Result) *RunResult {
 // execute materializes and runs one spec: scenario build, policy
 // construction (including in-process MTAT pre-training, cancellable via
 // ctx), then the tick loop under the run's private telemetry sink.
-func execute(ctx context.Context, spec sim.RunSpec, tel *telemetry.Telemetry, defaultEpisodes int) (*sim.Result, error) {
+func execute(ctx context.Context, spec sim.RunSpec, tel *telemetry.Telemetry, fl *flight.Recorder, defaultEpisodes int) (*sim.Result, error) {
 	scn, err := spec.Scenario()
 	if err != nil {
 		return nil, err
@@ -613,5 +645,6 @@ func execute(ctx context.Context, spec sim.RunSpec, tel *telemetry.Telemetry, de
 		return nil, err
 	}
 	scn.Telemetry = tel
+	scn.Flight = fl
 	return sim.RunScenarioContext(ctx, scn, pol)
 }

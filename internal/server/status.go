@@ -37,6 +37,9 @@ type RunResult struct {
 	BEs             []BEOutcome `json:"bes,omitempty"`
 	MigratedBytes   int64       `json:"migrated_bytes"`
 	Ticks           int         `json:"ticks"`
+	// Core is the run's simulator-core resource accounting (wall time,
+	// pages moved, samples drawn, allocation and GC deltas).
+	Core *sim.CoreStats `json:"core,omitempty"`
 }
 
 // Stats is the node's load signal, served at GET /api/v1/status: how
@@ -108,6 +111,7 @@ func summarize(res *sim.Result) *RunResult {
 		BEThroughput:    res.BEThroughput,
 		MigratedBytes:   res.MigratedBytes,
 		Ticks:           res.Ticks,
+		Core:            res.Core,
 	}
 	for _, be := range res.BEs {
 		out.BEs = append(out.BEs, BEOutcome{

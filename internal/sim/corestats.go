@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+// CoreStats is the per-run resource accounting for the simulator core:
+// what the hot paths did (pages moved, samples drawn, Monte Carlo draws)
+// and what it cost the process (wall time, heap allocation, GC pauses).
+// It is collected by the Runner from counters the hot-path packages
+// already maintain plus two runtime.MemStats reads, so enabling it adds
+// no per-tick work.
+//
+// The alloc and GC fields are runtime.MemStats deltas over the run and
+// are therefore process-global: concurrent runs (or any other goroutine
+// activity) share them. On a daemon running one cell per worker they are
+// an upper bound, exact only when the process is otherwise idle.
+type CoreStats struct {
+	// Ticks is the number of simulation ticks executed.
+	Ticks int64 `json:"ticks"`
+	// WallSeconds is the wall-clock duration of the run.
+	WallSeconds float64 `json:"wall_seconds"`
+	// TicksPerSecond is Ticks / WallSeconds.
+	TicksPerSecond float64 `json:"ticks_per_second"`
+	// PagesPromoted / PagesDemoted count page migrations into FMem /
+	// SMem across the run.
+	PagesPromoted int64 `json:"pages_promoted"`
+	PagesDemoted  int64 `json:"pages_demoted"`
+	// HotnessAgings counts AgeHotness passes (the §3.3.2 histogram
+	// decay steps).
+	HotnessAgings int64 `json:"hotness_agings"`
+	// PEBSSamples is the number of sampled accesses the PEBS model drew.
+	PEBSSamples int64 `json:"pebs_samples"`
+	// QueueTicks / QueueDraws count LC queue-model ticks and their
+	// Monte Carlo sojourn draws.
+	QueueTicks int64 `json:"queue_ticks"`
+	QueueDraws int64 `json:"queue_draws"`
+	// AllocBytes / Mallocs are heap allocation deltas over the run
+	// (process-global, see type comment).
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Mallocs    uint64 `json:"mallocs"`
+	// GCPauseSeconds / GCCycles are stop-the-world pause time and GC
+	// cycle deltas over the run (process-global).
+	GCPauseSeconds float64 `json:"gc_pause_seconds"`
+	GCCycles       uint32  `json:"gc_cycles"`
+}
+
+// coreProbe snapshots the counters CoreStats diffs against at run start.
+type coreProbe struct {
+	start    time.Time
+	mem0     runtime.MemStats
+	promoted int64
+	demoted  int64
+	agings   int64
+	samples  uint64
+	qTicks   int64
+	qDraws   int64
+}
+
+// beginCore snapshots all counter baselines. Called once per run.
+func (r *Runner) beginCore() coreProbe {
+	p := coreProbe{
+		start:    time.Now(),
+		promoted: r.sys.PromotedPages(),
+		demoted:  r.sys.DemotedPages(),
+		agings:   r.sys.HotnessAgings(),
+		samples:  r.sampler.TotalSamples(),
+	}
+	if r.lc != nil {
+		q := r.lc.Queue()
+		p.qTicks = q.Ticks()
+		p.qDraws = q.Draws()
+	}
+	runtime.ReadMemStats(&p.mem0)
+	return p
+}
+
+// endCore diffs the probe against current counters and returns the
+// run's CoreStats.
+func (r *Runner) endCore(p coreProbe, ticks int) *CoreStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	cs := &CoreStats{
+		Ticks:          int64(ticks),
+		WallSeconds:    time.Since(p.start).Seconds(),
+		PagesPromoted:  r.sys.PromotedPages() - p.promoted,
+		PagesDemoted:   r.sys.DemotedPages() - p.demoted,
+		HotnessAgings:  r.sys.HotnessAgings() - p.agings,
+		PEBSSamples:    int64(r.sampler.TotalSamples() - p.samples),
+		AllocBytes:     m.TotalAlloc - p.mem0.TotalAlloc,
+		Mallocs:        m.Mallocs - p.mem0.Mallocs,
+		GCPauseSeconds: float64(m.PauseTotalNs-p.mem0.PauseTotalNs) / 1e9,
+		GCCycles:       m.NumGC - p.mem0.NumGC,
+	}
+	if r.lc != nil {
+		q := r.lc.Queue()
+		cs.QueueTicks = q.Ticks() - p.qTicks
+		cs.QueueDraws = q.Draws() - p.qDraws
+	}
+	if cs.WallSeconds > 0 {
+		cs.TicksPerSecond = float64(cs.Ticks) / cs.WallSeconds
+	}
+	return cs
+}
+
+// Publish pushes the run's core stats into a telemetry registry. The
+// Runner publishes into the run's own sink; daemons that give each run
+// a private sink (mtatd) call it again on their daemon-level sink so
+// /metrics aggregates core activity across runs. All handles are
+// nil-safe, so this is a no-op on a nil receiver or without a sink.
+func (cs *CoreStats) Publish(t *telemetry.Telemetry) {
+	if cs == nil {
+		return
+	}
+	reg := t.Metrics()
+	reg.Counter(telemetry.MetricSimPromoted).Add(cs.PagesPromoted)
+	reg.Counter(telemetry.MetricSimDemoted).Add(cs.PagesDemoted)
+	reg.Counter(telemetry.MetricSimHistDecays).Add(cs.HotnessAgings)
+	reg.Counter(telemetry.MetricSimPEBSSamples).Add(cs.PEBSSamples)
+	reg.Counter(telemetry.MetricSimQueueDraws).Add(cs.QueueDraws)
+	reg.Counter(telemetry.MetricSimAllocBytes).Add(int64(cs.AllocBytes))
+	reg.Gauge(telemetry.MetricSimGCPause).Set(cs.GCPauseSeconds)
+	reg.Gauge(telemetry.MetricSimTickRate).Set(cs.TicksPerSecond)
+}

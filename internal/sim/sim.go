@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/tieredmem/mtat/internal/core"
+	"github.com/tieredmem/mtat/internal/flight"
 	"github.com/tieredmem/mtat/internal/loadgen"
 	"github.com/tieredmem/mtat/internal/mem"
 	"github.com/tieredmem/mtat/internal/pebs"
@@ -57,6 +58,11 @@ type Scenario struct {
 	// policy record metrics and trace events into it. Nil (the default)
 	// keeps all instrumentation on its zero-cost no-op path.
 	Telemetry *telemetry.Telemetry
+	// Flight is an optional flight recorder capturing the run's recent
+	// core events (promotions, demotions, SLO violations, policy
+	// switches, load shifts) for postmortems. Nil (the default) records
+	// nothing and costs nothing.
+	Flight *flight.Recorder
 }
 
 // withDefaults fills unset fields.
@@ -143,6 +149,11 @@ type Result struct {
 
 	MigratedBytes int64
 	Ticks         int
+
+	// Core is the run's resource accounting (always collected; the
+	// per-tick counters it diffs are maintained unconditionally by the
+	// hot-path packages).
+	Core *CoreStats
 }
 
 // Runner executes one scenario under one policy.
@@ -199,6 +210,7 @@ func NewRunner(scn Scenario, pol policy.Policy) (*Runner, error) {
 		BEs:       r.bes,
 		BEResults: make([]workload.BETickResult, len(r.bes)),
 		Telemetry: scn.Telemetry,
+		Flight:    scn.Flight,
 	}
 	if err := pol.Init(r.ctx); err != nil {
 		return nil, err
@@ -244,6 +256,8 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 	// Observability handles — all nil-safe no-ops without a sink.
 	reg := scn.Telemetry.Metrics()
 	tr := scn.Telemetry.Tracer()
+	fl := scn.Flight
+	probe := r.beginCore()
 	mTicks := reg.Counter(telemetry.MetricSimTicks)
 	mViolations := reg.Counter(telemetry.MetricSimViolations)
 	mP99 := reg.Histogram(telemetry.MetricSimP99)
@@ -258,6 +272,8 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 			telemetry.F("duration_s", scn.DurationSeconds),
 			telemetry.F("tick_s", dt),
 			telemetry.F("slo_s", slo))
+	}
+	if tr != nil {
 		if r.lc != nil {
 			tr.EmitMsg(0, telemetry.EvRunWorkload, int(r.lc.ID()), scn.LC.Name,
 				telemetry.F("is_lc", 1),
@@ -268,6 +284,10 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 				telemetry.F("is_lc", 0),
 				telemetry.I("total_pages", r.sys.TotalPages(be.ID())))
 		}
+	}
+	if fl != nil {
+		fl.Record(flight.Event{T: 0, Kind: flight.KindRunStart,
+			WL: flight.WLNone, Value: scn.DurationSeconds, Detail: res.Policy})
 	}
 
 	type beAgg struct {
@@ -281,6 +301,9 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 	lastFrac := -1.0
 	settleUntil := 0.0
 	var lcMeasuredTicks float64
+	lastStall := r.pol.LCStall()
+	lastPromoted := r.sys.PromotedPages()
+	lastDemoted := r.sys.DemotedPages()
 	for i := 0; i < ticks; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -298,6 +321,10 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 					settleUntil = now + scn.SettleSeconds
 				}
 				lastFrac = frac
+				if fl != nil {
+					fl.Record(flight.Event{T: now, Kind: flight.KindLoadShift,
+						WL: int(r.lc.ID()), Value: frac})
+				}
 			}
 			if now < settleUntil {
 				measuring = false
@@ -322,6 +349,10 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 						telemetry.F("frac", lcRes.ViolationFrac),
 						telemetry.F("load", frac),
 						telemetry.F("fmem_ratio", fmemRatio))
+				}
+				if fl != nil {
+					fl.Record(flight.Event{T: now, Kind: flight.KindSLOViolation,
+						WL: int(r.lc.ID()), Value: lcRes.ViolationFrac})
 				}
 			}
 
@@ -362,6 +393,23 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 		mTicks.Inc()
+		if fl != nil {
+			if p := r.sys.PromotedPages(); p != lastPromoted {
+				fl.Record(flight.Event{T: now, Kind: flight.KindPromotion,
+					WL: flight.WLNone, Value: float64(p - lastPromoted)})
+				lastPromoted = p
+			}
+			if d := r.sys.DemotedPages(); d != lastDemoted {
+				fl.Record(flight.Event{T: now, Kind: flight.KindDemotion,
+					WL: flight.WLNone, Value: float64(d - lastDemoted)})
+				lastDemoted = d
+			}
+			if s := r.pol.LCStall(); s != lastStall {
+				fl.Record(flight.Event{T: now, Kind: flight.KindPolicySwitch,
+					WL: flight.WLNone, Value: s, Detail: res.Policy})
+				lastStall = s
+			}
+		}
 	}
 
 	res.Ticks = ticks
@@ -409,6 +457,12 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 			telemetry.F("migrated_bytes", float64(res.MigratedBytes)),
 			telemetry.I("ticks", res.Ticks),
 			telemetry.F("slo_met", sloMet))
+	}
+	res.Core = r.endCore(probe, ticks)
+	res.Core.Publish(scn.Telemetry)
+	if fl != nil {
+		fl.Record(flight.Event{T: scn.DurationSeconds, Kind: flight.KindRunEnd,
+			WL: flight.WLNone, Value: res.LCViolationRate, Detail: res.Policy})
 	}
 	return res, nil
 }

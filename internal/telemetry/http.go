@@ -100,18 +100,29 @@ func (t *Telemetry) ServeTrace(w http.ResponseWriter, r *http.Request) {
 	_ = WriteSpansJSONL(w, t.Spans().ByTrace(id))
 }
 
-// Handler serves the sink over HTTP for runtime introspection:
+// HandlerConfig tunes the optional surfaces of the telemetry handler.
+type HandlerConfig struct {
+	// Pprof mounts the Go profiling endpoints under /debug/pprof/.
+	Pprof bool
+}
+
+// Handler is HandlerWith with every optional surface enabled.
+func (t *Telemetry) Handler() http.Handler {
+	return t.HandlerWith(HandlerConfig{Pprof: true})
+}
+
+// HandlerWith serves the sink over HTTP for runtime introspection:
 //
 //	/metrics       registry snapshot (JSON, or Prometheus text with ?format=prom)
 //	/trace         retained events as JSONL
 //	/traces        retained request traces (one summary line per trace)
 //	/traces/{id}   one trace's spans as JSONL
-//	/debug/pprof/  the standard Go profiler endpoints
+//	/debug/pprof/  the standard Go profiler endpoints (with cfg.Pprof)
 //
 // Wire it with an http.Server on the address of your choice (cmd/mtatsim
 // and cmd/mtattrain expose it via -http). A nil *Telemetry serves empty
 // snapshots, so the endpoint is always safe to mount.
-func (t *Telemetry) Handler() http.Handler {
+func (t *Telemetry) HandlerWith(cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -131,13 +142,15 @@ func (t *Telemetry) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /traces", t.ServeTraceList)
 	mux.HandleFunc("GET /traces/{id}", t.ServeTrace)
-	// Explicit pprof wiring: importing net/http/pprof registers on the
-	// DefaultServeMux, but this handler must be self-contained.
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if cfg.Pprof {
+		// Explicit pprof wiring: importing net/http/pprof registers on the
+		// DefaultServeMux, but this handler must be self-contained.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -3,11 +3,13 @@ package telemetry
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -182,5 +184,87 @@ func TestHandlerServesTraces(t *testing.T) {
 	tel.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/traces/zzz", nil))
 	if rw.Code != http.StatusBadRequest {
 		t.Fatalf("malformed id: status %d", rw.Code)
+	}
+}
+
+// TestMiddlewareConcurrentCardinalityAndDrops hammers the middleware
+// from many goroutines with unique per-request run IDs and checks the
+// two bounded-observability invariants under -race:
+//
+//   - route-label cardinality stays bounded by the API surface: every
+//     distinct ID normalizes to one {id} route, so thousands of unique
+//     paths must produce exactly one latency series and one counter
+//     series;
+//   - span-store accounting is exact: with a ring smaller than the
+//     request count, Count() sees every request and Dropped() equals
+//     the overflow precisely — no drops lost to races.
+func TestMiddlewareConcurrentCardinalityAndDrops(t *testing.T) {
+	const (
+		workers = 8
+		perWork = 250
+		total   = workers * perWork
+		spanCap = 64
+	)
+	tel := NewWithConfig(Config{Service: "testd", SpanCapacity: spanCap})
+	h := Middleware(tel, nil)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWork; i++ {
+				path := fmt.Sprintf("/api/v1/runs/r%03d%03d", w, i)
+				rw := httptest.NewRecorder()
+				h.ServeHTTP(rw, httptest.NewRequest("GET", path, nil))
+				if rw.Code != http.StatusOK {
+					t.Errorf("status %d for %s", rw.Code, path)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := tel.Metrics().Snapshot()
+	route := "GET /api/v1/runs/{id}"
+	var durSeries, reqSeries []string
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, MetricHTTPDuration) {
+			durSeries = append(durSeries, name)
+		}
+	}
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, MetricHTTPRequests) {
+			reqSeries = append(reqSeries, name)
+		}
+	}
+	if len(durSeries) != 1 || durSeries[0] != SeriesName(MetricHTTPDuration, "route", route) {
+		t.Fatalf("duration cardinality not bounded: %v", durSeries)
+	}
+	if len(reqSeries) != 1 || reqSeries[0] != SeriesName(MetricHTTPRequests, "route", route, "code", "2xx") {
+		t.Fatalf("request-counter cardinality not bounded: %v", reqSeries)
+	}
+	if got := snap.Histograms[durSeries[0]].Count; got != total {
+		t.Fatalf("latency histogram count %d, want %d", got, total)
+	}
+	if got := snap.Counters[reqSeries[0]]; got != total {
+		t.Fatalf("request counter %v, want %d", got, total)
+	}
+	if got := snap.Gauges[MetricHTTPInFlight]; got != 0 {
+		t.Fatalf("in-flight gauge did not settle at 0: %v", got)
+	}
+
+	store := tel.Spans()
+	if store.Count() != total {
+		t.Fatalf("span count %d, want %d", store.Count(), total)
+	}
+	if store.Len() != spanCap {
+		t.Fatalf("span ring holds %d, want capacity %d", store.Len(), spanCap)
+	}
+	if store.Dropped() != total-spanCap {
+		t.Fatalf("span drops %d, want exactly %d", store.Dropped(), total-spanCap)
 	}
 }

@@ -99,6 +99,22 @@ const (
 	MetricSimLoad       = "sim_lc_load_frac"
 	MetricSimFMemRatio  = "sim_lc_fmem_ratio"
 
+	// Simulator-core resource accounting, published once per run from
+	// the run's CoreStats (see internal/sim).
+	MetricSimPromoted    = "sim_pages_promoted_total"
+	MetricSimDemoted     = "sim_pages_demoted_total"
+	MetricSimHistDecays  = "sim_hist_decays_total"
+	MetricSimPEBSSamples = "sim_pebs_samples_total"
+	MetricSimQueueDraws  = "sim_queue_draws_total"
+	MetricSimAllocBytes  = "sim_alloc_bytes_total"
+	MetricSimGCPause     = "sim_gc_pause_seconds"
+	MetricSimTickRate    = "sim_ticks_per_second"
+
+	// Fleet slow-cell visibility: per-cell wall time and the count of
+	// cells flagged slower than SlowCellFactor × the sweep median.
+	MetricFleetCellWall  = "fleet_cell_wall_seconds"
+	MetricFleetSlowCells = "fleet_slow_cells_total"
+
 	// Observability self-metrics: ring-buffer loss in the event tracer
 	// and the span store (synced by Telemetry.SyncDropStats), and the
 	// HTTP middleware's request families (per-route series via

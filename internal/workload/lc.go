@@ -200,3 +200,7 @@ func (lc *LC) MaxStableLoadFrac(hit, extraStall float64) float64 {
 
 // ResetQueue clears queue backlog between experiment phases.
 func (lc *LC) ResetQueue() { lc.q.ResetBacklog() }
+
+// Queue exposes the underlying queue model for observability (tick and
+// Monte Carlo draw counters); callers must not Tick it directly.
+func (lc *LC) Queue() *queue.Model { return lc.q }
