@@ -25,6 +25,11 @@
 //	mtatctl sweep nodes -add 127.0.0.1:7070                  # register a mtatd node
 //	mtatctl sweep cancel s000001
 //
+//	mtatctl experiment run -f hypotheses/mtat-vs-vtmm.json   # run to a verdict (markdown + JSON report)
+//	mtatctl experiment run -local -f spec.json               # no daemon needed: in-process runs
+//	mtatctl experiment status -f spec.json                   # journaled progress (settled/in-flight cells)
+//	mtatctl experiment report -f spec.json -o reports/       # re-render the verdict from the journal
+//
 //	mtatctl trace r000001                                    # render a run's distributed trace tree
 //	mtatctl trace -fleet 127.0.0.1:7171 s000001              # a sweep's tree, merged across daemons
 //	mtatctl metrics -format prom                             # scrape a daemon's /metrics
@@ -71,6 +76,7 @@ func usage(fs *flag.FlagSet) func() {
 			"  logs     stream a run's trace as JSONL\n"+
 			"  cancel   cancel a queued or running run\n"+
 			"  sweep    drive a mtatfleet scheduler (submit|status|wait|results|nodes|cancel)\n"+
+			"  experiment  run a hypothesis experiment to a statistical verdict (run|status|report)\n"+
 			"  trace    render a distributed trace tree (run ID, sweep ID, or 32-hex trace ID)\n"+
 			"  metrics  scrape a daemon's /metrics (-node URL, -format json|prom)\n"+
 			"  profile  fetch a pprof profile from a daemon started with -pprof (cpu|heap|allocs)\n"+
@@ -122,6 +128,8 @@ func run(args []string) error {
 		return cmdLogs(ctx, c, rest[1:])
 	case "cancel":
 		return cmdCancel(ctx, c, rest[1:])
+	case "experiment":
+		return cmdExperiment(ctx, c, rest[1:])
 	case "trace":
 		return cmdTrace(ctx, c, rest[1:])
 	case "metrics":

@@ -24,6 +24,11 @@ type CellSummary struct {
 	// the cell survived a node failure).
 	Attempts int    `json:"attempts"`
 	Error    string `json:"error,omitempty"`
+	// Trace is the distributed trace this cell's run joined (hex trace
+	// ID), "" when the sweep carried no traceparent. Feed it to
+	// `mtatctl trace` to walk from an exported data point back to the
+	// spans that produced it.
+	Trace string `json:"trace,omitempty"`
 
 	// Swept coordinates.
 	Policy   string  `json:"policy"`
@@ -48,9 +53,10 @@ type CellSummary struct {
 
 // newCellSummary projects a cell and its terminal run status onto the
 // export row. status may be nil for cells that failed before any node
-// finished them.
+// finished them; trace is the sweep's trace ID, used as the fallback
+// when no node-side status (with its own view of the trace) exists.
 func newCellSummary(sweepName string, cell sim.Cell, state, node, errMsg string,
-	attempts int, wallSeconds float64, status *server.RunStatus) CellSummary {
+	attempts int, wallSeconds float64, trace string, status *server.RunStatus) CellSummary {
 	s := CellSummary{
 		Sweep:       sweepName,
 		Index:       cell.Index,
@@ -59,6 +65,7 @@ func newCellSummary(sweepName string, cell sim.Cell, state, node, errMsg string,
 		Node:        node,
 		Attempts:    attempts,
 		Error:       errMsg,
+		Trace:       trace,
 		Policy:      cell.Spec.PolicyName(),
 		LC:          cell.Spec.LC,
 		BEs:         strings.Join(cell.Spec.BEs, "+"),
@@ -68,6 +75,9 @@ func newCellSummary(sweepName string, cell sim.Cell, state, node, errMsg string,
 	}
 	if cell.Spec.Load != nil {
 		s.Load = cell.Spec.Load.Kind
+	}
+	if status != nil && status.Trace != "" {
+		s.Trace = status.Trace
 	}
 	if status != nil && status.Result != nil {
 		r := status.Result
@@ -96,7 +106,7 @@ func WriteSummariesJSONL(w io.Writer, sums []CellSummary) error {
 
 // csvHeader is the column order of the CSV export.
 var csvHeader = []string{
-	"sweep", "index", "label", "state", "node", "attempts", "error",
+	"sweep", "index", "label", "state", "node", "attempts", "error", "trace",
 	"policy", "lc", "bes", "load", "slo_scale", "seed",
 	"slo_met", "lc_violation_rate", "lc_max_p99_s", "lc_mean_p99_s",
 	"be_min_np", "be_throughput", "migrated_bytes", "ticks", "wall_s",
@@ -112,7 +122,7 @@ func WriteSummariesCSV(w io.Writer, sums []CellSummary) error {
 	for _, s := range sums {
 		rec := []string{
 			s.Sweep, strconv.Itoa(s.Index), s.Label, s.State, s.Node,
-			strconv.Itoa(s.Attempts), s.Error,
+			strconv.Itoa(s.Attempts), s.Error, s.Trace,
 			s.Policy, s.LC, s.BEs, s.Load, f(s.SLOScale),
 			strconv.FormatInt(s.Seed, 10),
 			strconv.FormatBool(s.SLOMet), f(s.LCViolationRate),

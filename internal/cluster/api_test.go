@@ -35,7 +35,10 @@ func TestAPISweepLifecycle(t *testing.T) {
 
 	spec := sweep12()
 	spec.Seeds = []int64{1} // 4 cells is plenty over HTTP
-	st, err := c.SubmitSweep(ctx, spec)
+	// Submit under a fresh trace so every exported cell row links back to
+	// the distributed trace (the contract experiment reports rely on).
+	tctx, trace := telemetry.NewTraceContext(ctx)
+	st, err := c.SubmitSweep(tctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,6 +73,12 @@ func TestAPISweepLifecycle(t *testing.T) {
 		if s.State != CellDone || s.Sweep != "kill-test" {
 			t.Errorf("summary = %+v", s)
 		}
+		if s.Seed != 1 {
+			t.Errorf("summary %s: seed = %d, want 1", s.Label, s.Seed)
+		}
+		if s.Trace != trace.String() {
+			t.Errorf("summary %s: trace = %q, want %q", s.Label, s.Trace, trace)
+		}
 	}
 
 	// Exports parse.
@@ -97,6 +106,25 @@ func TestAPISweepLifecycle(t *testing.T) {
 	}
 	if len(recs) != 5 { // header + 4 cells
 		t.Fatalf("csv export has %d records, want 5", len(recs))
+	}
+	// The seed and trace columns must survive the CSV round trip so an
+	// experiment report can join each data point back to `mtatctl trace`.
+	col := map[string]int{}
+	for i, name := range recs[0] {
+		col[name] = i
+	}
+	for _, want := range []string{"seed", "trace"} {
+		if _, ok := col[want]; !ok {
+			t.Fatalf("csv header %v missing %q column", recs[0], want)
+		}
+	}
+	for _, rec := range recs[1:] {
+		if got := rec[col["seed"]]; got != "1" {
+			t.Errorf("csv seed = %q, want \"1\"", got)
+		}
+		if got := rec[col["trace"]]; got != trace.String() {
+			t.Errorf("csv trace = %q, want %q", got, trace)
+		}
 	}
 }
 

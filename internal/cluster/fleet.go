@@ -458,7 +458,7 @@ func (f *Fleet) runCell(ctx context.Context, sw *sweep, cr *cellRun) {
 		cr.errMsg = err.Error()
 		f.mCellsFailed.Inc()
 		s := newCellSummary(sw.name, cr.cell, CellFailed, res.Node, cr.errMsg,
-			res.NodeAttempts, wall, nil)
+			res.NodeAttempts, wall, fleetTraceOrEmpty(sw.trace), nil)
 		cr.summary = &s
 		f.journalLocked(recCellSettled, cellSettledRec{
 			SweepID: sw.id, Index: cr.cell.Index, Summary: s,
@@ -469,7 +469,7 @@ func (f *Fleet) runCell(ctx context.Context, sw *sweep, cr *cellRun) {
 	f.mCellsDone.Inc()
 	f.flagSlowCellLocked(sw, cr, wall)
 	s := newCellSummary(sw.name, cr.cell, CellDone, res.Node, "",
-		res.NodeAttempts, wall, &res.Status)
+		res.NodeAttempts, wall, fleetTraceOrEmpty(sw.trace), &res.Status)
 	cr.summary = &s
 	f.journalLocked(recCellSettled, cellSettledRec{
 		SweepID: sw.id, Index: cr.cell.Index, Summary: s,

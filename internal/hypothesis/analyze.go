@@ -1,0 +1,319 @@
+package hypothesis
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/tieredmem/mtat/internal/server"
+	"github.com/tieredmem/mtat/internal/stats"
+)
+
+// Measurement is one settled cell: an arm, a seed, and the run's
+// aggregate result, plus enough provenance (run ID, node, trace) to
+// walk back to the raw data.
+type Measurement struct {
+	Config string `json:"config"`
+	Seed   int64  `json:"seed"`
+	RunID  string `json:"run_id,omitempty"`
+	Node   string `json:"node,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+	Result server.RunResult `json:"result"`
+}
+
+// Pair outcomes, from the candidate's perspective.
+const (
+	OutcomeWin  = "win"
+	OutcomeTie  = "tie"
+	OutcomeLoss = "loss"
+)
+
+// SeedPair is one paired replication: both arms at the same seed, and
+// the candidate-minus-baseline delta on the primary metric.
+type SeedPair struct {
+	Seed      int64   `json:"seed"`
+	Baseline  float64 `json:"baseline"`
+	Candidate float64 `json:"candidate"`
+	Delta     float64 `json:"delta"`
+	// RelDelta is Delta normalized by |Baseline| (0 when the baseline
+	// value is 0).
+	RelDelta float64 `json:"rel_delta"`
+	// Outcome is win/tie/loss for the candidate under the spec's
+	// direction.
+	Outcome string `json:"outcome"`
+}
+
+// Verdict is the analyzer's conclusion about the hypothesis.
+type Verdict string
+
+// The three possible verdicts. Supported and refuted both require
+// statistical significance AND seed dominance; everything else is
+// inconclusive — more seeds, longer runs, or a cleaner experiment.
+const (
+	VerdictSupported    Verdict = "supported"
+	VerdictRefuted      Verdict = "refuted"
+	VerdictInconclusive Verdict = "inconclusive"
+)
+
+// MetricDelta is a secondary metric's mean comparison over the complete
+// pairs — context for the verdict (a P99 win bought with a throughput
+// collapse should be visible).
+type MetricDelta struct {
+	Metric        string  `json:"metric"`
+	BaselineMean  float64 `json:"baseline_mean"`
+	CandidateMean float64 `json:"candidate_mean"`
+	Delta         float64 `json:"delta"`
+}
+
+// Analysis is the full verdict document: the evidence, the inference,
+// and the conclusion. It marshals to the JSON verdict and renders to
+// the markdown report (see WriteMarkdown).
+type Analysis struct {
+	Name       string `json:"name"`
+	Hypothesis string `json:"hypothesis"`
+	Metric     string `json:"metric"`
+	Direction  string `json:"direction"`
+	Baseline   string `json:"baseline"`
+	Candidate  string `json:"candidate"`
+
+	// Pairs holds the complete paired replications, in spec seed order.
+	Pairs []SeedPair `json:"pairs"`
+	// MissingSeeds lists seeds where either arm failed to settle.
+	MissingSeeds []int64 `json:"missing_seeds,omitempty"`
+
+	BaselineMean  float64 `json:"baseline_mean"`
+	CandidateMean float64 `json:"candidate_mean"`
+	MeanDelta     float64 `json:"mean_delta"`
+	// RelMeanDelta is MeanDelta normalized by |BaselineMean|.
+	RelMeanDelta float64 `json:"rel_mean_delta"`
+
+	// Seed dominance: pair outcomes for the candidate.
+	Wins   int `json:"wins"`
+	Ties   int `json:"ties"`
+	Losses int `json:"losses"`
+
+	// Welch is the unequal-variance t-test over the two arms' samples.
+	Welch *stats.TTest `json:"welch,omitempty"`
+	Alpha float64      `json:"alpha"`
+	// DeltaCI is the bootstrap confidence interval of the mean paired
+	// delta.
+	DeltaCI   *stats.Interval `json:"delta_ci,omitempty"`
+	CILevel   float64         `json:"ci_level"`
+	Resamples int             `json:"resamples"`
+
+	// Confounds is the controlled-variable matrix; Confounded flags an
+	// experiment where more than one variable leaked.
+	Confounds  []ConfoundRow `json:"confound_matrix"`
+	Confounded bool          `json:"confounded,omitempty"`
+
+	Verdict Verdict `json:"verdict"`
+	// Reasons spell out why the verdict is what it is, one clause per
+	// criterion.
+	Reasons []string `json:"reasons"`
+
+	// Secondary compares every other metric's mean, for context.
+	Secondary []MetricDelta `json:"secondary,omitempty"`
+
+	// Trace is the experiment's distributed trace ID, when it ran under
+	// one.
+	Trace string `json:"trace,omitempty"`
+}
+
+// bootstrapSeed makes the analyzer's bootstrap deterministic: the same
+// measurements always yield the same interval, so verdicts are
+// reproducible and golden-pinnable. ("mtat" in ASCII.)
+const bootstrapSeed = 0x6d746174
+
+// Analyze pairs the measurements by seed and renders the verdict. It
+// tolerates missing cells (they become MissingSeeds) but needs at least
+// two complete pairs to say anything beyond inconclusive.
+func Analyze(spec ExperimentSpec, ms []Measurement) (*Analysis, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		Name:       spec.Name,
+		Hypothesis: spec.Hypothesis,
+		Metric:     spec.Metric,
+		Direction:  spec.EffectiveDirection(),
+		Baseline:   spec.Baseline.Name,
+		Candidate:  spec.Candidate.Name,
+		Alpha:      spec.EffectiveAlpha(),
+		CILevel:    spec.EffectiveCILevel(),
+		Resamples:  spec.EffectiveResamples(),
+		Confounds:  spec.Confounds(),
+	}
+	varied := spec.VariedFields()
+	a.Confounded = len(varied) != 1
+
+	// Index measurements; a re-run cell overwrites (last write wins, like
+	// the journal replay that feeds us).
+	byKey := make(map[string]Measurement, len(ms))
+	for _, m := range ms {
+		byKey[m.Config+"/"+strconv.FormatInt(m.Seed, 10)] = m
+	}
+
+	var bVals, cVals, deltas []float64
+	for _, seed := range spec.Seeds {
+		b, okB := byKey[spec.Baseline.Name+"/"+strconv.FormatInt(seed, 10)]
+		c, okC := byKey[spec.Candidate.Name+"/"+strconv.FormatInt(seed, 10)]
+		if !okB || !okC {
+			a.MissingSeeds = append(a.MissingSeeds, seed)
+			continue
+		}
+		bv, _ := MetricValue(spec.Metric, b.Result)
+		cv, _ := MetricValue(spec.Metric, c.Result)
+		p := SeedPair{Seed: seed, Baseline: bv, Candidate: cv, Delta: cv - bv}
+		if bv != 0 {
+			p.RelDelta = p.Delta / math.Abs(bv)
+		}
+		switch {
+		case p.Delta == 0:
+			p.Outcome = OutcomeTie
+			a.Ties++
+		case (p.Delta < 0) == (a.Direction == DirectionLower):
+			p.Outcome = OutcomeWin
+			a.Wins++
+		default:
+			p.Outcome = OutcomeLoss
+			a.Losses++
+		}
+		a.Pairs = append(a.Pairs, p)
+		bVals = append(bVals, bv)
+		cVals = append(cVals, cv)
+		deltas = append(deltas, p.Delta)
+	}
+
+	a.BaselineMean = stats.Mean(bVals)
+	a.CandidateMean = stats.Mean(cVals)
+	a.MeanDelta = a.CandidateMean - a.BaselineMean
+	if a.BaselineMean != 0 {
+		a.RelMeanDelta = a.MeanDelta / math.Abs(a.BaselineMean)
+	}
+	a.secondaryDeltas(spec, byKey)
+
+	if len(a.Pairs) < 2 {
+		a.Verdict = VerdictInconclusive
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"only %d complete seed pair(s); paired inference needs at least 2", len(a.Pairs)))
+		a.confoundReason()
+		return a, nil
+	}
+
+	tt, err := stats.WelchTTest(bVals, cVals)
+	if err != nil {
+		return nil, fmt.Errorf("hypothesis: welch: %w", err)
+	}
+	a.Welch = &tt
+	ci, err := stats.BootstrapMeanCI(deltas, a.Resamples, a.CILevel, bootstrapSeed)
+	if err != nil {
+		return nil, fmt.Errorf("hypothesis: bootstrap: %w", err)
+	}
+	a.DeltaCI = &ci
+
+	// The three criteria, each with its reason clause.
+	significant := tt.P < a.Alpha
+	if significant {
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"Welch's t-test rejects equal means (p = %s < alpha = %s)", g(tt.P), g(a.Alpha)))
+	} else {
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"Welch's t-test cannot reject equal means (p = %s >= alpha = %s)", g(tt.P), g(a.Alpha)))
+	}
+
+	// Where does the CI sit relative to zero, in improvement terms?
+	ciImproves := ci.Hi < 0 // direction lower: all-negative deltas improve
+	ciRegresses := ci.Lo > 0
+	if a.Direction == DirectionHigher {
+		ciImproves, ciRegresses = ci.Lo > 0, ci.Hi < 0
+	}
+	switch {
+	case ciImproves:
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"%s%% CI of the paired delta [%s, %s] lies entirely on the improvement side",
+			g(100*a.CILevel), g(ci.Lo), g(ci.Hi)))
+	case ciRegresses:
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"%s%% CI of the paired delta [%s, %s] lies entirely on the regression side",
+			g(100*a.CILevel), g(ci.Lo), g(ci.Hi)))
+	default:
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"%s%% CI of the paired delta [%s, %s] spans zero",
+			g(100*a.CILevel), g(ci.Lo), g(ci.Hi)))
+	}
+
+	a.Reasons = append(a.Reasons, fmt.Sprintf(
+		"seed dominance: %d win(s), %d tie(s), %d loss(es) across %d pair(s)",
+		a.Wins, a.Ties, a.Losses, len(a.Pairs)))
+	if len(a.MissingSeeds) > 0 {
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"%d seed(s) incomplete and excluded", len(a.MissingSeeds)))
+	}
+
+	switch {
+	case significant && ciImproves && a.Wins > a.Losses:
+		a.Verdict = VerdictSupported
+	case significant && ciRegresses && a.Losses > a.Wins:
+		a.Verdict = VerdictRefuted
+	default:
+		a.Verdict = VerdictInconclusive
+	}
+	a.confoundReason()
+	return a, nil
+}
+
+// confoundReason appends the leak warning when controlled variables
+// vary alongside the intended one. The verdict still stands as a
+// comparison of the two arms — but it cannot be attributed to a single
+// variable, and the report says so.
+func (a *Analysis) confoundReason() {
+	if !a.Confounded {
+		return
+	}
+	var diff []string
+	for _, row := range a.Confounds {
+		if row.Differs {
+			diff = append(diff, row.Field)
+		}
+	}
+	switch len(diff) {
+	case 0:
+		a.Reasons = append(a.Reasons,
+			"confounded: the arms are identical — nothing varies, so the comparison tests only noise")
+	default:
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"confounded: %d variables vary between the arms (%s); the delta cannot be attributed to any single one",
+			len(diff), strings.Join(diff, ", ")))
+	}
+}
+
+// secondaryDeltas fills the context table: every metric but the primary,
+// mean over the complete pairs.
+func (a *Analysis) secondaryDeltas(spec ExperimentSpec, byKey map[string]Measurement) {
+	for _, name := range metricOrder {
+		if name == spec.Metric {
+			continue
+		}
+		var bVals, cVals []float64
+		for _, p := range a.Pairs {
+			b := byKey[spec.Baseline.Name+"/"+strconv.FormatInt(p.Seed, 10)]
+			c := byKey[spec.Candidate.Name+"/"+strconv.FormatInt(p.Seed, 10)]
+			bv, _ := MetricValue(name, b.Result)
+			cv, _ := MetricValue(name, c.Result)
+			bVals = append(bVals, bv)
+			cVals = append(cVals, cv)
+		}
+		if len(bVals) == 0 {
+			continue
+		}
+		bm, cm := stats.Mean(bVals), stats.Mean(cVals)
+		a.Secondary = append(a.Secondary, MetricDelta{
+			Metric: name, BaselineMean: bm, CandidateMean: cm, Delta: cm - bm,
+		})
+	}
+}
+
+// g formats a float compactly and deterministically for reasons and
+// reports.
+func g(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }

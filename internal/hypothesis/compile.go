@@ -1,0 +1,167 @@
+package hypothesis
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/tieredmem/mtat/internal/sim"
+)
+
+// BaselineSpec compiles the baseline arm (seed left at the base's).
+func (s ExperimentSpec) BaselineSpec() sim.RunSpec { return s.Baseline.apply(s.Base) }
+
+// CandidateSpec compiles the candidate arm (seed left at the base's).
+func (s ExperimentSpec) CandidateSpec() sim.RunSpec { return s.Candidate.apply(s.Base) }
+
+// Cell is one scheduled run of the experiment: an arm at a seed.
+type Cell struct {
+	// Config is the arm's name (Baseline.Name or Candidate.Name).
+	Config string `json:"config"`
+	// Seed is the replication seed, stamped into Spec.
+	Seed int64 `json:"seed"`
+	// Spec is the fully compiled run spec.
+	Spec sim.RunSpec `json:"spec"`
+}
+
+// Key identifies the cell inside one experiment (journal map key).
+func (c Cell) Key() string { return c.Config + "/" + strconv.FormatInt(c.Seed, 10) }
+
+// Cells expands the experiment into its runs: the baseline arm at every
+// seed, then the candidate arm at every seed, seeds in spec order.
+func (s ExperimentSpec) Cells() []Cell {
+	out := make([]Cell, 0, 2*len(s.Seeds))
+	for _, arm := range []struct {
+		name string
+		spec sim.RunSpec
+	}{
+		{s.Baseline.Name, s.BaselineSpec()},
+		{s.Candidate.Name, s.CandidateSpec()},
+	} {
+		for _, seed := range s.Seeds {
+			spec := arm.spec
+			spec.Seed = seed
+			out = append(out, Cell{Config: arm.name, Seed: seed, Spec: spec})
+		}
+	}
+	return out
+}
+
+// ConfoundRow is one line of the confound matrix: a comparable variable
+// and its effective value in each arm. Differs flags the rows that vary
+// — exactly one should, or the experiment cannot attribute its delta.
+type ConfoundRow struct {
+	Field     string `json:"field"`
+	Baseline  string `json:"baseline"`
+	Candidate string `json:"candidate"`
+	Differs   bool   `json:"differs,omitempty"`
+}
+
+// comparedFields are the variables the confound matrix tracks — the
+// overlayable axes of a Config, rendered from the compiled specs so
+// that overlay-vs-base interactions are reflected.
+var comparedFields = []struct {
+	name string
+	of   func(sim.RunSpec) string
+}{
+	{"policy", func(r sim.RunSpec) string { return r.PolicyName() }},
+	{"lc", func(r sim.RunSpec) string { return r.LC }},
+	{"bes", func(r sim.RunSpec) string { return strings.Join(r.BEs, "+") }},
+	{"load", loadString},
+	// 0 and 1 both mean "keep the profile's objective" (sim.RunSpec), so
+	// they must render identically or a defaulted arm against an explicit
+	// 1.0 would read as a confound leak.
+	{"slo_scale", func(r sim.RunSpec) string {
+		if r.SLOScale == 0 {
+			return "1"
+		}
+		return strconv.FormatFloat(r.SLOScale, 'g', -1, 64)
+	}},
+	{"episodes", func(r sim.RunSpec) string { return strconv.Itoa(r.Episodes) }},
+}
+
+// loadString renders a load spec canonically for comparison; nil is the
+// Figure 7 default.
+func loadString(r sim.RunSpec) string {
+	if r.Load == nil {
+		return "fig7 (default)"
+	}
+	b, err := json.Marshal(r.Load)
+	if err != nil {
+		return fmt.Sprintf("%+v", r.Load)
+	}
+	return string(b)
+}
+
+// Confounds builds the confound matrix from the compiled arms.
+func (s ExperimentSpec) Confounds() []ConfoundRow {
+	bs, cs := s.BaselineSpec(), s.CandidateSpec()
+	rows := make([]ConfoundRow, 0, len(comparedFields))
+	for _, f := range comparedFields {
+		bv, cv := f.of(bs), f.of(cs)
+		rows = append(rows, ConfoundRow{Field: f.name, Baseline: bv, Candidate: cv, Differs: bv != cv})
+	}
+	return rows
+}
+
+// VariedFields returns the names of the compared variables that differ
+// between the arms. A clean experiment varies exactly one.
+func (s ExperimentSpec) VariedFields() []string {
+	var out []string
+	for _, row := range s.Confounds() {
+		if row.Differs {
+			out = append(out, row.Field)
+		}
+	}
+	return out
+}
+
+// SweepSpec compiles the experiment to a fleet sweep. This only works
+// when the arms differ in exactly one sweepable axis — the sweep
+// cartesian product cannot express two arbitrary overlays — and the
+// axis values must be distinguishable in a cell summary, or the results
+// could not be mapped back to arms. Experiments that fail these
+// constraints still run fine against a single node (the harness runs
+// each compiled cell directly).
+func (s ExperimentSpec) SweepSpec() (sim.SweepSpec, error) {
+	varied := s.VariedFields()
+	if len(varied) != 1 {
+		return sim.SweepSpec{}, fmt.Errorf(
+			"hypothesis: experiment %q varies %d fields (%s); a fleet sweep needs exactly one",
+			s.Name, len(varied), strings.Join(varied, ", "))
+	}
+	bs, cs := s.BaselineSpec(), s.CandidateSpec()
+	sw := sim.SweepSpec{
+		Name:  s.Name,
+		Base:  bs,
+		Seeds: append([]int64(nil), s.Seeds...),
+	}
+	switch varied[0] {
+	case "policy":
+		sw.Policies = []string{bs.PolicyName(), cs.PolicyName()}
+	case "lc":
+		sw.LCs = []string{bs.LC, cs.LC}
+	case "bes":
+		sw.BEMixes = [][]string{bs.BEs, cs.BEs}
+	case "slo_scale":
+		sw.SLOScales = []float64{bs.SLOScale, cs.SLOScale}
+	case "load":
+		if bs.Load == nil || cs.Load == nil {
+			return sim.SweepSpec{}, fmt.Errorf(
+				"hypothesis: experiment %q varies the load against the implicit default; set load in both arms to sweep it", s.Name)
+		}
+		if bs.Load.Kind == cs.Load.Kind {
+			return sim.SweepSpec{}, fmt.Errorf(
+				"hypothesis: experiment %q varies two %q loads; sweep results only record the kind, so the arms would be indistinguishable — run against a node instead",
+				s.Name, bs.Load.Kind)
+		}
+		sw.Loads = []sim.LoadSpec{*bs.Load, *cs.Load}
+	case "episodes":
+		return sim.SweepSpec{}, fmt.Errorf(
+			"hypothesis: experiment %q varies episodes, which is not a sweep axis — run against a node instead", s.Name)
+	default:
+		return sim.SweepSpec{}, fmt.Errorf("hypothesis: unmappable varied field %q", varied[0])
+	}
+	return sw, nil
+}

@@ -1,0 +1,172 @@
+package hypothesis
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tieredmem/mtat/internal/sim"
+)
+
+func TestCells(t *testing.T) {
+	s := testSpec()
+	cells := s.Cells()
+	if len(cells) != 6 {
+		t.Fatalf("got %d cells, want 6", len(cells))
+	}
+	// Baseline arm first, seeds in spec order, overlay applied, seed
+	// stamped.
+	want := []struct {
+		config string
+		seed   int64
+		policy string
+	}{
+		{"vtmm", 1, "vtmm"}, {"vtmm", 2, "vtmm"}, {"vtmm", 3, "vtmm"},
+		{"mtat-full", 1, "mtat-full"}, {"mtat-full", 2, "mtat-full"}, {"mtat-full", 3, "mtat-full"},
+	}
+	for i, w := range want {
+		c := cells[i]
+		if c.Config != w.config || c.Seed != w.seed ||
+			c.Spec.Policy != w.policy || c.Spec.Seed != w.seed {
+			t.Errorf("cell %d = %+v, want %+v", i, c, w)
+		}
+		if c.Spec.LC != "redis" || c.Spec.Scale != 16 {
+			t.Errorf("cell %d lost base fields: %+v", i, c.Spec)
+		}
+	}
+	if cells[0].Key() != "vtmm/1" || cells[5].Key() != "mtat-full/3" {
+		t.Errorf("keys = %q, %q", cells[0].Key(), cells[5].Key())
+	}
+}
+
+func TestConfoundsSingleVariable(t *testing.T) {
+	s := testSpec()
+	rows := s.Confounds()
+	differing := 0
+	for _, row := range rows {
+		if row.Differs {
+			differing++
+			if row.Field != "policy" || row.Baseline != "vtmm" || row.Candidate != "mtat-full" {
+				t.Errorf("unexpected differing row %+v", row)
+			}
+		}
+	}
+	if differing != 1 {
+		t.Fatalf("confound matrix flags %d rows, want 1: %+v", differing, rows)
+	}
+	if v := s.VariedFields(); len(v) != 1 || v[0] != "policy" {
+		t.Errorf("VariedFields = %v", v)
+	}
+}
+
+func TestConfoundsLeak(t *testing.T) {
+	s := testSpec()
+	s.Candidate.SLOScale = 0.5 // leak: policy AND slo_scale now vary
+	v := s.VariedFields()
+	if len(v) != 2 {
+		t.Fatalf("VariedFields = %v, want [policy slo_scale]", v)
+	}
+	if _, err := s.SweepSpec(); err == nil ||
+		!strings.Contains(err.Error(), "varies 2 fields") {
+		t.Errorf("SweepSpec err = %v, want multi-field rejection", err)
+	}
+}
+
+func TestSweepSpecAxes(t *testing.T) {
+	// Policy axis.
+	s := testSpec()
+	sw, err := s.SweepSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Name != s.Name || len(sw.Policies) != 2 ||
+		sw.Policies[0] != "vtmm" || sw.Policies[1] != "mtat-full" {
+		t.Errorf("policy sweep = %+v", sw)
+	}
+	if len(sw.Seeds) != 3 {
+		t.Errorf("seeds = %v", sw.Seeds)
+	}
+	if n := sw.NumCells(); n != 6 {
+		t.Errorf("NumCells = %d, want 6", n)
+	}
+
+	// SLO-scale axis.
+	s = testSpec()
+	s.Baseline = Config{Name: "full-slo", SLOScale: 1}
+	s.Candidate = Config{Name: "half-slo", SLOScale: 0.5}
+	if sw, err = s.SweepSpec(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.SLOScales) != 2 || sw.SLOScales[0] != 1 || sw.SLOScales[1] != 0.5 {
+		t.Errorf("slo sweep = %+v", sw.SLOScales)
+	}
+
+	// Load axis with distinguishable kinds.
+	s = testSpec()
+	s.Baseline = Config{Name: "steady", Load: &sim.LoadSpec{Kind: "constant", Frac: 0.5, DurationSeconds: 10}}
+	s.Candidate = Config{Name: "spiky", Load: &sim.LoadSpec{Kind: "bursts", Base: 0.3, Peak: 0.9, PeriodSeconds: 5, BurstSeconds: 1, TotalSeconds: 10}}
+	if sw, err = s.SweepSpec(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Loads) != 2 || sw.Loads[0].Kind != "constant" || sw.Loads[1].Kind != "bursts" {
+		t.Errorf("load sweep = %+v", sw.Loads)
+	}
+
+	// Load axis with identical kinds is ambiguous in summaries.
+	s.Candidate.Load = &sim.LoadSpec{Kind: "constant", Frac: 0.9, DurationSeconds: 10}
+	if _, err = s.SweepSpec(); err == nil || !strings.Contains(err.Error(), "indistinguishable") {
+		t.Errorf("same-kind load sweep err = %v", err)
+	}
+
+	// Episodes is not a sweep axis.
+	s = testSpec()
+	s.Base.Policy = "mtat-full"
+	s.Baseline = Config{Name: "short-train", Episodes: 2}
+	s.Candidate = Config{Name: "long-train", Episodes: 8}
+	if _, err = s.SweepSpec(); err == nil || !strings.Contains(err.Error(), "episodes") {
+		t.Errorf("episodes sweep err = %v", err)
+	}
+}
+
+func TestSweepSpecCellsMatchExperimentCells(t *testing.T) {
+	// The fleet path must run exactly the runs the node path would: same
+	// compiled specs, same seeds, modulo ordering.
+	s := testSpec()
+	sw, err := s.SweepSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	swCells, err := sw.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := map[string]bool{}
+	for _, c := range s.Cells() {
+		wantKeys[c.Config+"/"+c.Spec.PolicyName()+"/"+string(rune('0'+c.Seed))] = true
+	}
+	if len(swCells) != len(s.Cells()) {
+		t.Fatalf("sweep has %d cells, experiment has %d", len(swCells), len(s.Cells()))
+	}
+	for _, sc := range swCells {
+		cfg, ok := configOfSpec(s, sc.Spec)
+		if !ok {
+			t.Fatalf("sweep cell %q maps to no arm", sc.Label)
+		}
+		key := cfg + "/" + sc.Spec.PolicyName() + "/" + string(rune('0'+sc.Spec.Seed))
+		if !wantKeys[key] {
+			t.Errorf("sweep cell %q (%s) not an experiment cell", sc.Label, key)
+		}
+	}
+}
+
+// configOfSpec is the test-side twin of configOfSummary, matching on
+// the compiled spec directly.
+func configOfSpec(s ExperimentSpec, spec sim.RunSpec) (string, bool) {
+	bs, cs := s.BaselineSpec(), s.CandidateSpec()
+	switch spec.PolicyName() {
+	case bs.PolicyName():
+		return s.Baseline.Name, true
+	case cs.PolicyName():
+		return s.Candidate.Name, true
+	}
+	return "", false
+}

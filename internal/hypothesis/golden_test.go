@@ -1,0 +1,80 @@
+package hypothesis
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update rewrites the golden files instead of comparing:
+//
+//	go test ./internal/hypothesis -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenVerdict pins the analyzer's full output — markdown report
+// and JSON verdict — byte for byte. The harness exists to prevent
+// silent analyzer drift (an analyzer bug is worse than no analyzer: it
+// mints wrong conclusions with an air of rigor), so its own output is
+// held to the same standard.
+func TestGoldenVerdict(t *testing.T) {
+	specData, err := os.ReadFile(filepath.Join("testdata", "mtat-vs-vtmm.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseExperimentSpec(specData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	msData, err := os.ReadFile(filepath.Join("testdata", "mtat-vs-vtmm.measurements.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []Measurement
+	if err := json.Unmarshal(msData, &ms); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := Analyze(spec, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Trace = "0af7651916cd43dd8448eb211c80319c" // fixed for byte stability
+
+	var md, vj bytes.Buffer
+	meta := ReportMeta{Date: "2026-08-08", SpecPath: "testdata/mtat-vs-vtmm.json"}
+	if err := WriteMarkdown(&md, a, meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVerdictJSON(&vj, a); err != nil {
+		t.Fatal(err)
+	}
+
+	checkGolden(t, filepath.Join("testdata", "golden", "mtat-vs-vtmm.report.md"), md.Bytes())
+	checkGolden(t, filepath.Join("testdata", "golden", "mtat-vs-vtmm.verdict.json"), vj.Bytes())
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,157 @@
+package hypothesis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReportMeta carries the report fields that are environmental rather
+// than analytical — kept out of Analysis so the verdict document stays
+// deterministic and golden-pinnable.
+type ReportMeta struct {
+	// Date is the report date line ("2026-08-08"); empty omits it.
+	Date string
+	// SpecPath names the spec file the experiment ran from; empty omits
+	// it.
+	SpecPath string
+}
+
+// WriteVerdictJSON writes the verdict document as indented JSON — the
+// machine-readable artifact CI asserts on.
+func WriteVerdictJSON(w io.Writer, a *Analysis) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// statusLabel renders the verdict for the report header.
+func statusLabel(v Verdict) string {
+	switch v {
+	case VerdictSupported:
+		return "SUPPORTED"
+	case VerdictRefuted:
+		return "REFUTED"
+	default:
+		return "INCONCLUSIVE"
+	}
+}
+
+// WriteMarkdown renders the FINDINGS-style report: hypothesis, design
+// (with the confound matrix), per-seed results, the statistics, and the
+// verdict with its reasons. Output is deterministic for a given
+// analysis and meta.
+func WriteMarkdown(w io.Writer, a *Analysis, meta ReportMeta) error {
+	var b strings.Builder
+	p := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+
+	p("# Experiment: %s\n\n", a.Name)
+	p("**Status**: %s\n", statusLabel(a.Verdict))
+	p("**Hypothesis**: %s\n", a.Hypothesis)
+	if meta.Date != "" {
+		p("**Date**: %s\n", meta.Date)
+	}
+	if meta.SpecPath != "" {
+		p("**Spec**: `%s`\n", meta.SpecPath)
+	}
+	if a.Trace != "" {
+		p("**Trace**: `%s`\n", a.Trace)
+	}
+
+	p("\n## Experiment Design\n\n")
+	dir := "lower is better"
+	if a.Direction == DirectionHigher {
+		dir = "higher is better"
+	}
+	p("**Metric**: `%s` (%s)\n", a.Metric, dir)
+	p("**Arms**: baseline `%s` vs candidate `%s`\n", a.Baseline, a.Candidate)
+	p("**Seeds**: %s (%d complete pair(s)", seedList(a), len(a.Pairs))
+	if len(a.MissingSeeds) > 0 {
+		p(", %d incomplete", len(a.MissingSeeds))
+	}
+	p(")\n\n")
+
+	p("**Controlled and varied variables**:\n\n")
+	p("| variable | %s | %s | varies |\n", a.Baseline, a.Candidate)
+	p("|---|---|---|---|\n")
+	for _, row := range a.Confounds {
+		mark := ""
+		if row.Differs {
+			mark = "**yes**"
+		}
+		p("| %s | %s | %s | %s |\n", row.Field, cell(row.Baseline), cell(row.Candidate), mark)
+	}
+	if a.Confounded {
+		p("\n> **Warning**: controlled variables leak — the delta cannot be attributed to a single variable.\n")
+	}
+
+	p("\n## Results\n\n")
+	p("| seed | %s | %s | delta | rel. delta | outcome |\n", a.Baseline, a.Candidate)
+	p("|---|---|---|---|---|---|\n")
+	for _, pr := range a.Pairs {
+		p("| %d | %s | %s | %s | %s | %s |\n",
+			pr.Seed, g(pr.Baseline), g(pr.Candidate), g(pr.Delta), pct(pr.RelDelta), pr.Outcome)
+	}
+	p("| **mean** | %s | %s | %s | %s | |\n",
+		g(a.BaselineMean), g(a.CandidateMean), g(a.MeanDelta), pct(a.RelMeanDelta))
+
+	p("\n**Seed dominance**: candidate wins %d, ties %d, loses %d\n", a.Wins, a.Ties, a.Losses)
+	if a.Welch != nil {
+		p("**Welch's t-test**: t = %s, df = %s, p = %s (alpha = %s)\n",
+			g(a.Welch.T), g(a.Welch.DF), g(a.Welch.P), g(a.Alpha))
+	}
+	if a.DeltaCI != nil {
+		p("**Bootstrap %s%% CI of the paired delta**: [%s, %s] (%d resamples)\n",
+			g(100*a.CILevel), g(a.DeltaCI.Lo), g(a.DeltaCI.Hi), a.Resamples)
+	}
+
+	if len(a.Secondary) > 0 {
+		p("\n### Secondary metrics (means over complete pairs)\n\n")
+		p("| metric | %s | %s | delta |\n", a.Baseline, a.Candidate)
+		p("|---|---|---|---|\n")
+		for _, m := range a.Secondary {
+			p("| `%s` | %s | %s | %s |\n", m.Metric, g(m.BaselineMean), g(m.CandidateMean), g(m.Delta))
+		}
+	}
+
+	p("\n## Verdict\n\n")
+	p("**%s**\n\n", a.Verdict)
+	for _, r := range a.Reasons {
+		p("- %s\n", r)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// seedList renders the analyzed seeds in order (pairs first, then
+// missing).
+func seedList(a *Analysis) string {
+	var parts []string
+	for _, p := range a.Pairs {
+		parts = append(parts, strconv.FormatInt(p.Seed, 10))
+	}
+	for _, s := range a.MissingSeeds {
+		parts = append(parts, strconv.FormatInt(s, 10)+" (incomplete)")
+	}
+	return strings.Join(parts, ", ")
+}
+
+// pct renders a relative delta as a signed percentage.
+func pct(v float64) string {
+	return strconv.FormatFloat(100*v, 'g', 4, 64) + "%"
+}
+
+// cell escapes a value for a markdown table cell.
+func cell(s string) string {
+	if s == "" {
+		return "—"
+	}
+	return strings.ReplaceAll(s, "|", "\\|")
+}

@@ -1,0 +1,269 @@
+// Package hypothesis is the experiment harness: a declarative
+// experiment spec (a hypothesis, a baseline and a candidate
+// configuration, a seed list, and a success metric) compiles into
+// seeded runs on the existing control plane, and the paired results
+// feed a statistical analyzer that renders a verdict — supported,
+// refuted, or inconclusive — instead of a wall of numbers.
+//
+// The harness exists because eyeballing two sweep CSVs invites the
+// classic mistakes: comparing across different seeds, attributing a
+// delta to the policy when the load also changed, declaring victory on
+// a mean shift that three seeds out of five contradict. The spec makes
+// the comparison explicit (exactly what varies, what is controlled,
+// which seeds pair up), the analyzer makes the inference explicit
+// (Welch's t-test on the groups, a bootstrap confidence interval on the
+// paired deltas, seed-dominance counts), and the confound matrix calls
+// out any controlled variable that leaked.
+package hypothesis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"strings"
+
+	"github.com/tieredmem/mtat/internal/server"
+	"github.com/tieredmem/mtat/internal/sim"
+	"github.com/tieredmem/mtat/internal/stats"
+)
+
+// Config is one arm of the comparison: a named overlay on the
+// experiment's base run spec. Zero-valued fields inherit from the base
+// (nil BEs inherits; an explicit empty list means "no BE workloads"),
+// so a well-formed experiment sets exactly one field per arm and lets
+// everything else stay controlled.
+type Config struct {
+	// Name labels the arm in reports ("mtat-full", "half-slo", ...).
+	Name string `json:"name"`
+	// Policy overrides the base policy.
+	Policy string `json:"policy,omitempty"`
+	// LC overrides the base latency-critical workload.
+	LC string `json:"lc,omitempty"`
+	// BEs overrides the base best-effort mix.
+	BEs []string `json:"bes,omitempty"`
+	// Load overrides the base load pattern.
+	Load *sim.LoadSpec `json:"load,omitempty"`
+	// SLOScale overrides the base SLO multiplier.
+	SLOScale float64 `json:"slo_scale,omitempty"`
+	// Episodes overrides the MTAT pretraining budget.
+	Episodes int `json:"episodes,omitempty"`
+}
+
+// apply overlays the config on base. The seed is left for the caller.
+func (c Config) apply(base sim.RunSpec) sim.RunSpec {
+	s := base
+	if c.Policy != "" {
+		s.Policy = c.Policy
+	}
+	if c.LC != "" {
+		s.LC = c.LC
+	}
+	if c.BEs != nil {
+		s.BEs = c.BEs
+	}
+	if c.Load != nil {
+		s.Load = c.Load
+	}
+	if c.SLOScale != 0 {
+		s.SLOScale = c.SLOScale
+	}
+	if c.Episodes != 0 {
+		s.Episodes = c.Episodes
+	}
+	return s
+}
+
+// Directions a metric can improve in.
+const (
+	DirectionLower  = "lower"
+	DirectionHigher = "higher"
+)
+
+// Statistical defaults applied when the spec leaves the knob at zero.
+const (
+	DefaultAlpha   = 0.05
+	DefaultCILevel = 0.95
+)
+
+// ExperimentSpec is the declarative description of one experiment —
+// the JSON document `mtatctl experiment run` consumes. It compiles to
+// one run per (config, seed) pair; see Cells and SweepSpec.
+type ExperimentSpec struct {
+	// Name identifies the experiment; it keys the journal directory and
+	// the report filenames, so it must be filesystem-safe.
+	Name string `json:"name"`
+	// Hypothesis is the falsifiable claim under test, in prose.
+	Hypothesis string `json:"hypothesis"`
+	// Metric is the success metric (see MetricNames).
+	Metric string `json:"metric"`
+	// Direction says which way the candidate should move the metric:
+	// "lower" (default) or "higher".
+	Direction string `json:"direction,omitempty"`
+	// Base is the shared run spec both arms start from — the controlled
+	// variables.
+	Base sim.RunSpec `json:"base"`
+	// Baseline and Candidate are the two arms under comparison.
+	Baseline  Config `json:"baseline"`
+	Candidate Config `json:"candidate"`
+	// Seeds lists the paired replications: each seed runs once per arm.
+	// At least two distinct seeds are required — one pair supports no
+	// inference.
+	Seeds []int64 `json:"seeds"`
+	// Alpha is the significance level for Welch's t-test (0 selects
+	// DefaultAlpha).
+	Alpha float64 `json:"alpha,omitempty"`
+	// CILevel is the bootstrap confidence level (0 selects
+	// DefaultCILevel).
+	CILevel float64 `json:"ci_level,omitempty"`
+	// Resamples is the bootstrap resample count (0 selects
+	// stats.DefaultBootstrapResamples).
+	Resamples int `json:"resamples,omitempty"`
+}
+
+// ParseExperimentSpec decodes a JSON experiment spec strictly: unknown
+// fields are rejected so a typo ("metrci") fails loudly instead of
+// silently testing the wrong thing.
+func ParseExperimentSpec(data []byte) (ExperimentSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s ExperimentSpec
+	if err := dec.Decode(&s); err != nil {
+		return ExperimentSpec{}, fmt.Errorf("hypothesis: parse experiment spec: %w", err)
+	}
+	return s, nil
+}
+
+// nameRE constrains experiment and config names to filesystem- and
+// CSV-safe tokens.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+// EffectiveDirection returns the direction with the default applied.
+func (s ExperimentSpec) EffectiveDirection() string {
+	if s.Direction == "" {
+		return DirectionLower
+	}
+	return s.Direction
+}
+
+// EffectiveAlpha returns the significance level with the default
+// applied.
+func (s ExperimentSpec) EffectiveAlpha() float64 {
+	if s.Alpha == 0 {
+		return DefaultAlpha
+	}
+	return s.Alpha
+}
+
+// EffectiveCILevel returns the confidence level with the default
+// applied.
+func (s ExperimentSpec) EffectiveCILevel() float64 {
+	if s.CILevel == 0 {
+		return DefaultCILevel
+	}
+	return s.CILevel
+}
+
+// EffectiveResamples returns the bootstrap resample count with the
+// default applied.
+func (s ExperimentSpec) EffectiveResamples() int {
+	if s.Resamples == 0 {
+		return stats.DefaultBootstrapResamples
+	}
+	return s.Resamples
+}
+
+// Validate reports whether the spec describes a runnable experiment.
+// Errors name the offending field and list the valid choices.
+func (s ExperimentSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("hypothesis: spec needs a name")
+	}
+	if !nameRE.MatchString(s.Name) {
+		return fmt.Errorf("hypothesis: name %q is not filesystem-safe (want %s)", s.Name, nameRE)
+	}
+	if strings.TrimSpace(s.Hypothesis) == "" {
+		return fmt.Errorf("hypothesis: spec needs a hypothesis statement")
+	}
+	if _, ok := metricExtractors[s.Metric]; !ok {
+		return fmt.Errorf("hypothesis: unknown metric %q (valid: %s)",
+			s.Metric, strings.Join(MetricNames(), ", "))
+	}
+	switch s.EffectiveDirection() {
+	case DirectionLower, DirectionHigher:
+	default:
+		return fmt.Errorf("hypothesis: unknown direction %q (valid: %s, %s)",
+			s.Direction, DirectionLower, DirectionHigher)
+	}
+	for _, c := range []Config{s.Baseline, s.Candidate} {
+		if c.Name == "" {
+			return fmt.Errorf("hypothesis: both configs need a name")
+		}
+		if !nameRE.MatchString(c.Name) {
+			return fmt.Errorf("hypothesis: config name %q is not filesystem-safe (want %s)", c.Name, nameRE)
+		}
+	}
+	if s.Baseline.Name == s.Candidate.Name {
+		return fmt.Errorf("hypothesis: baseline and candidate share the name %q", s.Baseline.Name)
+	}
+	if len(s.Seeds) < 2 {
+		return fmt.Errorf("hypothesis: need at least 2 seeds for paired inference, got %d", len(s.Seeds))
+	}
+	seen := make(map[int64]bool, len(s.Seeds))
+	for _, seed := range s.Seeds {
+		if seen[seed] {
+			return fmt.Errorf("hypothesis: duplicate seed %d", seed)
+		}
+		seen[seed] = true
+	}
+	if s.Alpha < 0 || s.Alpha >= 1 {
+		return fmt.Errorf("hypothesis: alpha must be in [0, 1), got %g", s.Alpha)
+	}
+	if s.CILevel < 0 || s.CILevel >= 1 {
+		return fmt.Errorf("hypothesis: ci_level must be in [0, 1), got %g", s.CILevel)
+	}
+	if s.Resamples < 0 {
+		return fmt.Errorf("hypothesis: resamples must be >= 0, got %d", s.Resamples)
+	}
+	if err := s.BaselineSpec().Validate(); err != nil {
+		return fmt.Errorf("hypothesis: baseline %q: %w", s.Baseline.Name, err)
+	}
+	if err := s.CandidateSpec().Validate(); err != nil {
+		return fmt.Errorf("hypothesis: candidate %q: %w", s.Candidate.Name, err)
+	}
+	return nil
+}
+
+// metricExtractors maps metric names onto RunResult fields.
+var metricExtractors = map[string]func(server.RunResult) float64{
+	"lc_violation_rate": func(r server.RunResult) float64 { return r.LCViolationRate },
+	"lc_max_p99_s":      func(r server.RunResult) float64 { return r.LCMaxP99 },
+	"lc_mean_p99_s":     func(r server.RunResult) float64 { return r.LCMeanP99 },
+	"be_min_np":         func(r server.RunResult) float64 { return r.BEFairness },
+	"be_throughput":     func(r server.RunResult) float64 { return r.BEThroughput },
+	"migrated_bytes":    func(r server.RunResult) float64 { return float64(r.MigratedBytes) },
+}
+
+// metricOrder fixes the metric listing order (primary SLO metrics
+// first); keep in sync with metricExtractors.
+var metricOrder = []string{
+	"lc_violation_rate", "lc_max_p99_s", "lc_mean_p99_s",
+	"be_min_np", "be_throughput", "migrated_bytes",
+}
+
+// MetricNames returns every metric an experiment can test.
+func MetricNames() []string {
+	out := make([]string, len(metricOrder))
+	copy(out, metricOrder)
+	return out
+}
+
+// MetricValue extracts the named metric from a run result; ok is false
+// for unknown names.
+func MetricValue(name string, r server.RunResult) (float64, bool) {
+	f, ok := metricExtractors[name]
+	if !ok {
+		return 0, false
+	}
+	return f(r), true
+}

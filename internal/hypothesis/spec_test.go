@@ -1,0 +1,165 @@
+package hypothesis
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/tieredmem/mtat/internal/server"
+	"github.com/tieredmem/mtat/internal/sim"
+	"github.com/tieredmem/mtat/internal/stats"
+)
+
+// testSpec is a small valid experiment: mtat-full vs vtmm on the
+// violation rate.
+func testSpec() ExperimentSpec {
+	return ExperimentSpec{
+		Name:       "mtat-vs-vtmm",
+		Hypothesis: "mtat-full lowers the LC violation rate versus vtmm",
+		Metric:     "lc_violation_rate",
+		Base: sim.RunSpec{
+			LC: "redis", BEs: []string{"sssp"}, Scale: 16,
+			DurationSeconds: 10, TickSeconds: 0.1,
+		},
+		Baseline:  Config{Name: "vtmm", Policy: "vtmm"},
+		Candidate: Config{Name: "mtat-full", Policy: "mtat-full"},
+		Seeds:     []int64{1, 2, 3},
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := testSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+
+	broken := []struct {
+		name string
+		mut  func(*ExperimentSpec)
+		want string
+	}{
+		{"no name", func(s *ExperimentSpec) { s.Name = "" }, "needs a name"},
+		{"bad name", func(s *ExperimentSpec) { s.Name = "a/b" }, "filesystem-safe"},
+		{"no hypothesis", func(s *ExperimentSpec) { s.Hypothesis = " " }, "hypothesis statement"},
+		{"bad metric", func(s *ExperimentSpec) { s.Metric = "latency" }, "unknown metric"},
+		{"bad direction", func(s *ExperimentSpec) { s.Direction = "sideways" }, "unknown direction"},
+		{"unnamed config", func(s *ExperimentSpec) { s.Baseline.Name = "" }, "configs need a name"},
+		{"clashing configs", func(s *ExperimentSpec) { s.Candidate.Name = "vtmm" }, "share the name"},
+		{"one seed", func(s *ExperimentSpec) { s.Seeds = []int64{1} }, "at least 2 seeds"},
+		{"dup seeds", func(s *ExperimentSpec) { s.Seeds = []int64{1, 1} }, "duplicate seed"},
+		{"bad alpha", func(s *ExperimentSpec) { s.Alpha = 1.5 }, "alpha"},
+		{"bad ci level", func(s *ExperimentSpec) { s.CILevel = -0.1 }, "ci_level"},
+		{"bad resamples", func(s *ExperimentSpec) { s.Resamples = -1 }, "resamples"},
+		{"bad arm policy", func(s *ExperimentSpec) { s.Candidate.Policy = "nope" }, "candidate"},
+		{"arm needs lc", func(s *ExperimentSpec) { s.Base.LC = "" }, "needs an LC workload"},
+	}
+	for _, tc := range broken {
+		s := testSpec()
+		tc.mut(&s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	s := testSpec()
+	if got := s.EffectiveDirection(); got != DirectionLower {
+		t.Errorf("default direction = %q", got)
+	}
+	if got := s.EffectiveAlpha(); got != DefaultAlpha {
+		t.Errorf("default alpha = %g", got)
+	}
+	if got := s.EffectiveCILevel(); got != DefaultCILevel {
+		t.Errorf("default ci level = %g", got)
+	}
+	if got := s.EffectiveResamples(); got != stats.DefaultBootstrapResamples {
+		t.Errorf("default resamples = %d", got)
+	}
+	s.Direction, s.Alpha, s.CILevel, s.Resamples = DirectionHigher, 0.01, 0.99, 500
+	if s.EffectiveDirection() != DirectionHigher || s.EffectiveAlpha() != 0.01 ||
+		s.EffectiveCILevel() != 0.99 || s.EffectiveResamples() != 500 {
+		t.Error("explicit knobs not honored")
+	}
+}
+
+func TestParseExperimentSpecStrict(t *testing.T) {
+	if _, err := ParseExperimentSpec([]byte(`{"name":"x","metrci":"lc_violation_rate"}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	data, err := json.Marshal(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseExperimentSpec(data)
+	if err != nil {
+		t.Fatalf("own marshal rejected: %v", err)
+	}
+	if !reflect.DeepEqual(spec, testSpec()) {
+		t.Errorf("round trip drifted: %+v", spec)
+	}
+}
+
+func TestMetricValue(t *testing.T) {
+	r := server.RunResult{
+		LCViolationRate: 0.25, LCMaxP99: 0.9, LCMeanP99: 0.4,
+		BEFairness: 0.8, BEThroughput: 123, MigratedBytes: 1 << 30,
+	}
+	want := map[string]float64{
+		"lc_violation_rate": 0.25, "lc_max_p99_s": 0.9, "lc_mean_p99_s": 0.4,
+		"be_min_np": 0.8, "be_throughput": 123, "migrated_bytes": 1 << 30,
+	}
+	if len(MetricNames()) != len(want) {
+		t.Fatalf("MetricNames = %v", MetricNames())
+	}
+	for _, name := range MetricNames() {
+		got, ok := MetricValue(name, r)
+		if !ok || got != want[name] {
+			t.Errorf("MetricValue(%s) = %g, %v; want %g", name, got, ok, want[name])
+		}
+	}
+	if _, ok := MetricValue("nope", r); ok {
+		t.Error("unknown metric extracted")
+	}
+}
+
+// FuzzParseExperimentSpec hammers the spec codec like the run- and
+// sweep-spec fuzzers: no panics, and anything that parses must survive
+// a marshal→reparse round trip.
+func FuzzParseExperimentSpec(f *testing.F) {
+	seed, _ := json.Marshal(testSpec())
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","metric":"lc_mean_p99_s","seeds":[1,2]}`))
+	f.Add([]byte(`{"baseline":{"name":"a","slo_scale":0.5},"candidate":{"name":"b"}}`))
+	f.Add([]byte(`{"metrci":"lc_violation_rate"}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseExperimentSpec(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal parsed spec: %v", err)
+		}
+		again, err := ParseExperimentSpec(out)
+		if err != nil {
+			t.Fatalf("reparse own output %s: %v", out, err)
+		}
+		out2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatalf("marshal reparsed spec: %v", err)
+		}
+		if !reflect.DeepEqual(out, out2) {
+			t.Fatalf("round trip drifted:\n  first  %s\n  second %s", out, out2)
+		}
+		// Validation and compilation must classify, never panic.
+		if spec.Validate() == nil {
+			_ = spec.Cells()
+			_, _ = spec.SweepSpec()
+			_ = spec.Confounds()
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -274,4 +275,72 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (RunSt
 			return st, err
 		}
 	}
+}
+
+// DefaultMaxOutage is WaitDurable's tolerance for consecutive transport
+// failures when the caller passes maxOutage <= 0 — generous enough to
+// ride out a daemon SIGKILL, journal replay, and restart.
+const DefaultMaxOutage = 2 * time.Minute
+
+// WaitDurable is Wait for callers that must survive a daemon restart:
+// transport errors (connection refused while mtatd is down, resets while
+// it bounces) are retried with the same backoff for up to maxOutage of
+// consecutive failure before giving up, instead of failing the wait on
+// the first one. API errors other than 429/503 still fail immediately —
+// a 404 after replay means the run is truly gone, and retrying cannot
+// fix a 400. The experiment harness leans on this: mtatd journals
+// accepted runs before acknowledging them, so a run that was submitted
+// is pollable again as soon as the restarted daemon finishes replay.
+func (c *Client) WaitDurable(ctx context.Context, id string, poll, maxOutage time.Duration) (RunStatus, error) {
+	if poll <= 0 {
+		poll = DefaultPollInterval
+	}
+	if maxOutage <= 0 {
+		maxOutage = DefaultMaxOutage
+	}
+	base := poll / 8
+	if base < 10*time.Millisecond {
+		base = 10 * time.Millisecond
+	}
+	if base > poll {
+		base = poll
+	}
+	pol := backoff.Policy{Base: base, Max: poll}
+	var outageStart time.Time
+	for attempt := 0; ; attempt++ {
+		st, err := c.Run(ctx, id)
+		switch {
+		case err == nil:
+			outageStart = time.Time{}
+			if st.State.Terminal() {
+				return st, nil
+			}
+		case ctx.Err() != nil:
+			return RunStatus{}, ctx.Err()
+		case !retryableWaitError(err):
+			return RunStatus{}, err
+		default:
+			if outageStart.IsZero() {
+				outageStart = time.Now()
+			} else if time.Since(outageStart) > maxOutage {
+				return RunStatus{}, fmt.Errorf("mtatd: unreachable for %s waiting on %s: %w",
+					maxOutage, id, err)
+			}
+		}
+		if err := pol.Sleep(ctx, attempt); err != nil {
+			return st, err
+		}
+	}
+}
+
+// retryableWaitError reports whether a status-poll failure is worth
+// retrying: transport errors (the daemon is down or restarting) and
+// backpressure answers are; other API errors are definitive.
+func retryableWaitError(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode == http.StatusTooManyRequests ||
+			apiErr.StatusCode == http.StatusServiceUnavailable
+	}
+	return true
 }

@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// This file holds the inferential statistics behind the hypothesis
+// harness (internal/hypothesis): Welch's unequal-variance t-test for
+// comparing a candidate configuration against a baseline across seeds,
+// and a deterministic percentile-bootstrap confidence interval for the
+// mean per-seed delta.
+
+// SampleVariance returns the unbiased (n-1 denominator) sample variance
+// of vs, or 0 for fewer than two samples.
+func SampleVariance(vs []float64) float64 {
+	n := len(vs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(vs)
+	var ss float64
+	for _, v := range vs {
+		d := v - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// TTest is the outcome of a two-sample Welch's t-test.
+type TTest struct {
+	// T is the t statistic: (mean(x) - mean(y)) / sqrt(var(x)/nx + var(y)/ny).
+	T float64 `json:"t"`
+	// DF is the Welch–Satterthwaite effective degrees of freedom.
+	DF float64 `json:"df"`
+	// P is the two-sided p-value under the null of equal means.
+	P float64 `json:"p"`
+}
+
+// WelchTTest runs Welch's unequal-variance t-test on two independent
+// samples and returns the two-sided result. Both samples need at least
+// two observations. When both samples are constant (zero variance) the
+// sampling distribution is degenerate: equal means yield p = 1, unequal
+// means p = 0 with an infinite t — the convention the simulator needs,
+// since deterministic rigged scenarios can produce identical values
+// across seeds.
+func WelchTTest(x, y []float64) (TTest, error) {
+	if len(x) < 2 || len(y) < 2 {
+		return TTest{}, fmt.Errorf("stats: welch t-test needs >= 2 samples per group, got %d and %d",
+			len(x), len(y))
+	}
+	nx, ny := float64(len(x)), float64(len(y))
+	mx, my := Mean(x), Mean(y)
+	sx, sy := SampleVariance(x)/nx, SampleVariance(y)/ny
+	se2 := sx + sy
+	if se2 == 0 {
+		df := nx + ny - 2
+		if mx == my {
+			return TTest{T: 0, DF: df, P: 1}, nil
+		}
+		return TTest{T: math.Inf(sign(mx - my)), DF: df, P: 0}, nil
+	}
+	t := (mx - my) / math.Sqrt(se2)
+	df := se2 * se2 / (sx*sx/(nx-1) + sy*sy/(ny-1))
+	p := 2 * StudentTCDF(-math.Abs(t), df)
+	// Guard rounding: a two-sided p-value cannot exceed 1.
+	if p > 1 {
+		p = 1
+	}
+	return TTest{T: t, DF: df, P: p}, nil
+}
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// StudentTCDF returns P(T <= t) for a Student's t distribution with df
+// degrees of freedom, via the regularized incomplete beta function.
+func StudentTCDF(t, df float64) float64 {
+	if df <= 0 || math.IsNaN(t) {
+		return math.NaN()
+	}
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	if math.IsInf(t, -1) {
+		return 0
+	}
+	if t == 0 {
+		return 0.5
+	}
+	// One tail: P(|T| >= |t|) = I_x(df/2, 1/2) with x = df/(df+t^2).
+	x := df / (df + t*t)
+	tail := 0.5 * regIncBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - tail
+	}
+	return tail
+}
+
+// regIncBeta computes the regularized incomplete beta function
+// I_x(a, b) by Lentz's continued fraction, using the symmetry
+// I_x(a,b) = 1 - I_{1-x}(b,a) to stay in the fast-converging regime.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lgA, _ := math.Lgamma(a)
+	lgB, _ := math.Lgamma(b)
+	lgAB, _ := math.Lgamma(a + b)
+	front := math.Exp(lgAB - lgA - lgB + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+// betacf evaluates the continued fraction for the incomplete beta
+// function (modified Lentz's method).
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 200
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// DefaultBootstrapResamples is BootstrapMeanCI's resample count when the
+// caller passes resamples <= 0.
+const DefaultBootstrapResamples = 2000
+
+// BootstrapMeanCI returns a percentile-bootstrap confidence interval for
+// the mean of xs at the given confidence level (e.g. 0.95 for 95%).
+// Resampling is driven by a local PRNG seeded with seed, so the interval
+// is deterministic — the hypothesis harness pins analyzer output against
+// golden fixtures and must reproduce bit-identical reports.
+func BootstrapMeanCI(xs []float64, resamples int, level float64, seed int64) (Interval, error) {
+	if len(xs) == 0 {
+		return Interval{}, fmt.Errorf("stats: bootstrap CI of an empty sample")
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("stats: bootstrap CI level must be in (0,1), got %g", level)
+	}
+	if resamples <= 0 {
+		resamples = DefaultBootstrapResamples
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, resamples)
+	n := len(xs)
+	for i := range means {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += xs[rng.Intn(n)]
+		}
+		means[i] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := 1 - level
+	return Interval{
+		Lo: ExactQuantile(means, alpha/2),
+		Hi: ExactQuantile(means, 1-alpha/2),
+	}, nil
+}

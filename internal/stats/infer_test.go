@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", name, got, want, tol)
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	// var([1..5]) with n-1 denominator is exactly 2.5.
+	almost(t, "variance", SampleVariance([]float64{1, 2, 3, 4, 5}), 2.5, 1e-12)
+	if v := SampleVariance([]float64{7}); v != 0 {
+		t.Errorf("single-sample variance = %g, want 0", v)
+	}
+	if v := SampleVariance(nil); v != 0 {
+		t.Errorf("empty variance = %g, want 0", v)
+	}
+}
+
+// Closed-form Student-t CDF checks. df=1 is the Cauchy distribution:
+// CDF(t) = 1/2 + arctan(t)/pi. df=2 has the closed form
+// CDF(t) = 1/2 + t / (2*sqrt(2)*sqrt(1+t^2/2)).
+func TestStudentTCDFClosedForm(t *testing.T) {
+	almost(t, "CDF(0, 5)", StudentTCDF(0, 5), 0.5, 1e-12)
+	almost(t, "CDF(1, df=1)", StudentTCDF(1, 1), 0.75, 1e-9)
+	almost(t, "CDF(-1, df=1)", StudentTCDF(-1, 1), 0.25, 1e-9)
+	for _, tt := range []float64{0.3, 1, 2.5, 10} {
+		want := 0.5 + math.Atan(tt)/math.Pi
+		almost(t, "CDF(t, df=1)", StudentTCDF(tt, 1), want, 1e-9)
+	}
+	for _, tt := range []float64{-3, -0.7, 0.5, 1.4142135623730951, 4} {
+		want := 0.5 + tt/(2*math.Sqrt2*math.Sqrt(1+tt*tt/2))
+		almost(t, "CDF(t, df=2)", StudentTCDF(tt, 2), want, 1e-9)
+	}
+	// Large df approaches the normal CDF: Phi(1.96) ~ 0.975.
+	almost(t, "CDF(1.96, df=1e6)", StudentTCDF(1.96, 1e6), 0.975, 1e-3)
+	if got := StudentTCDF(math.Inf(1), 3); got != 1 {
+		t.Errorf("CDF(+inf) = %g, want 1", got)
+	}
+	if got := StudentTCDF(math.Inf(-1), 3); got != 0 {
+		t.Errorf("CDF(-inf) = %g, want 0", got)
+	}
+}
+
+// The t statistic and Welch–Satterthwaite df are closed-form for this
+// sample pair: t = -3/sqrt(2.5), df = 6.25/(0.0625+1). The p-value is
+// cross-checked by numerical integration of the t density at that df.
+func TestWelchTTestKnownCase(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	res, err := WelchTTest(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "t", res.T, -3/math.Sqrt(2.5), 1e-12)
+	almost(t, "df", res.DF, 6.25/1.0625, 1e-12)
+	almost(t, "p", res.P, 0.10753119493, 1e-6)
+
+	// Symmetry: swapping the samples flips t, keeps df and p.
+	rev, err := WelchTTest(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "t(rev)", rev.T, -res.T, 1e-12)
+	almost(t, "p(rev)", rev.P, res.P, 1e-12)
+
+	// Identical samples: t = 0, p = 1.
+	same, err := WelchTTest(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "t(same)", same.T, 0, 1e-12)
+	almost(t, "p(same)", same.P, 1, 1e-12)
+}
+
+func TestWelchTTestDegenerate(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{2, 3}); err == nil {
+		t.Fatal("expected error for a single-sample group")
+	}
+	// Both groups constant and different: degenerate, p = 0.
+	res, err := WelchTTest([]float64{2, 2, 2}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 || !math.IsInf(res.T, -1) {
+		t.Errorf("constant unequal groups: t=%g p=%g, want -inf, 0", res.T, res.P)
+	}
+	// Both groups constant and equal: p = 1.
+	res, err = WelchTTest([]float64{2, 2}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.T != 0 {
+		t.Errorf("constant equal groups: t=%g p=%g, want 0, 1", res.T, res.P)
+	}
+	// Strong separation: p must be far under any reasonable alpha.
+	res, err = WelchTTest([]float64{1, 1.1, 0.9, 1.05}, []float64{9, 9.2, 8.8, 9.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("separated groups: p = %g, want << 1e-6", res.P)
+	}
+}
+
+func TestBootstrapMeanCI(t *testing.T) {
+	// A constant sample bootstraps to a degenerate interval at that value.
+	ci, err := BootstrapMeanCI([]float64{3, 3, 3, 3}, 500, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo != 3 || ci.Hi != 3 {
+		t.Errorf("constant CI = [%g, %g], want [3, 3]", ci.Lo, ci.Hi)
+	}
+
+	xs := []float64{1.2, 0.8, 1.5, 0.9, 1.1, 1.3, 0.7, 1.0}
+	ci, err = BootstrapMeanCI(xs, 2000, 0.95, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Mean(xs)
+	if !(ci.Lo <= m && m <= ci.Hi) {
+		t.Errorf("CI [%g, %g] does not contain the sample mean %g", ci.Lo, ci.Hi, m)
+	}
+	if !(ci.Lo < ci.Hi) {
+		t.Errorf("CI [%g, %g] is not a proper interval", ci.Lo, ci.Hi)
+	}
+	// All resampled means stay within the sample's range.
+	if ci.Lo < 0.7 || ci.Hi > 1.5 {
+		t.Errorf("CI [%g, %g] escapes the sample range [0.7, 1.5]", ci.Lo, ci.Hi)
+	}
+
+	// Determinism: same seed, same interval; different seed, (almost
+	// surely) a different one.
+	again, err := BootstrapMeanCI(xs, 2000, 0.95, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != ci {
+		t.Errorf("same seed produced a different interval: %+v vs %+v", again, ci)
+	}
+	other, err := BootstrapMeanCI(xs, 2000, 0.95, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == ci {
+		t.Errorf("different seed reproduced the identical interval %+v", ci)
+	}
+
+	// A wider confidence level gives a (weakly) wider interval.
+	wide, err := BootstrapMeanCI(xs, 2000, 0.99, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Lo > ci.Lo || wide.Hi < ci.Hi {
+		t.Errorf("99%% CI [%g, %g] narrower than 95%% CI [%g, %g]",
+			wide.Lo, wide.Hi, ci.Lo, ci.Hi)
+	}
+
+	if _, err := BootstrapMeanCI(nil, 100, 0.95, 1); err == nil {
+		t.Fatal("expected error for empty sample")
+	}
+	if _, err := BootstrapMeanCI(xs, 100, 1.5, 1); err == nil {
+		t.Fatal("expected error for level outside (0,1)")
+	}
+}
