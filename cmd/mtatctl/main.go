@@ -16,6 +16,10 @@
 //	mtatctl logs r000001                                     # stream trace JSONL
 //	mtatctl cancel r000001
 //
+//	mtatctl -token $TOKEN tenants list                       # per-tenant usage table
+//	mtatctl -token $TOKEN tenants usage                      # full usage JSON
+//	mtatctl -token $ADMIN tenants apply -f tenants.json      # hot-reload the tenant config
+//
 //	mtatctl sweep submit -f sweep.json -wait                 # shard a sweep across the fleet
 //	mtatctl sweep status [s000001]                           # list sweeps / one sweep's JSON
 //	mtatctl sweep info                                       # fleet stats (nodes, recovered cells)
@@ -39,7 +43,8 @@
 // The mtatd address comes from -addr, then $MTATD_ADDR, then
 // 127.0.0.1:7070. Sweep subcommands talk to the fleet daemon instead:
 // -addr (when set explicitly), then $MTATFLEET_ADDR, then
-// 127.0.0.1:7171.
+// 127.0.0.1:7171. Against daemons running with -tenants, the bearer
+// token comes from -token, then $MTAT_TOKEN.
 package main
 
 import (
@@ -75,6 +80,7 @@ func usage(fs *flag.FlagSet) func() {
 			"  wait     block until a run reaches a terminal state\n"+
 			"  logs     stream a run's trace as JSONL\n"+
 			"  cancel   cancel a queued or running run\n"+
+			"  tenants  list tenant usage or hot-reload the tenant config (list|usage|apply)\n"+
 			"  sweep    drive a mtatfleet scheduler (submit|status|wait|results|nodes|cancel)\n"+
 			"  experiment  run a hypothesis experiment to a statistical verdict (run|status|report)\n"+
 			"  trace    render a distributed trace tree (run ID, sweep ID, or 32-hex trace ID)\n"+
@@ -89,6 +95,7 @@ func usage(fs *flag.FlagSet) func() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mtatctl", flag.ContinueOnError)
 	addr := fs.String("addr", defaultAddr(), "mtatd address (host:port or URL; also $MTATD_ADDR)")
+	token := fs.String("token", defaultToken(), "bearer token for daemons running with -tenants (also $MTAT_TOKEN)")
 	fs.Usage = usage(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,9 +119,12 @@ func run(args []string) error {
 		if !addrSet {
 			fleetAddr = defaultFleetAddr()
 		}
-		return cmdSweep(ctx, cluster.NewClient(fleetAddr), rest[1:])
+		fc := cluster.NewClient(fleetAddr)
+		fc.Token = *token
+		return cmdSweep(ctx, fc, rest[1:])
 	}
 	c := server.NewClient(*addr)
+	c.Token = *token
 	switch rest[0] {
 	case "submit":
 		return cmdSubmit(ctx, c, rest[1:])
@@ -128,6 +138,8 @@ func run(args []string) error {
 		return cmdLogs(ctx, c, rest[1:])
 	case "cancel":
 		return cmdCancel(ctx, c, rest[1:])
+	case "tenants":
+		return cmdTenants(ctx, c, rest[1:])
 	case "experiment":
 		return cmdExperiment(ctx, c, rest[1:])
 	case "trace":
@@ -156,6 +168,10 @@ func defaultFleetAddr() string {
 		return a
 	}
 	return "127.0.0.1:7171"
+}
+
+func defaultToken() string {
+	return os.Getenv("MTAT_TOKEN")
 }
 
 func cmdSubmit(ctx context.Context, c *server.Client, args []string) error {

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tieredmem/mtat/internal/server"
+	"github.com/tieredmem/mtat/internal/tenant"
+)
+
+// cmdTenants drives the tenancy surface of a daemon (mtatd by default;
+// point -addr at a mtatfleet to inspect the fleet's tenants — both
+// serve the same endpoints):
+//
+//	mtatctl tenants list       # one-line-per-tenant usage table
+//	mtatctl tenants usage      # full usage snapshots as JSON
+//	mtatctl tenants apply -f tenants.json   # hot-reload (admin token)
+func cmdTenants(ctx context.Context, c *server.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("tenants: subcommand required: list, usage, or apply")
+	}
+	switch args[0] {
+	case "list":
+		return cmdTenantsList(ctx, c)
+	case "usage":
+		usages, err := c.Tenants(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(usages)
+	case "apply":
+		return cmdTenantsApply(ctx, c, args[1:])
+	default:
+		return fmt.Errorf("tenants: unknown subcommand %q (valid: list, usage, apply)", args[0])
+	}
+}
+
+func cmdTenantsList(ctx context.Context, c *server.Client) error {
+	usages, err := c.Tenants(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %-5s %-6s %-6s %-6s %-8s %-8s %-8s %s\n",
+		"TENANT", "CLASS", "WEIGHT", "QUEUED", "ACTIVE", "RUNS", "CELLS", "REJECTED", "ADMIN")
+	for _, u := range usages {
+		admin := ""
+		if u.Admin {
+			admin = "yes"
+		}
+		fmt.Printf("%-16s %-5s %-6.3g %-6d %-6d %-8d %-8d %-8d %s\n",
+			u.Name, u.Class, u.Weight, u.Queued, u.Active, u.Runs, u.Cells, u.Rejected, admin)
+	}
+	return nil
+}
+
+func cmdTenantsApply(ctx context.Context, c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("mtatctl tenants apply", flag.ContinueOnError)
+	path := fs.String("f", "", `tenant config JSON file ("-" for stdin)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("tenants apply: -f file required")
+	}
+	data, err := readSpecFile(*path)
+	if err != nil {
+		return err
+	}
+	// Parse locally first: a syntax or validation error is reported
+	// without a round trip, and with the caller's file context.
+	cfg, err := tenant.ParseConfig(data)
+	if err != nil {
+		return err
+	}
+	res, err := c.ReloadTenants(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "applied: %d tenants (generation %d)\n", res.Tenants, res.Generation)
+	return nil
+}

@@ -27,6 +27,7 @@ import (
 
 	"github.com/tieredmem/mtat/internal/server"
 	"github.com/tieredmem/mtat/internal/telemetry"
+	"github.com/tieredmem/mtat/internal/tenant"
 )
 
 // setupLogging installs a structured slog default logger on stderr —
@@ -57,6 +58,49 @@ func slogf(format string, args ...any) {
 	slog.Info(fmt.Sprintf(format, args...))
 }
 
+// loadTenants builds the tenant registry from -tenants. An empty path
+// returns nil, which selects the permissive single-tenant registry —
+// daemons without the flag behave exactly as before multi-tenancy.
+func loadTenants(path string, tel *telemetry.Telemetry) (*tenant.Registry, error) {
+	if path == "" {
+		return nil, nil
+	}
+	cfg, err := tenant.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("-tenants: %w", err)
+	}
+	reg, err := tenant.New(&cfg, tel)
+	if err != nil {
+		return nil, fmt.Errorf("-tenants: %w", err)
+	}
+	slog.Info("tenant config loaded", "path", path, "tenants", reg.Count())
+	return reg, nil
+}
+
+// reloadTenantsOnHUP hot-swaps the tenant set from path on every SIGHUP.
+// A config that no longer parses or validates keeps the previous set —
+// a bad edit must not lock every tenant out.
+func reloadTenantsOnHUP(path string, reg *tenant.Registry, notify func()) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			cfg, err := tenant.LoadFile(path)
+			if err != nil {
+				slog.Error("tenant reload failed; keeping previous config", "path", path, "err", err)
+				continue
+			}
+			if err := reg.Reload(cfg); err != nil {
+				slog.Error("tenant reload failed; keeping previous config", "path", path, "err", err)
+				continue
+			}
+			notify()
+			slog.Info("tenant config reloaded", "path", path,
+				"tenants", reg.Count(), "generation", reg.Generation())
+		}
+	}()
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "mtatd:", err)
@@ -76,6 +120,7 @@ func run() error {
 		dataDir  = flag.String("data-dir", "", "journal directory for crash-safe run recovery (empty = in-memory only)")
 		fsync    = flag.Bool("fsync", false, "fsync the journal after every append (with -data-dir)")
 		pprof    = flag.Bool("pprof", false, "mount Go profiling endpoints under /debug/pprof/")
+		tenants  = flag.String("tenants", "", "tenant config file (JSON): bearer-token auth, quotas, fair-share weights; empty = single anonymous tenant, unlimited")
 		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		logFmt   = flag.String("log-format", "text", "structured log format: text or json")
 	)
@@ -85,6 +130,10 @@ func run() error {
 		return err
 	}
 	tel := telemetry.NewWithConfig(telemetry.Config{Service: "mtatd"})
+	reg, err := loadTenants(*tenants, tel)
+	if err != nil {
+		return err
+	}
 	mgr, err := server.NewManager(server.Config{
 		Workers:          *workers,
 		QueueCap:         *queueCap,
@@ -94,10 +143,16 @@ func run() error {
 		Telemetry:        tel,
 		DataDir:          *dataDir,
 		Fsync:            *fsync,
+		Tenants:          reg,
 		Logf:             slogf,
 	})
 	if err != nil {
 		return fmt.Errorf("-data-dir: %w", err)
+	}
+	// SIGHUP re-reads the -tenants file and hot-swaps the tenant set —
+	// the same path as POST /api/v1/config/tenants, minus the network.
+	if *tenants != "" {
+		reloadTenantsOnHUP(*tenants, mgr.Tenants(), mgr.TenantsReloaded)
 	}
 	if st := mgr.Stats(); st.RecoveredRuns > 0 {
 		slog.Info("recovered unfinished runs from journal",

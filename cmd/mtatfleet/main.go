@@ -29,6 +29,7 @@ import (
 
 	"github.com/tieredmem/mtat/internal/cluster"
 	"github.com/tieredmem/mtat/internal/telemetry"
+	"github.com/tieredmem/mtat/internal/tenant"
 )
 
 // setupLogging installs a structured slog default logger on stderr —
@@ -59,6 +60,48 @@ func slogf(format string, args ...any) {
 	slog.Info(fmt.Sprintf(format, args...))
 }
 
+// loadTenants builds the tenant registry from -tenants. An empty path
+// returns nil, which selects the permissive single-tenant registry —
+// fleets without the flag behave exactly as before multi-tenancy.
+func loadTenants(path string, tel *telemetry.Telemetry) (*tenant.Registry, error) {
+	if path == "" {
+		return nil, nil
+	}
+	cfg, err := tenant.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("-tenants: %w", err)
+	}
+	reg, err := tenant.New(&cfg, tel)
+	if err != nil {
+		return nil, fmt.Errorf("-tenants: %w", err)
+	}
+	slog.Info("tenant config loaded", "path", path, "tenants", reg.Count())
+	return reg, nil
+}
+
+// reloadTenantsOnHUP hot-swaps the tenant set from path on every SIGHUP.
+// A config that no longer parses or validates keeps the previous set —
+// a bad edit must not lock every tenant out.
+func reloadTenantsOnHUP(path string, reg *tenant.Registry) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			cfg, err := tenant.LoadFile(path)
+			if err != nil {
+				slog.Error("tenant reload failed; keeping previous config", "path", path, "err", err)
+				continue
+			}
+			if err := reg.Reload(cfg); err != nil {
+				slog.Error("tenant reload failed; keeping previous config", "path", path, "err", err)
+				continue
+			}
+			slog.Info("tenant config reloaded", "path", path,
+				"tenants", reg.Count(), "generation", reg.Generation())
+		}
+	}()
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "mtatfleet:", err)
@@ -84,8 +127,10 @@ func run() error {
 		pprof        = flag.Bool("pprof", false, "mount Go profiling endpoints under /debug/pprof/")
 		slowFactor   = flag.Float64("slow-cell-factor", cluster.DefaultSlowCellFactor,
 			"flag cells slower than this multiple of the sweep's median cell wall time")
-		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
-		logFmt   = flag.String("log-format", "text", "structured log format: text or json")
+		tenants   = flag.String("tenants", "", "tenant config file (JSON): bearer-token auth, quotas; empty = single anonymous tenant, unlimited")
+		nodeToken = flag.String("node-token", "", "bearer token presented to nodes (list it as an admin tenant on the nodes for per-tenant attribution)")
+		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFmt    = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
 
@@ -98,6 +143,10 @@ func run() error {
 	}
 
 	tel := telemetry.NewWithConfig(telemetry.Config{Service: "mtatfleet"})
+	treg, err := loadTenants(*tenants, tel)
+	if err != nil {
+		return err
+	}
 	fleet, err := cluster.NewFleet(cluster.FleetConfig{
 		Registry: cluster.RegistryConfig{
 			ProbeInterval:   *probe,
@@ -115,10 +164,17 @@ func run() error {
 		Telemetry:        tel,
 		DataDir:          *dataDir,
 		Fsync:            *fsync,
+		Tenants:          treg,
+		NodeToken:        *nodeToken,
 		Logf:             slogf,
 	})
 	if err != nil {
 		return fmt.Errorf("-data-dir: %w", err)
+	}
+	// SIGHUP re-reads the -tenants file and hot-swaps the tenant set —
+	// the same path as POST /api/v1/config/tenants, minus the network.
+	if *tenants != "" {
+		reloadTenantsOnHUP(*tenants, fleet.Tenants())
 	}
 
 	for _, nodeAddr := range splitList(*nodes) {

@@ -35,6 +35,13 @@ type Policy struct {
 	// via NoJitter (the zero value selects the default, keeping zero
 	// Policies safe against synchronized retries).
 	Jitter float64
+	// FullJitter replaces the bounded ±Jitter band with full jitter: the
+	// returned delay is uniform in (0, delay]. Bounded jitter keeps many
+	// clients within ±20% of the same instant, which is still a
+	// synchronized storm when hundreds of tenants are rejected by the
+	// same rate limiter in the same tick; full jitter spreads the whole
+	// window. The fleet dispatcher turns this on.
+	FullJitter bool
 	// NoJitter disables randomization (for deterministic tests).
 	NoJitter bool
 }
@@ -61,7 +68,11 @@ func (p Policy) Delay(attempt int) time.Duration {
 	if d > float64(max) {
 		d = float64(max)
 	}
-	if !p.NoJitter {
+	switch {
+	case p.NoJitter:
+	case p.FullJitter:
+		d *= rand.Float64()
+	default:
 		jitter := p.Jitter
 		if jitter < 0 || jitter == 0 {
 			jitter = DefaultJitter

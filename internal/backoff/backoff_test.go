@@ -62,6 +62,40 @@ func TestJitterBounds(t *testing.T) {
 	}
 }
 
+func TestFullJitter(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 100 * time.Millisecond, FullJitter: true}
+	hi := 100 * time.Millisecond
+	// Full jitter draws uniformly from (0, delay]: over 400 samples the
+	// spread must reach well below the bounded-jitter floor of 50ms and
+	// never exceed the grown delay.
+	lowSeen := false
+	first := p.Delay(0)
+	varied := false
+	for i := 0; i < 400; i++ {
+		d := p.Delay(0)
+		if d <= 0 || d > hi {
+			t.Fatalf("full-jitter delay %v outside (0, %v]", d, hi)
+		}
+		if d < 40*time.Millisecond {
+			lowSeen = true
+		}
+		if d != first {
+			varied = true
+		}
+	}
+	if !lowSeen {
+		t.Error("400 full-jitter draws never went below 40ms; distribution looks bounded, not full")
+	}
+	if !varied {
+		t.Error("400 full-jitter delays were all identical")
+	}
+	// NoJitter wins over FullJitter so deterministic tests stay deterministic.
+	det := Policy{Base: 10 * time.Millisecond, NoJitter: true, FullJitter: true}
+	if d := det.Delay(0); d != 10*time.Millisecond {
+		t.Errorf("NoJitter+FullJitter Delay(0) = %v, want 10ms", d)
+	}
+}
+
 func TestSleepHonoursContext(t *testing.T) {
 	p := Policy{Base: time.Hour, NoJitter: true}
 	ctx, cancel := context.WithCancel(context.Background())

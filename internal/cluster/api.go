@@ -11,6 +11,7 @@ import (
 
 	"github.com/tieredmem/mtat/internal/sim"
 	"github.com/tieredmem/mtat/internal/telemetry"
+	"github.com/tieredmem/mtat/internal/tenant"
 )
 
 // MaxSweepSpecBytes bounds a submitted sweep spec's JSON body.
@@ -73,9 +74,15 @@ func NewHandlerWith(f *Fleet, tel *telemetry.Telemetry, cfg HandlerConfig) http.
 			return
 		}
 		st, err := f.SubmitCtx(r.Context(), spec)
+		var qe *tenant.QuotaError
 		switch {
 		case errors.Is(err, ErrFleetClosed):
 			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.As(err, &qe):
+			// Per-tenant admission rejection: tell the client when its
+			// rate bucket refills (or a generic hint for quota/cost).
+			w.Header().Set("Retry-After", tenant.RetryAfterSeconds(qe.RetryAfter))
+			writeError(w, http.StatusTooManyRequests, err)
 		case err != nil:
 			writeError(w, http.StatusBadRequest, err)
 		default:
@@ -168,6 +175,38 @@ func NewHandlerWith(f *Fleet, tel *telemetry.Telemetry, cfg HandlerConfig) http.
 	mux.HandleFunc("GET /api/v1/traces", tel.ServeTraceList)
 	mux.HandleFunc("GET /api/v1/traces/{id}", tel.ServeTrace)
 
+	// Tenancy surface: usage snapshots for every tenant, and the admin
+	// hot-reload endpoint (live config push without a restart; SIGHUP on
+	// the daemon re-reads the -tenants file through the same path).
+	mux.HandleFunc("GET /api/v1/tenants", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, f.Tenants().List())
+	})
+	mux.HandleFunc("POST /api/v1/config/tenants", func(w http.ResponseWriter, r *http.Request) {
+		t := tenant.FromContext(r.Context())
+		if t == nil || !t.IsAdmin() {
+			writeError(w, http.StatusForbidden, errors.New("tenant config reload requires an admin tenant"))
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, MaxSweepSpecBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+			return
+		}
+		cfg, err := tenant.ParseConfig(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := f.Tenants().Reload(cfg); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, tenant.ReloadResult{
+			Tenants:    f.Tenants().Count(),
+			Generation: f.Tenants().Generation(),
+		})
+	})
+
 	// Probes: /healthz is pure liveness; /readyz additionally demands
 	// journal replay finished and recovered sweeps resumed, so
 	// orchestration and CI gate traffic on it.
@@ -206,6 +245,8 @@ func NewHandlerWith(f *Fleet, tel *telemetry.Telemetry, cfg HandlerConfig) http.
 			"DELETE /api/v1/nodes/{name}\n"+
 			"GET    /api/v1/traces\n"+
 			"GET    /api/v1/traces/{id}\n"+
+			"GET    /api/v1/tenants\n"+
+			"POST   /api/v1/config/tenants  (admin)\n"+
 			"GET    /healthz\n"+
 			"GET    /readyz\n"+
 			"GET    /metrics  (?format=prom for Prometheus text)\n"+
@@ -213,11 +254,13 @@ func NewHandlerWith(f *Fleet, tel *telemetry.Telemetry, cfg HandlerConfig) http.
 			"GET    /debug/pprof/  (with -pprof)\n")
 	})
 
-	// Every route passes through the shared instrumentation: per-route
+	// Every route passes through the shared instrumentation (per-route
 	// latency histograms, status-class counters, the in-flight gauge, a
-	// server span per request (joined to the caller's trace via
-	// traceparent), and one structured request log line.
-	return telemetry.Middleware(tel, slog.Default())(mux)
+	// server span per request joined to the caller's trace, one
+	// structured request log line) and then tenant authentication: the
+	// telemetry middleware runs outermost so 401s are metered and logged
+	// like any other response.
+	return telemetry.Middleware(tel, slog.Default())(tenant.Middleware(f.Tenants(), mux))
 }
 
 // apiError is the JSON error envelope (same shape as mtatd's).

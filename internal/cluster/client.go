@@ -14,6 +14,7 @@ import (
 	"github.com/tieredmem/mtat/internal/server"
 	"github.com/tieredmem/mtat/internal/sim"
 	"github.com/tieredmem/mtat/internal/telemetry"
+	"github.com/tieredmem/mtat/internal/tenant"
 )
 
 // Client drives the mtatfleet control plane over HTTP — the library
@@ -24,6 +25,9 @@ type Client struct {
 	BaseURL string
 	// HTTPClient overrides the transport; nil uses http.DefaultClient.
 	HTTPClient *http.Client
+	// Token, when set, is sent as a bearer token on every request
+	// (mtatctl wires -token / $MTAT_TOKEN here).
+	Token string
 }
 
 // NewClient returns a client for addr, which may be a bare host:port or
@@ -71,6 +75,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.applyAuth(req)
 	telemetry.Inject(ctx, req.Header)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -84,6 +89,13 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// applyAuth attaches the client's bearer token to an outgoing request.
+func (c *Client) applyAuth(req *http.Request) {
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
 }
 
 func decodeError(resp *http.Response) error {
@@ -146,6 +158,7 @@ func (c *Client) Traces(ctx context.Context, trace string) ([]telemetry.Span, er
 	if err != nil {
 		return nil, err
 	}
+	c.applyAuth(req)
 	telemetry.Inject(ctx, req.Header)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -194,6 +207,7 @@ func (c *Client) stream(ctx context.Context, path string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	c.applyAuth(req)
 	telemetry.Inject(ctx, req.Header)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -232,6 +246,20 @@ func (c *Client) AddNode(ctx context.Context, addr string, weight float64) (Node
 // RemoveNode deregisters a node by name or address.
 func (c *Client) RemoveNode(ctx context.Context, name string) error {
 	return c.do(ctx, http.MethodDelete, "/api/v1/nodes/"+name, nil, nil)
+}
+
+// Tenants lists every tenant's live usage snapshot on the fleet.
+func (c *Client) Tenants(ctx context.Context) ([]tenant.Usage, error) {
+	var out []tenant.Usage
+	err := c.do(ctx, http.MethodGet, "/api/v1/tenants", nil, &out)
+	return out, err
+}
+
+// ReloadTenants pushes a new tenant config to the fleet (admin only).
+func (c *Client) ReloadTenants(ctx context.Context, cfg tenant.Config) (tenant.ReloadResult, error) {
+	var res tenant.ReloadResult
+	err := c.do(ctx, http.MethodPost, "/api/v1/config/tenants", cfg, &res)
+	return res, err
 }
 
 // WaitSweep polls the sweep until it reaches a terminal state or ctx is

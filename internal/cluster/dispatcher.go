@@ -23,7 +23,11 @@ type DispatcherConfig struct {
 	Strategy Strategy
 	// Retry paces retries — both waiting for a free slot and re-
 	// dispatching after a node failure. The zero value selects the
-	// backoff package defaults (50ms base, 5s cap, ±20% jitter).
+	// backoff package defaults (50ms base, 5s cap). NewDispatcher
+	// upgrades the policy to full jitter unless NoJitter is set: many
+	// cells back off against the same saturated node at once, and
+	// uniform-random delays de-correlate their retries far better than
+	// the default ±20% band.
 	Retry backoff.Policy
 	// MaxNodeAttempts bounds distinct-node attempts per run (<= 0
 	// selects DefaultMaxNodeAttempts).
@@ -68,6 +72,9 @@ func NewDispatcher(reg *Registry, cfg DispatcherConfig) *Dispatcher {
 	if cfg.PollMax <= 0 {
 		cfg.PollMax = server.DefaultPollInterval
 	}
+	if !cfg.Retry.NoJitter {
+		cfg.Retry.FullJitter = true
+	}
 	d := &Dispatcher{reg: reg, cfg: cfg, tel: cfg.Telemetry}
 	m := d.tel.Metrics()
 	d.hDispatch = m.Histogram("fleet_dispatch_latency_s")
@@ -94,6 +101,15 @@ type DispatchResult struct {
 // with the remote error when the run itself fails, and with ctx's error
 // on cancellation.
 func (d *Dispatcher) Do(ctx context.Context, spec sim.RunSpec) (DispatchResult, error) {
+	return d.DoAs(ctx, spec, "")
+}
+
+// DoAs is Do with tenant attribution: a non-empty onBehalfOf rides the
+// X-Mtat-Tenant header on the node submission (and status polls), so
+// the node charges and meters the sweep's originating tenant rather
+// than the fleet's node token. The node must recognize that token as an
+// admin tenant for the attribution to be accepted.
+func (d *Dispatcher) DoAs(ctx context.Context, spec sim.RunSpec, onBehalfOf string) (DispatchResult, error) {
 	burned := make(map[string]bool)
 	res := DispatchResult{}
 	for trial := 0; ; trial++ {
@@ -115,6 +131,16 @@ func (d *Dispatcher) Do(ctx context.Context, spec sim.RunSpec) (DispatchResult, 
 			continue
 		}
 
+		// Attribution rides a shallow client copy: the node handle (and
+		// its in-flight slot accounting) is shared across tenants, but
+		// each request carries this cell's on-behalf-of header.
+		cl := h.client
+		if onBehalfOf != "" {
+			c2 := *cl
+			c2.OnBehalfOf = onBehalfOf
+			cl = &c2
+		}
+
 		// One node.run span per accepted attempt; the submit and the
 		// status polls carry its traceparent, so the node's server spans
 		// and run.execute hang under it in the merged tree.
@@ -125,7 +151,7 @@ func (d *Dispatcher) Do(ctx context.Context, spec sim.RunSpec) (DispatchResult, 
 				telemetry.SA("node", h.name))
 		}
 		start := time.Now()
-		st, err := h.client.Submit(nctx, spec)
+		st, err := cl.Submit(nctx, spec)
 		d.hDispatch.Observe(time.Since(start).Seconds())
 		if err != nil {
 			span.End(err)
@@ -156,7 +182,7 @@ func (d *Dispatcher) Do(ctx context.Context, spec sim.RunSpec) (DispatchResult, 
 		d.reg.noteDispatched(h.name)
 		span.SetAttr("run", st.ID)
 
-		final, err := h.client.Wait(nctx, st.ID, d.cfg.PollMax)
+		final, err := cl.Wait(nctx, st.ID, d.cfg.PollMax)
 		span.End(err)
 		h.release()
 		if err == nil {

@@ -13,6 +13,7 @@ import (
 	"github.com/tieredmem/mtat/internal/journal"
 	"github.com/tieredmem/mtat/internal/sim"
 	"github.com/tieredmem/mtat/internal/telemetry"
+	"github.com/tieredmem/mtat/internal/tenant"
 )
 
 // SweepState is a sweep's lifecycle phase.
@@ -82,6 +83,15 @@ type FleetConfig struct {
 	// journal targets; fsync additionally covers kernel panics and power
 	// loss at a large latency cost.
 	Fsync bool
+	// Tenants authenticates sweep submissions and enforces per-tenant
+	// quotas (sweep cell caps, rate limits, pending-cost budgets) at
+	// admission. Nil selects a permissive registry: every caller maps to
+	// the built-in anonymous admin tenant with unlimited quota, so
+	// fleets started without -tenants behave exactly as before.
+	Tenants *tenant.Registry
+	// NodeToken is copied into Registry.NodeToken when that is unset —
+	// the bearer token the fleet presents to its nodes.
+	NodeToken string
 	// SlowCellFactor flags a finished cell as slow — counted in
 	// fleet_slow_cells_total and logged with the sweep's trace ID — when
 	// its wall time exceeds this multiple of the sweep's median cell
@@ -126,6 +136,11 @@ type sweep struct {
 	// walls holds the wall times (seconds) of cells that completed
 	// successfully, for the slow-cell median. Guarded by the fleet mutex.
 	walls []float64
+	// tn is the owning tenant (never nil — anonymous when the submitter
+	// carried no identity); cellCost is the cost-model estimate (seconds)
+	// charged per cell at admission and refunded per cell as it settles.
+	tn       *tenant.Tenant
+	cellCost float64
 	// sc is the submit-time span context (the API request's server span);
 	// runSweep parents the sweep.run span under it so every cell dispatch
 	// — and, via traceparent, the remote run on the node — joins the
@@ -141,10 +156,11 @@ type sweep struct {
 // and drives sweeps to completion. All methods are safe for concurrent
 // use.
 type Fleet struct {
-	Reg  *Registry
-	disp *Dispatcher
-	cfg  FleetConfig
-	tel  *telemetry.Telemetry
+	Reg     *Registry
+	disp    *Dispatcher
+	cfg     FleetConfig
+	tel     *telemetry.Telemetry
+	tenants *tenant.Registry
 
 	jn   *journal.Journal
 	logf func(format string, args ...any)
@@ -199,14 +215,21 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	if cfg.Dispatcher.Telemetry == nil {
 		cfg.Dispatcher.Telemetry = cfg.Telemetry
 	}
+	if cfg.Registry.NodeToken == "" {
+		cfg.Registry.NodeToken = cfg.NodeToken
+	}
+	if cfg.Tenants == nil {
+		cfg.Tenants = tenant.Permissive(cfg.Telemetry)
+	}
 	reg := NewRegistry(cfg.Registry)
 	f := &Fleet{
-		Reg:    reg,
-		disp:   NewDispatcher(reg, cfg.Dispatcher),
-		cfg:    cfg,
-		tel:    cfg.Telemetry,
-		logf:   cfg.Logf,
-		sweeps: make(map[string]*sweep),
+		Reg:     reg,
+		disp:    NewDispatcher(reg, cfg.Dispatcher),
+		cfg:     cfg,
+		tel:     cfg.Telemetry,
+		tenants: cfg.Tenants,
+		logf:    cfg.Logf,
+		sweeps:  make(map[string]*sweep),
 	}
 	m := f.tel.Metrics()
 	f.mSweeps = m.Counter("fleet_sweeps_submitted_total")
@@ -280,10 +303,27 @@ func (f *Fleet) SubmitCtx(ctx context.Context, spec sim.SweepSpec) (SweepStatus,
 		return SweepStatus{}, err
 	}
 	sc := telemetry.SpanContextFrom(ctx)
+	tn := tenant.FromContext(ctx)
+	if tn == nil {
+		tn = f.tenants.Anonymous()
+	}
+	cellCost := f.tenants.Cost().EstimateCellSeconds()
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
 		return SweepStatus{}, ErrFleetClosed
+	}
+	// Per-tenant admission: rate limit, sweep cell cap, and pending-cost
+	// budget (cells × the cost model's estimated seconds per cell). On
+	// success the tenant is charged for every cell up front; cells refund
+	// as they settle.
+	if err := tn.Admit(tenant.AdmitRequest{
+		Units:       len(cells),
+		CostSeconds: cellCost * float64(len(cells)),
+		Sweep:       true,
+	}); err != nil {
+		f.mu.Unlock()
+		return SweepStatus{}, err
 	}
 	f.nextID++
 	sweepCtx, cancel := context.WithCancel(context.Background())
@@ -293,6 +333,8 @@ func (f *Fleet) SubmitCtx(ctx context.Context, spec sim.SweepSpec) (SweepStatus,
 		spec:      spec,
 		state:     SweepRunning,
 		submitted: time.Now(),
+		tn:        tn,
+		cellCost:  cellCost,
 		sc:        sc,
 		trace:     sc.Trace,
 		ctx:       sweepCtx,
@@ -316,12 +358,14 @@ func (f *Fleet) SubmitCtx(ctx context.Context, spec sim.SweepSpec) (SweepStatus,
 		}
 		err := f.jn.Append(recSweepSubmitted, sweepSubmittedRec{
 			ID: sw.id, Name: sw.name, Spec: spec, SubmittedAt: sw.submitted,
-			Trace: fleetTraceOrEmpty(sw.trace),
+			Trace:  fleetTraceOrEmpty(sw.trace),
+			Tenant: tenantName(sw.tn),
 		})
 		jspan.End(err)
 		if err != nil {
 			f.nextID--
 			cancel()
+			tn.NoteAbandoned(len(cells), cellCost*float64(len(cells)))
 			f.mu.Unlock()
 			return SweepStatus{}, fmt.Errorf("cluster: journal submission: %w", err)
 		}
@@ -425,11 +469,14 @@ func (f *Fleet) runCell(ctx context.Context, sw *sweep, cr *cellRun) {
 	if sw.ctx.Err() != nil {
 		cr.state = CellFailed
 		cr.errMsg = "sweep cancelled"
+		sw.tn.NoteAbandoned(1, sw.cellCost)
 		f.mu.Unlock()
 		return
 	}
 	cr.state = CellRunning
 	cr.started = time.Now()
+	sw.tn.NoteStarted(1)
+	sw.tn.ObserveQueueWait(cr.started.Sub(sw.submitted).Seconds())
 	f.gCellsRunningInternal.Set(f.gCellsRunningInternal.Value() + 1)
 	f.mu.Unlock()
 
@@ -438,7 +485,7 @@ func (f *Fleet) runCell(ctx context.Context, sw *sweep, cr *cellRun) {
 		ctx, span = f.tel.Spans().StartSpan(ctx, "cell.dispatch",
 			telemetry.SA("sweep", sw.id), telemetry.SA("cell", cr.cell.Label))
 	}
-	res, err := f.disp.Do(ctx, cr.cell.Spec)
+	res, err := f.disp.DoAs(ctx, cr.cell.Spec, tenantName(sw.tn))
 	span.SetAttr("node", res.Node)
 	span.End(err)
 
@@ -453,6 +500,7 @@ func (f *Fleet) runCell(ctx context.Context, sw *sweep, cr *cellRun) {
 	}
 	wall := cr.finished.Sub(cr.started).Seconds()
 	f.hCellWall.Observe(wall)
+	sw.tn.NoteDone(1, sw.cellCost)
 	if err != nil {
 		cr.state = CellFailed
 		cr.errMsg = err.Error()
@@ -467,6 +515,9 @@ func (f *Fleet) runCell(ctx context.Context, sw *sweep, cr *cellRun) {
 	}
 	cr.state = CellDone
 	f.mCellsDone.Inc()
+	// Successful cell wall times feed the shared cost model, so future
+	// sweeps' admission estimates track what this fleet actually runs.
+	f.tenants.Cost().ObserveCellSeconds(wall)
 	f.flagSlowCellLocked(sw, cr, wall)
 	s := newCellSummary(sw.name, cr.cell, CellDone, res.Node, "",
 		res.NodeAttempts, wall, fleetTraceOrEmpty(sw.trace), &res.Status)
@@ -658,6 +709,20 @@ func (f *Fleet) Ready() (bool, string) {
 	return true, "ok"
 }
 
+// Tenants returns the fleet's tenant registry (never nil — permissive
+// when the fleet was built without a tenant config).
+func (f *Fleet) Tenants() *tenant.Registry { return f.tenants }
+
+// tenantName renders a tenant for journal records and status JSON: ""
+// for nil and for the anonymous tenant, so single-tenant deployments
+// produce byte-identical records to pre-tenancy builds.
+func tenantName(t *tenant.Tenant) string {
+	if t == nil || t.Name() == tenant.AnonymousName {
+		return ""
+	}
+	return t.Name()
+}
+
 // fleetTraceOrEmpty renders a trace ID for a journal record, "" when
 // unset.
 func fleetTraceOrEmpty(id telemetry.TraceID) string {
@@ -708,6 +773,8 @@ type SweepStatus struct {
 	// ID), "" for submissions that carried no traceparent. Feed it to
 	// `mtatctl trace` to render the span tree.
 	Trace string `json:"trace,omitempty"`
+	// Tenant is the submitting tenant, "" for anonymous submissions.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // CellStatus is one cell's row in a SweepStatus.
@@ -729,6 +796,7 @@ func (f *Fleet) statusLocked(sw *sweep) SweepStatus {
 		Cells:       len(sw.cells),
 		SubmittedAt: sw.submitted,
 		Trace:       fleetTraceOrEmpty(sw.trace),
+		Tenant:      tenantName(sw.tn),
 	}
 	if !sw.finished.IsZero() {
 		t := sw.finished

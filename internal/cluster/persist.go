@@ -34,6 +34,10 @@ type sweepSubmittedRec struct {
 	// Trace preserves the submission's distributed trace ID across a
 	// crash (absent in pre-tracing journals).
 	Trace string `json:"trace,omitempty"`
+	// Tenant preserves sweep ownership across a crash so a restarted
+	// fleet re-charges the right tenant's quotas. Empty — including
+	// every record in a pre-tenant journal — means anonymous.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // cellSettledRec journals one cell reaching a terminal state. A
@@ -62,6 +66,7 @@ type sweepSnapshot struct {
 	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
 	Cells       []CellSummary `json:"cells,omitempty"`
 	Trace       string        `json:"trace,omitempty"`
+	Tenant      string        `json:"tenant,omitempty"`
 }
 
 // fleetSnapshot is the compaction record: the full sweep registry at
@@ -83,6 +88,7 @@ type sweepImage struct {
 	submitted time.Time
 	finished  time.Time
 	trace     string
+	tenant    string
 	settled   map[int]CellSummary
 }
 
@@ -114,7 +120,7 @@ func (rs *fleetReplay) apply(rec journal.Record) error {
 		for _, ss := range snap.Sweeps {
 			img := &sweepImage{
 				id: ss.ID, name: ss.Name, spec: ss.Spec, state: ss.State,
-				submitted: ss.SubmittedAt, trace: ss.Trace,
+				submitted: ss.SubmittedAt, trace: ss.Trace, tenant: ss.Tenant,
 				settled: make(map[int]CellSummary, len(ss.Cells)),
 			}
 			if ss.FinishedAt != nil {
@@ -141,7 +147,7 @@ func (rs *fleetReplay) apply(rec journal.Record) error {
 		}
 		rs.sweeps[r.ID] = &sweepImage{
 			id: r.ID, name: r.Name, spec: r.Spec, state: SweepRunning,
-			submitted: r.SubmittedAt, trace: r.Trace,
+			submitted: r.SubmittedAt, trace: r.Trace, tenant: r.Tenant,
 			settled: make(map[int]CellSummary),
 		}
 		rs.order = append(rs.order, r.ID)
@@ -196,7 +202,12 @@ func (f *Fleet) restore(rs *fleetReplay) []*sweep {
 			name:      img.name,
 			spec:      img.spec,
 			submitted: img.submitted,
-			done:      make(chan struct{}),
+			// Attribution tolerates tenants that left the config since the
+			// record was written (and maps "" — every pre-tenant journal —
+			// to the anonymous tenant), so replay of old WALs always works.
+			tn:       f.tenants.Attribution(img.tenant),
+			cellCost: f.tenants.Cost().EstimateCellSeconds(),
+			done:     make(chan struct{}),
 		}
 		if img.trace != "" {
 			// The trace ID survives the crash for status linkage; the
@@ -230,6 +241,10 @@ func (f *Fleet) restore(rs *fleetReplay) []*sweep {
 		} else {
 			sw.state = SweepRunning
 			f.recoveredCells += unsettled
+			// Re-charge the owning tenant for the cells still to run,
+			// bypassing quotas — they were admitted by the previous
+			// incarnation.
+			sw.tn.Restore(unsettled, sw.cellCost*float64(unsettled), true)
 			resumable = append(resumable, sw)
 		}
 		f.sweeps[sw.id] = sw
@@ -273,6 +288,7 @@ func (f *Fleet) snapshotLocked() fleetSnapshot {
 		ss := sweepSnapshot{
 			ID: sw.id, Name: sw.name, Spec: sw.spec, State: sw.state,
 			SubmittedAt: sw.submitted, Trace: fleetTraceOrEmpty(sw.trace),
+			Tenant: tenantName(sw.tn),
 		}
 		if !sw.finished.IsZero() {
 			t := sw.finished

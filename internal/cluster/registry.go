@@ -47,6 +47,11 @@ type RegistryConfig struct {
 	// InflightPerNode bounds the dispatcher's concurrent runs per node.
 	// 0 derives the bound from the node's probed worker count (min 1).
 	InflightPerNode int
+	// NodeToken is the bearer token presented to every node (probes and
+	// dispatch). Nodes running with a tenant config should list it as an
+	// admin tenant so the dispatcher may attribute cells to their
+	// originating tenants via on-behalf-of. Empty sends no token.
+	NodeToken string
 	// Telemetry is the fleet-level sink for markdown/markup counters,
 	// health gauges, and node events. Nil disables them.
 	Telemetry *telemetry.Telemetry
@@ -180,6 +185,7 @@ func (r *Registry) Add(addr string, weight float64) (NodeInfo, error) {
 		weight = 1
 	}
 	client := server.NewClient(addr)
+	client.Token = r.cfg.NodeToken
 	key := client.BaseURL
 	r.mu.Lock()
 	if _, ok := r.byAddr[key]; ok {

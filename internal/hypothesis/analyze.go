@@ -14,11 +14,11 @@ import (
 // aggregate result, plus enough provenance (run ID, node, trace) to
 // walk back to the raw data.
 type Measurement struct {
-	Config string `json:"config"`
-	Seed   int64  `json:"seed"`
-	RunID  string `json:"run_id,omitempty"`
-	Node   string `json:"node,omitempty"`
-	Trace  string `json:"trace,omitempty"`
+	Config string           `json:"config"`
+	Seed   int64            `json:"seed"`
+	RunID  string           `json:"run_id,omitempty"`
+	Node   string           `json:"node,omitempty"`
+	Trace  string           `json:"trace,omitempty"`
 	Result server.RunResult `json:"result"`
 }
 

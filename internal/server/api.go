@@ -11,6 +11,7 @@ import (
 
 	"github.com/tieredmem/mtat/internal/sim"
 	"github.com/tieredmem/mtat/internal/telemetry"
+	"github.com/tieredmem/mtat/internal/tenant"
 	"github.com/tieredmem/mtat/internal/workload"
 )
 
@@ -76,9 +77,15 @@ func NewHandlerWith(m *Manager, tel *telemetry.Telemetry, cfg HandlerConfig) htt
 			return
 		}
 		st, err := m.SubmitCtx(r.Context(), spec)
+		var qe *tenant.QuotaError
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.As(err, &qe):
+			// Per-tenant admission rejection: tell the client when its
+			// rate bucket refills (or a generic hint for quota/cost).
+			w.Header().Set("Retry-After", tenant.RetryAfterSeconds(qe.RetryAfter))
 			writeError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrShuttingDown):
 			writeError(w, http.StatusServiceUnavailable, err)
@@ -153,6 +160,39 @@ func NewHandlerWith(m *Manager, tel *telemetry.Telemetry, cfg HandlerConfig) htt
 	mux.HandleFunc("GET /api/v1/traces", tel.ServeTraceList)
 	mux.HandleFunc("GET /api/v1/traces/{id}", tel.ServeTrace)
 
+	// Tenancy surface: usage snapshots for every tenant, and the admin
+	// hot-reload endpoint (live config push without a restart; SIGHUP on
+	// the daemon re-reads the -tenants file through the same path).
+	mux.HandleFunc("GET /api/v1/tenants", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Tenants().List())
+	})
+	mux.HandleFunc("POST /api/v1/config/tenants", func(w http.ResponseWriter, r *http.Request) {
+		t := tenant.FromContext(r.Context())
+		if t == nil || !t.IsAdmin() {
+			writeError(w, http.StatusForbidden, errors.New("tenant config reload requires an admin tenant"))
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, MaxSpecBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+			return
+		}
+		cfg, err := tenant.ParseConfig(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := m.Tenants().Reload(cfg); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		m.TenantsReloaded()
+		writeJSON(w, http.StatusOK, tenant.ReloadResult{
+			Tenants:    m.Tenants().Count(),
+			Generation: m.Tenants().Generation(),
+		})
+	})
+
 	// Probes: /healthz is pure liveness; /readyz additionally demands
 	// journal replay done (implied by the manager existing) and admission
 	// headroom, so orchestration and CI gate traffic on it.
@@ -193,6 +233,8 @@ func NewHandlerWith(m *Manager, tel *telemetry.Telemetry, cfg HandlerConfig) htt
 			"GET    /api/v1/meta\n"+
 			"GET    /api/v1/traces\n"+
 			"GET    /api/v1/traces/{id}\n"+
+			"GET    /api/v1/tenants\n"+
+			"POST   /api/v1/config/tenants  (admin)\n"+
 			"GET    /healthz\n"+
 			"GET    /readyz\n"+
 			"GET    /metrics  (?format=prom for Prometheus text)\n"+
@@ -200,11 +242,13 @@ func NewHandlerWith(m *Manager, tel *telemetry.Telemetry, cfg HandlerConfig) htt
 			"GET    /debug/pprof/  (with -pprof)\n")
 	})
 
-	// Every route passes through the shared instrumentation: per-route
+	// Every route passes through the shared instrumentation (per-route
 	// latency histograms, status-class counters, the in-flight gauge, a
-	// server span per request (joined to the caller's trace via
-	// traceparent), and one structured request log line.
-	return telemetry.Middleware(tel, slog.Default())(mux)
+	// server span per request joined to the caller's trace, one
+	// structured request log line) and then tenant authentication: the
+	// telemetry middleware runs outermost so 401s are metered and
+	// logged like any other response.
+	return telemetry.Middleware(tel, slog.Default())(tenant.Middleware(m.Tenants(), mux))
 }
 
 // apiError is the JSON error envelope.

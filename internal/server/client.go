@@ -8,12 +8,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/tieredmem/mtat/internal/backoff"
 	"github.com/tieredmem/mtat/internal/sim"
 	"github.com/tieredmem/mtat/internal/telemetry"
+	"github.com/tieredmem/mtat/internal/tenant"
 )
 
 // Client drives the mtatd control plane over HTTP — the library behind
@@ -23,6 +25,15 @@ type Client struct {
 	BaseURL string
 	// HTTPClient overrides the transport; nil uses http.DefaultClient.
 	HTTPClient *http.Client
+	// Token, when set, is sent as a bearer token on every request
+	// (mtatctl wires -token / $MTAT_TOKEN here; the fleet dispatcher
+	// its -node-token).
+	Token string
+	// OnBehalfOf attributes requests to the named tenant via the
+	// X-Mtat-Tenant header. The authenticated tenant must be an admin
+	// (the fleet dispatcher uses this to carry each cell's originating
+	// tenant to the node).
+	OnBehalfOf string
 }
 
 // NewClient returns a client for addr, which may be a bare host:port or a
@@ -39,6 +50,10 @@ func NewClient(addr string) *Client {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter carries the response's Retry-After header (0 when
+	// absent) — quota and backpressure 429s tell the client when to
+	// come back.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -70,6 +85,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.applyAuth(req)
 	telemetry.Inject(ctx, req.Header)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -85,13 +101,30 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// applyAuth attaches the client's bearer token and on-behalf-of
+// attribution to an outgoing request.
+func (c *Client) applyAuth(req *http.Request) {
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	if c.OnBehalfOf != "" {
+		req.Header.Set("X-Mtat-Tenant", c.OnBehalfOf)
+	}
+}
+
 func decodeError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	apiErr := &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
 	var env apiError
 	if json.Unmarshal(data, &env) == nil && env.Error != "" {
-		return &APIError{StatusCode: resp.StatusCode, Message: env.Error}
+		apiErr.Message = env.Error
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
 }
 
 // Submit enqueues a run spec and returns the queued run's status.
@@ -135,6 +168,22 @@ func (c *Client) Meta(ctx context.Context) (Meta, error) {
 	var meta Meta
 	err := c.do(ctx, http.MethodGet, "/api/v1/meta", nil, &meta)
 	return meta, err
+}
+
+// Tenants lists every tenant's live usage snapshot (admission counters,
+// queue/active occupancy, rejection totals).
+func (c *Client) Tenants(ctx context.Context) ([]tenant.Usage, error) {
+	var out []tenant.Usage
+	err := c.do(ctx, http.MethodGet, "/api/v1/tenants", nil, &out)
+	return out, err
+}
+
+// ReloadTenants pushes a new tenant config to the daemon (admin only) —
+// the client-side twin of SIGHUP on a daemon launched with -tenants.
+func (c *Client) ReloadTenants(ctx context.Context, cfg tenant.Config) (tenant.ReloadResult, error) {
+	var res tenant.ReloadResult
+	err := c.do(ctx, http.MethodPost, "/api/v1/config/tenants", cfg, &res)
+	return res, err
 }
 
 // Events streams the run's trace (JSONL) into w.
@@ -181,6 +230,7 @@ func (c *Client) Traces(ctx context.Context, trace string) ([]telemetry.Span, er
 	if err != nil {
 		return nil, err
 	}
+	c.applyAuth(req)
 	telemetry.Inject(ctx, req.Header)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -229,6 +279,7 @@ func (c *Client) stream(ctx context.Context, path string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	c.applyAuth(req)
 	telemetry.Inject(ctx, req.Header)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -286,11 +337,15 @@ const DefaultMaxOutage = 2 * time.Minute
 // transport errors (connection refused while mtatd is down, resets while
 // it bounces) are retried with the same backoff for up to maxOutage of
 // consecutive failure before giving up, instead of failing the wait on
-// the first one. API errors other than 429/503 still fail immediately —
-// a 404 after replay means the run is truly gone, and retrying cannot
-// fix a 400. The experiment harness leans on this: mtatd journals
-// accepted runs before acknowledging them, so a run that was submitted
-// is pollable again as soon as the restarted daemon finishes replay.
+// the first one. A 429 is backpressure from a live daemon, not an
+// outage: it never charges the outage window, and a Retry-After header
+// (quota and rate-limit rejections carry one) stretches the sleep to
+// the server's hint. API errors other than 429/503 still fail
+// immediately — a 404 after replay means the run is truly gone, and
+// retrying cannot fix a 400. The experiment harness leans on this:
+// mtatd journals accepted runs before acknowledging them, so a run that
+// was submitted is pollable again as soon as the restarted daemon
+// finishes replay.
 func (c *Client) WaitDurable(ctx context.Context, id string, poll, maxOutage time.Duration) (RunStatus, error) {
 	if poll <= 0 {
 		poll = DefaultPollInterval
@@ -309,6 +364,7 @@ func (c *Client) WaitDurable(ctx context.Context, id string, poll, maxOutage tim
 	var outageStart time.Time
 	for attempt := 0; ; attempt++ {
 		st, err := c.Run(ctx, id)
+		var retryAfter time.Duration
 		switch {
 		case err == nil:
 			outageStart = time.Time{}
@@ -317,6 +373,12 @@ func (c *Client) WaitDurable(ctx context.Context, id string, poll, maxOutage tim
 			}
 		case ctx.Err() != nil:
 			return RunStatus{}, ctx.Err()
+		case isBackpressure(err):
+			// The daemon answered — it is up, just shedding load. Reset
+			// the outage clock (backpressure must not burn the restart
+			// budget) and honor its Retry-After if present.
+			outageStart = time.Time{}
+			retryAfter = retryAfterOf(err)
 		case !retryableWaitError(err):
 			return RunStatus{}, err
 		default:
@@ -327,9 +389,42 @@ func (c *Client) WaitDurable(ctx context.Context, id string, poll, maxOutage tim
 					maxOutage, id, err)
 			}
 		}
+		if retryAfter > pol.Delay(attempt) {
+			if err := sleepCtx(ctx, retryAfter); err != nil {
+				return st, err
+			}
+			continue
+		}
 		if err := pol.Sleep(ctx, attempt); err != nil {
 			return st, err
 		}
+	}
+}
+
+// isBackpressure reports a 429 answer — the daemon is alive and asking
+// the client to slow down.
+func isBackpressure(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusTooManyRequests
+}
+
+// retryAfterOf extracts a 429/503 response's Retry-After, 0 when absent.
+func retryAfterOf(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	return 0
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

@@ -19,8 +19,10 @@ import (
 
 	"github.com/tieredmem/mtat/internal/flight"
 	"github.com/tieredmem/mtat/internal/journal"
+	"github.com/tieredmem/mtat/internal/loadgen"
 	"github.com/tieredmem/mtat/internal/sim"
 	"github.com/tieredmem/mtat/internal/telemetry"
+	"github.com/tieredmem/mtat/internal/tenant"
 )
 
 // State is a run's lifecycle phase: queued → running → done | failed |
@@ -92,6 +94,11 @@ type Config struct {
 	// Fsync syncs the journal after every append; off, a process crash
 	// loses nothing but an OS crash may drop the page-cache tail.
 	Fsync bool
+	// Tenants is the tenancy registry (auth, quotas, fair-share
+	// classes, metering). Nil selects a permissive registry whose
+	// anonymous tenant admits everything — daemons without -tenants
+	// behave exactly as before.
+	Tenants *tenant.Registry
 	// Logf receives operational log lines (evictions, journal errors,
 	// recovery summaries). Nil selects the standard library logger.
 	Logf func(format string, args ...any)
@@ -136,14 +143,29 @@ type run struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
+	// tn is the owning tenant; cost its admission-time cost estimate
+	// (seconds), refunded from the tenant's pending budget on finish.
+	tn   *tenant.Tenant
+	cost float64
+}
+
+// tenantName renders a run's owner for statuses and journal records,
+// "" for the anonymous tenant (keeping records byte-compatible with
+// pre-tenant journals in the common single-tenant case).
+func tenantName(t *tenant.Tenant) string {
+	if t == nil || t.Name() == tenant.AnonymousName {
+		return ""
+	}
+	return t.Name()
 }
 
 // Manager owns the submission queue, the worker pool, and the run
 // registry. All methods are safe for concurrent use.
 type Manager struct {
-	cfg  Config
-	jn   *journal.Journal // nil without a DataDir
-	logf func(format string, args ...any)
+	cfg     Config
+	jn      *journal.Journal // nil without a DataDir
+	logf    func(format string, args ...any)
+	tenants *tenant.Registry
 
 	mu        sync.Mutex
 	runs      map[string]*run
@@ -153,7 +175,10 @@ type Manager struct {
 	nextID    int
 	recovered int // runs re-enqueued by journal replay at startup
 
-	queue chan *run
+	// queue replaces the historical FIFO channel with the weighted
+	// LC-over-BE deficit-round-robin fair queue; it is unbounded, with
+	// admission (QueueCap plus per-tenant quotas) enforced in Submit.
+	queue *tenant.FairQueue[*run]
 	wg    sync.WaitGroup
 
 	mSubmitted, mRejected *telemetry.Counter
@@ -187,12 +212,17 @@ func NewManager(cfg Config) (*Manager, error) {
 		cfg.CompactEvery = DefaultCompactEvery
 	}
 	m := &Manager{
-		cfg:  cfg,
-		logf: cfg.Logf,
-		runs: make(map[string]*run),
+		cfg:     cfg,
+		logf:    cfg.Logf,
+		runs:    make(map[string]*run),
+		tenants: cfg.Tenants,
+		queue:   tenant.NewFairQueue[*run](),
 	}
 	if m.logf == nil {
 		m.logf = log.Printf
+	}
+	if m.tenants == nil {
+		m.tenants = tenant.Permissive(cfg.Telemetry)
 	}
 	reg := cfg.Telemetry.Metrics()
 	m.mSubmitted = reg.Counter("server_runs_submitted_total")
@@ -221,17 +251,15 @@ func NewManager(cfg Config) (*Manager, error) {
 				stats.Records, len(m.runs), len(pending), stats.Torn)
 		}
 	}
-	// The queue must absorb the recovered backlog even when it exceeds
-	// the admission cap (Submit still enforces cfg.QueueCap for new work).
-	capacity := cfg.QueueCap
-	if len(pending) > capacity {
-		capacity = len(pending)
-	}
-	m.queue = make(chan *run, capacity)
+	// The fair queue is unbounded, so the recovered backlog re-enqueues
+	// even beyond the admission cap (Submit still enforces cfg.QueueCap
+	// for new work). Recovered runs re-charge their tenants' accounting
+	// without re-running admission — they were admitted before the crash.
 	for _, r := range pending {
-		m.queue <- r
+		r.tn.Restore(1, r.cost, false)
+		m.queue.Push(r.tn, r)
 	}
-	m.gQueued.Set(float64(len(m.queue)))
+	m.gQueued.Set(float64(m.queue.Len()))
 	m.gRetained.Set(float64(len(m.finished)))
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -253,6 +281,13 @@ func newRunContext() (context.Context, context.CancelFunc) {
 // Workers returns the worker pool size.
 func (m *Manager) Workers() int { return m.cfg.Workers }
 
+// Tenants returns the manager's tenancy registry (never nil).
+func (m *Manager) Tenants() *tenant.Registry { return m.tenants }
+
+// TenantsReloaded re-evaluates scheduling after a quota/config reload:
+// runs gated under an old MaxActive limit may now be dispatchable.
+func (m *Manager) TenantsReloaded() { m.queue.Notify() }
+
 // Ready reports whether the node should receive traffic: construction
 // already implies the journal replay finished, so readiness is "not
 // draining and the admission queue below capacity". The reason string
@@ -263,8 +298,8 @@ func (m *Manager) Ready() (bool, string) {
 	if m.closed {
 		return false, "draining: shutdown in progress"
 	}
-	if len(m.queue) >= m.cfg.QueueCap {
-		return false, fmt.Sprintf("queue saturated: %d/%d", len(m.queue), m.cfg.QueueCap)
+	if depth := m.queue.Len(); depth >= m.cfg.QueueCap {
+		return false, fmt.Sprintf("queue saturated: %d/%d", depth, m.cfg.QueueCap)
 	}
 	return true, "ok"
 }
@@ -286,8 +321,9 @@ func (m *Manager) Stats() Stats {
 	defer m.mu.Unlock()
 	s := Stats{
 		Workers:         m.cfg.Workers,
-		QueueDepth:      len(m.queue),
+		QueueDepth:      m.queue.Len(),
 		QueueCap:        m.cfg.QueueCap,
+		Tenants:         m.tenants.Count(),
 		RetainedResults: len(m.finished),
 		MaxRuns:         m.cfg.MaxRuns,
 		TotalRuns:       len(m.runs),
@@ -315,24 +351,39 @@ func (m *Manager) Submit(spec sim.RunSpec) (RunStatus, error) {
 // SubmitCtx is Submit under a caller context: when ctx carries a span
 // context (the API middleware puts the request's server span there), the
 // run joins that trace — the journal append and the eventual execution
-// record child spans, and the run's status reports the trace ID.
+// record child spans, and the run's status reports the trace ID. When
+// ctx carries an authenticated tenant (the tenant middleware puts it
+// there), the run is admitted against that tenant's quotas and owned by
+// it; otherwise the anonymous tenant owns it (trusted in-process
+// callers and permissive daemons).
 func (m *Manager) SubmitCtx(ctx context.Context, spec sim.RunSpec) (RunStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return RunStatus{}, err
 	}
 	sc := telemetry.SpanContextFrom(ctx)
+	tn := tenant.FromContext(ctx)
+	if tn == nil {
+		tn = m.tenants.Anonymous()
+	}
+	// Estimate the run's wall cost (spec ticks over the observed
+	// simulator tick rate) before taking the manager lock.
+	cost := m.tenants.Cost().EstimateRunSeconds(specTicks(spec))
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		m.mRejected.Inc()
 		return RunStatus{}, ErrShuttingDown
 	}
-	// Admission is checked against the configured cap (the channel may be
-	// larger while a recovered backlog drains); under m.mu the queue only
-	// shrinks, so the send below cannot block.
-	if len(m.queue) >= m.cfg.QueueCap || len(m.queue) == cap(m.queue) {
+	// Global admission first (cheap, tenant-agnostic), then the
+	// tenant's own rate/quota/cost checks, which charge its accounting
+	// atomically on success.
+	if m.queue.Len() >= m.cfg.QueueCap {
 		m.mRejected.Inc()
 		return RunStatus{}, ErrQueueFull
+	}
+	if err := tn.Admit(tenant.AdmitRequest{Units: 1, CostSeconds: cost}); err != nil {
+		m.mRejected.Inc()
+		return RunStatus{}, err
 	}
 	m.nextID++
 	runCtx, cancel := newRunContext()
@@ -348,6 +399,8 @@ func (m *Manager) SubmitCtx(ctx context.Context, spec sim.RunSpec) (RunStatus, e
 		ctx:       runCtx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
+		tn:        tn,
+		cost:      cost,
 	}
 	// Journal before exposing the run: once Submit returns the ID, the
 	// acceptance must survive a crash. A failed append rejects the
@@ -358,22 +411,48 @@ func (m *Manager) SubmitCtx(ctx context.Context, spec sim.RunSpec) (RunStatus, e
 			_, jspan = m.cfg.Telemetry.Spans().StartSpan(ctx, "journal.append",
 				telemetry.SA("run", r.id), telemetry.SA("rec", recRunSubmitted))
 		}
-		rec := runSubmittedRec{ID: r.id, Spec: r.spec, SubmittedAt: r.submitted, Trace: traceOrEmpty(r.trace)}
+		rec := runSubmittedRec{
+			ID: r.id, Spec: r.spec, SubmittedAt: r.submitted,
+			Trace: traceOrEmpty(r.trace), Tenant: tenantName(tn),
+		}
 		if err := m.jn.Append(recRunSubmitted, rec); err != nil {
 			jspan.End(err)
 			m.nextID--
 			cancel()
+			tn.NoteAbandoned(1, cost) // refund the admission charge
 			m.mRejected.Inc()
 			return RunStatus{}, fmt.Errorf("server: journal submission: %w", err)
 		}
 		jspan.End(nil)
 	}
-	m.queue <- r
+	m.queue.Push(tn, r)
 	m.runs[r.id] = r
 	m.order = append(m.order, r.id)
 	m.mSubmitted.Inc()
-	m.gQueued.Set(float64(len(m.queue)))
+	m.gQueued.Set(float64(m.queue.Len()))
 	return r.status(), nil
+}
+
+// specTicks computes a spec's simulated tick count for cost estimation,
+// applying the simulator defaults (0.1s tick; pattern-length duration,
+// with the Figure 7 ramp as the nil-load fallback).
+func specTicks(spec sim.RunSpec) float64 {
+	tick := spec.TickSeconds
+	if tick <= 0 {
+		tick = 0.1
+	}
+	dur := spec.DurationSeconds
+	if dur <= 0 {
+		if p, err := spec.Load.Pattern(); err == nil && p != nil {
+			dur = p.Duration()
+		} else {
+			dur = loadgen.Fig7().Duration()
+		}
+	}
+	if dur <= 0 {
+		return 0
+	}
+	return dur / tick
 }
 
 // Get returns a run's status snapshot.
@@ -486,7 +565,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.closed {
 		m.closed = true
-		close(m.queue)
+		m.queue.Close()
 	}
 	m.mu.Unlock()
 
@@ -517,10 +596,14 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// worker drains the queue until it is closed.
+// worker drains the fair queue until it is closed and empty.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for r := range m.queue {
+	for {
+		r, ok := m.queue.Pop()
+		if !ok {
+			return
+		}
 		m.runOne(r)
 	}
 }
@@ -529,14 +612,16 @@ func (m *Manager) worker() {
 func (m *Manager) runOne(r *run) {
 	m.mu.Lock()
 	if r.state != StateQueued { // cancelled while queued
-		m.gQueued.Set(float64(len(m.queue)))
+		m.gQueued.Set(float64(m.queue.Len()))
 		m.mu.Unlock()
 		return
 	}
 	r.state = StateRunning
 	r.started = time.Now()
+	r.tn.NoteStarted(1)
+	r.tn.ObserveQueueWait(r.started.Sub(r.submitted).Seconds())
 	m.journalLocked(recRunStarted, runStartedRec{ID: r.id, StartedAt: r.started})
-	m.gQueued.Set(float64(len(m.queue)))
+	m.gQueued.Set(float64(m.queue.Len()))
 	m.gRunning.Set(m.gRunning.Value() + 1)
 	m.mu.Unlock()
 
@@ -554,9 +639,14 @@ func (m *Manager) runOne(r *run) {
 	span.End(err)
 	// Each run records into a private sink; re-publish its core
 	// accounting on the daemon sink so /metrics carries cross-run
-	// sim_* aggregates.
+	// sim_* aggregates, and feed the admission cost model with the
+	// observed tick rate.
 	if err == nil && res != nil {
 		res.Core.Publish(m.cfg.Telemetry)
+		if res.Core != nil {
+			m.tenants.Cost().ObserveTickRate(res.Core.TicksPerSecond)
+			m.tenants.Cost().ObserveCellSeconds(res.Core.WallSeconds)
+		}
 	}
 
 	m.mu.Lock()
@@ -575,6 +665,17 @@ func (m *Manager) runOne(r *run) {
 // finishLocked moves a run to a terminal state and evicts the oldest
 // finished runs beyond the result-store cap. Callers hold m.mu.
 func (m *Manager) finishLocked(r *run, st State, msg string, res *sim.Result) {
+	// Retire the run from its tenant's accounting: a run that was
+	// dispatched releases an active slot, one cancelled while queued
+	// releases its queue slot; both refund the admission cost estimate.
+	// The queue is notified so runs gated on MaxActive re-evaluate.
+	switch r.state {
+	case StateRunning:
+		r.tn.NoteDone(1, r.cost)
+	case StateQueued:
+		r.tn.NoteAbandoned(1, r.cost)
+	}
+	m.queue.Notify()
 	r.state = st
 	r.errMsg = msg
 	r.result = res
@@ -591,7 +692,8 @@ func (m *Manager) finishLocked(r *run, st State, msg string, res *sim.Result) {
 	}
 	m.finished = append(m.finished, r.id)
 	m.journalLocked(recRunFinished, runFinishedRec{
-		ID: r.id, State: st, Error: msg, FinishedAt: r.finished, Result: summarizeOrNil(res),
+		ID: r.id, State: st, Error: msg, FinishedAt: r.finished,
+		Result: summarizeOrNil(res), Tenant: tenantName(r.tn),
 	})
 	m.evictLocked()
 	m.maybeCompactLocked()

@@ -30,6 +30,10 @@ type runSubmittedRec struct {
 	// Trace preserves the submission's distributed trace ID across a
 	// crash (absent in pre-tracing journals).
 	Trace string `json:"trace,omitempty"`
+	// Tenant preserves run ownership across a crash so a restarted
+	// daemon re-charges the right tenant's quotas. Empty — including
+	// every record in a pre-tenant journal — means anonymous.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // runStartedRec journals a queued→running transition.
@@ -47,6 +51,7 @@ type runFinishedRec struct {
 	Error      string     `json:"error,omitempty"`
 	FinishedAt time.Time  `json:"finished_at"`
 	Result     *RunResult `json:"result,omitempty"`
+	Tenant     string     `json:"tenant,omitempty"`
 }
 
 // managerSnapshot is the compaction record: the full registry at one
@@ -103,7 +108,7 @@ func (rs *replayState) apply(rec journal.Record) error {
 		}
 		rs.runs[r.ID] = &RunStatus{
 			ID: r.ID, State: StateQueued, Spec: r.Spec, SubmittedAt: r.SubmittedAt,
-			Trace: r.Trace,
+			Trace: r.Trace, Tenant: r.Tenant,
 		}
 		rs.order = append(rs.order, r.ID)
 		rs.noteID(r.ID)
@@ -159,6 +164,12 @@ func (m *Manager) restore(rs *replayState) []*run {
 			id:        st.ID,
 			spec:      st.Spec,
 			submitted: st.SubmittedAt,
+			// Attribution tolerates tenants that left the config since
+			// the record was written (and maps "" — every pre-tenant
+			// journal — to the anonymous tenant), so replay of old WALs
+			// is always possible.
+			tn:   m.tenants.Attribution(st.Tenant),
+			cost: m.tenants.Cost().EstimateRunSeconds(specTicks(st.Spec)),
 		}
 		if st.Trace != "" {
 			// The trace ID survives the crash for status linkage; the

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/telemetry"
+	"github.com/tieredmem/mtat/internal/tenant"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the committed pre-tenant WAL fixture")
+
+// preTenantWAL is the committed fixture: a journal segment written by a
+// daemon that predates multi-tenancy, so no record carries a tenant
+// field. The replay test guarantees those WALs stay loadable forever.
+const preTenantWAL = "testdata/pre_tenant/seg-00000001.wal"
+
+// walFrame encodes one journal record exactly as journal.Append does:
+// uint32 payload length + uint32 CRC32-Castagnoli, then the record JSON.
+func walFrame(t *testing.T, typ string, payload any) []byte {
+	t.Helper()
+	data, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatalf("marshal %s payload: %v", typ, err)
+	}
+	rec, err := json.Marshal(struct {
+		Type string          `json:"type"`
+		Data json.RawMessage `json:"data,omitempty"`
+	}{Type: typ, Data: data})
+	if err != nil {
+		t.Fatalf("marshal %s record: %v", typ, err)
+	}
+	frame := make([]byte, 8, 8+len(rec))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(rec, crc32.MakeTable(crc32.Castagnoli)))
+	return append(frame, rec...)
+}
+
+// preTenantSegment regenerates the fixture bytes from source (used by
+// -update): one finished run and one still-queued run, with payloads in
+// the exact pre-tenant shape — no "tenant", no "trace" keys anywhere.
+// The queued run's spec mirrors shortSpec so re-execution stays fast.
+func preTenantSegment(t *testing.T) []byte {
+	t.Helper()
+	spec := func(seed int64) map[string]any {
+		return map[string]any{
+			"lc":         "redis",
+			"bes":        []string{"sssp"},
+			"policy":     "memtis",
+			"load":       map[string]any{"kind": "constant", "frac": 0.5, "duration_s": 10},
+			"scale":      16,
+			"seed":       seed,
+			"duration_s": 10,
+		}
+	}
+	var seg []byte
+	seg = append(seg, walFrame(t, recRunSubmitted, map[string]any{
+		"id":           "r000001",
+		"spec":         spec(41),
+		"submitted_at": "2026-01-02T03:04:05Z",
+	})...)
+	seg = append(seg, walFrame(t, recRunStarted, map[string]any{
+		"id":         "r000001",
+		"started_at": "2026-01-02T03:04:06Z",
+	})...)
+	seg = append(seg, walFrame(t, recRunFinished, map[string]any{
+		"id":          "r000001",
+		"state":       "done",
+		"finished_at": "2026-01-02T03:04:07Z",
+		"result": map[string]any{
+			"policy":            "memtis",
+			"slo_met":           true,
+			"lc_violation_rate": 0.01,
+			"lc_max_p99_s":      0.002,
+			"lc_mean_p99_s":     0.001,
+			"be_fairness":       0.93,
+			"be_throughput":     1.5,
+			"migrated_bytes":    1048576,
+			"ticks":             10,
+		},
+	})...)
+	seg = append(seg, walFrame(t, recRunSubmitted, map[string]any{
+		"id":           "r000002",
+		"spec":         spec(42),
+		"submitted_at": "2026-01-02T03:04:08Z",
+	})...)
+	return seg
+}
+
+// TestPreTenantWALReplay replays the committed pre-tenant segment
+// through a tenant-aware manager: the finished run must come back with
+// its journaled result and empty tenant, the queued run must re-execute
+// (at-least-once) under anonymous attribution, and the anonymous
+// tenant's meters must absorb the recovered work — old WALs never need
+// rewriting to run on a multi-tenant daemon.
+func TestPreTenantWALReplay(t *testing.T) {
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(preTenantWAL), 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(preTenantWAL, preTenantSegment(t), 0o644); err != nil {
+			t.Fatalf("write fixture: %v", err)
+		}
+		t.Logf("rewrote %s", preTenantWAL)
+		return
+	}
+	fixture, err := os.ReadFile(preTenantWAL)
+	if err != nil {
+		t.Fatalf("read fixture (regenerate with -update): %v", err)
+	}
+
+	// The fixture must stay byte-identical to its generator: a drift
+	// means someone edited the generator without -update (or the file
+	// by hand) and the test would no longer cover the committed bytes.
+	if want := preTenantSegment(t); string(fixture) != string(want) {
+		t.Fatalf("fixture drifted from generator: run `go test ./internal/server -run TestPreTenantWALReplay -update`")
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "seg-00000001.wal"), fixture, 0o644); err != nil {
+		t.Fatalf("stage fixture: %v", err)
+	}
+
+	// A configured (non-permissive) registry is the harder case: the
+	// WAL's runs belong to nobody in it, so replay must fall back to
+	// anonymous attribution rather than reject or misattribute.
+	tel := telemetry.New()
+	reg, err := tenant.New(&tenant.Config{Tenants: []tenant.Spec{
+		{Name: "acme", Token: "tok-acme", Class: tenant.ClassLC},
+	}}, tel)
+	if err != nil {
+		t.Fatalf("tenant.New: %v", err)
+	}
+	m := newTestManager(t, Config{Workers: 1, Telemetry: tel, Tenants: reg, DataDir: dir})
+	defer shutdownOrFail(t, m, time.Minute)
+
+	if got := m.Stats().RecoveredRuns; got != 1 {
+		t.Fatalf("RecoveredRuns = %d, want 1 (only r000002 was unfinished)", got)
+	}
+
+	st, err := m.Get("r000001")
+	if err != nil {
+		t.Fatalf("Get(r000001): %v", err)
+	}
+	if st.State != StateDone || st.Tenant != "" {
+		t.Fatalf("r000001 replayed as state=%s tenant=%q, want done with empty tenant", st.State, st.Tenant)
+	}
+	if st.Result == nil || st.Result.Policy != "memtis" || st.Result.Ticks != 10 {
+		t.Fatalf("r000001 result not preserved across replay: %+v", st.Result)
+	}
+	if want := time.Date(2026, 1, 2, 3, 4, 7, 0, time.UTC); st.FinishedAt == nil || !st.FinishedAt.Equal(want) {
+		t.Fatalf("r000001 finished_at = %v, want %v", st.FinishedAt, want)
+	}
+
+	// The queued run restarts from scratch and must complete under the
+	// anonymous identity.
+	st2 := waitState(t, m, "r000002", StateDone)
+	if st2.Tenant != "" {
+		t.Fatalf("r000002 re-executed under tenant %q, want anonymous (empty)", st2.Tenant)
+	}
+	u := reg.Attribution("").Usage()
+	if u.Runs < 1 {
+		t.Fatalf("anonymous usage after recovery = %+v, want >= 1 completed run", u)
+	}
+	if u.Queued != 0 || u.Active != 0 {
+		t.Fatalf("anonymous usage leaked accounting after completion: %+v", u)
+	}
+}

@@ -21,6 +21,9 @@ type RunStatus struct {
 	// ID), "" for submissions that carried no traceparent. Feed it to
 	// `mtatctl trace` to render the span tree.
 	Trace string `json:"trace,omitempty"`
+	// Tenant is the owning tenant's name. Empty (pre-tenant journals,
+	// old clients) means the anonymous tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // RunResult is the JSON summary of a finished run — the aggregate slice
@@ -60,6 +63,8 @@ type Stats struct {
 	// incarnation died).
 	RecoveredRuns int  `json:"recovered_runs"`
 	Draining      bool `json:"draining"`
+	// Tenants counts configured tenants (0 in permissive mode).
+	Tenants int `json:"tenants,omitempty"`
 }
 
 // BEOutcome is one best-effort workload's aggregate in a RunResult.
@@ -79,6 +84,7 @@ func (r *run) status() RunStatus {
 		SubmittedAt: r.submitted,
 		Error:       r.errMsg,
 		Trace:       traceOrEmpty(r.trace),
+		Tenant:      tenantName(r.tn),
 	}
 	if !r.started.IsZero() {
 		t := r.started

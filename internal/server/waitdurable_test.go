@@ -80,6 +80,44 @@ func TestWaitDurableOutageBudget(t *testing.T) {
 	}
 }
 
+// TestWaitDurableBackpressureIsNotOutage: a daemon answering 429 is
+// alive, so quota rejections must never burn the outage window. The
+// server here rejects with 429 + Retry-After for well past the (tiny)
+// maxOutage before finally answering — the old behavior (429 charged as
+// outage) fails this immediately.
+func TestWaitDurableBackpressureIsNotOutage(t *testing.T) {
+	const rejections = 3
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= rejections {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"tenant over quota"}`, http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(RunStatus{ID: "r000001", State: StateDone})
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// maxOutage of 50ms while each 429 asks for a 1s pause: the total
+	// backpressure span (~3s) dwarfs the outage budget, so success proves
+	// 429s reset the clock rather than accruing against it.
+	start := time.Now()
+	st, err := c.WaitDurable(ctx, "r000001", 10*time.Millisecond, 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitDurable treated backpressure as an outage: %v (after %d calls)", err, calls.Load())
+	}
+	if st.State != StateDone {
+		t.Fatalf("status = %+v", st)
+	}
+	// Retry-After must actually be honored: 8 rejections × 1s floor.
+	if elapsed := time.Since(start); elapsed < rejections*time.Second {
+		t.Errorf("finished in %s; Retry-After of 1s × %d rejections was not honored", elapsed, rejections)
+	}
+}
+
 // TestWaitDurableDefinitiveErrors: a 404 is not an outage — the run is
 // gone and retrying cannot bring it back.
 func TestWaitDurableDefinitiveErrors(t *testing.T) {

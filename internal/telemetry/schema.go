@@ -124,4 +124,12 @@ const (
 	MetricHTTPDuration = "http_request_duration_seconds"
 	MetricHTTPRequests = "http_requests_total"
 	MetricHTTPInFlight = "http_requests_in_flight"
+
+	// Multi-tenant control plane (internal/tenant): per-tenant series via
+	// SeriesName with a `tenant` label; rejections additionally carry a
+	// `reason` label (auth, rate, queued, active, sweep_cells, cost).
+	MetricTenantRuns      = "tenant_runs_total"
+	MetricTenantCells     = "tenant_cells_total"
+	MetricTenantQueueWait = "tenant_queue_wait_seconds"
+	MetricTenantRejected  = "tenant_rejected_total"
 )

@@ -1,0 +1,56 @@
+package tenant
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a token bucket used for per-tenant submission rate limits.
+// A nil *bucket means "unlimited" and admits everything.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+}
+
+// newBucket returns nil (unlimited) when rate <= 0. The bucket starts
+// full so a fresh tenant gets its burst immediately.
+func newBucket(rate float64, burst int) *bucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// take consumes one token if available. When the bucket is empty it
+// returns false and the wait until the next token accrues.
+func (b *bucket) take(now time.Time) (bool, time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		if el := now.Sub(b.last).Seconds(); el > 0 {
+			b.tokens += el * b.rate
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}

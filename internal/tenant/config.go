@@ -1,0 +1,218 @@
+// Package tenant is the multi-tenant control plane shared by mtatd and
+// mtatfleet: bearer-token identity, per-tenant quotas and token-bucket
+// rate limits, admission control with cost estimates, a weighted
+// LC-over-BE fair-share queue, and per-tenant metering through the
+// telemetry registry.
+//
+// The design deliberately mirrors the paper's own resource split: the
+// scarce resource here is control-plane capacity (worker slots, queue
+// depth, fleet cells) instead of fast memory, but the policy is the
+// same — latency-critical tenants are served first, best-effort tenants
+// share the remainder proportionally, and nobody starves.
+package tenant
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Class partitions tenants the same way the simulator partitions
+// workloads: latency-critical tenants are dispatched ahead of
+// best-effort tenants.
+type Class string
+
+const (
+	ClassLC Class = "lc"
+	ClassBE Class = "be"
+)
+
+// Quota bounds one tenant's control-plane consumption. Zero values mean
+// "unlimited" so sparse configs stay permissive by default.
+type Quota struct {
+	// MaxQueued caps work items (runs on mtatd, cells on mtatfleet)
+	// waiting for dispatch.
+	MaxQueued int `json:"max_queued,omitempty"`
+	// MaxActive caps concurrently executing work items. On mtatd the
+	// fair queue holds a tenant's runs back while it is at the limit
+	// rather than rejecting them.
+	MaxActive int `json:"max_active,omitempty"`
+	// MaxSweepCells caps the cell count of a single fleet sweep.
+	MaxSweepCells int `json:"max_sweep_cells,omitempty"`
+	// MaxPendingSeconds caps the estimated cost (seconds of simulated
+	// work, from the admission cost model) queued plus active.
+	MaxPendingSeconds float64 `json:"max_pending_s,omitempty"`
+	// RatePerSec refills the submission token bucket; Burst is its
+	// capacity (defaults to max(1, ceil(RatePerSec))).
+	RatePerSec float64 `json:"rate_per_s,omitempty"`
+	Burst      int     `json:"burst,omitempty"`
+}
+
+// Spec declares one tenant in the config file.
+type Spec struct {
+	Name  string `json:"name"`
+	Token string `json:"token"`
+	// Class is "lc" or "be"; empty defaults to "be" — latency-critical
+	// dispatch priority is a declared privilege, not the default.
+	Class Class `json:"class,omitempty"`
+	// Weight scales the tenant's deficit-round-robin share against
+	// same-class tenants (<= 0 defaults to 1).
+	Weight float64 `json:"weight,omitempty"`
+	// Admin grants access to the config-reload endpoint and the
+	// on-behalf-of attribution header used by fleet→node dispatch.
+	Admin bool  `json:"admin,omitempty"`
+	Quota Quota `json:"quota,omitempty"`
+}
+
+// Config is the file format accepted by -tenants and the
+// /api/v1/config/tenants reload endpoint.
+type Config struct {
+	// AllowAnonymous keeps unauthenticated requests working (as the
+	// built-in anonymous tenant) even when named tenants exist.
+	AllowAnonymous bool   `json:"allow_anonymous,omitempty"`
+	Tenants        []Spec `json:"tenants"`
+}
+
+// AnonymousName is the reserved tenant name for unauthenticated and
+// pre-tenant (replayed) work.
+const AnonymousName = "anonymous"
+
+const maxNameLen = 64
+
+// ParseConfig decodes and validates a tenant config. Unknown fields are
+// rejected so typos in quota names fail loudly instead of granting
+// unlimited access.
+func ParseConfig(data []byte) (Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("tenant config: %w", err)
+	}
+	if dec.More() {
+		return Config{}, fmt.Errorf("tenant config: trailing data after JSON object")
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// LoadFile reads and parses a tenant config file.
+func LoadFile(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg, err := ParseConfig(data)
+	if err != nil {
+		return Config{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// Validate checks structural invariants: at least one tenant, unique
+// prom-safe names, unique non-empty tokens, known classes, and
+// non-negative quotas/weights.
+func (c *Config) Validate() error {
+	if len(c.Tenants) == 0 {
+		return fmt.Errorf("tenant config: no tenants declared")
+	}
+	names := make(map[string]bool, len(c.Tenants))
+	tokens := make(map[string]bool, len(c.Tenants))
+	for i := range c.Tenants {
+		t := &c.Tenants[i]
+		if err := validateName(t.Name); err != nil {
+			return fmt.Errorf("tenant %d: %w", i, err)
+		}
+		if names[t.Name] {
+			return fmt.Errorf("tenant %q: duplicate name", t.Name)
+		}
+		names[t.Name] = true
+		if t.Token == "" {
+			return fmt.Errorf("tenant %q: empty token", t.Name)
+		}
+		if strings.ContainsAny(t.Token, " \t\r\n") {
+			return fmt.Errorf("tenant %q: token contains whitespace", t.Name)
+		}
+		if tokens[t.Token] {
+			return fmt.Errorf("tenant %q: token already assigned to another tenant", t.Name)
+		}
+		tokens[t.Token] = true
+		switch t.Class {
+		case "", ClassLC, ClassBE:
+		default:
+			return fmt.Errorf("tenant %q: unknown class %q (want lc or be)", t.Name, t.Class)
+		}
+		if t.Weight < 0 {
+			return fmt.Errorf("tenant %q: negative weight", t.Name)
+		}
+		q := t.Quota
+		if q.MaxQueued < 0 || q.MaxActive < 0 || q.MaxSweepCells < 0 || q.Burst < 0 {
+			return fmt.Errorf("tenant %q: negative quota", t.Name)
+		}
+		if q.MaxPendingSeconds < 0 || q.RatePerSec < 0 {
+			return fmt.Errorf("tenant %q: negative quota", t.Name)
+		}
+	}
+	return nil
+}
+
+// validateName enforces prom-label-friendly tenant names: lowercase
+// alphanumerics plus [._-], starting alphanumeric, at most 64 bytes.
+// "anonymous" is reserved for the built-in tenant.
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty name")
+	}
+	if name == AnonymousName {
+		return fmt.Errorf("name %q is reserved", AnonymousName)
+	}
+	if len(name) > maxNameLen {
+		return fmt.Errorf("name longer than %d bytes", maxNameLen)
+	}
+	for i, r := range name {
+		alnum := (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9')
+		if alnum || (i > 0 && (r == '.' || r == '_' || r == '-')) {
+			continue
+		}
+		return fmt.Errorf("name %q: bad character %q (want [a-z0-9][a-z0-9._-]*)", name, r)
+	}
+	return nil
+}
+
+// normalized returns the spec with defaults applied (class, weight,
+// burst) so the rest of the package never re-checks zero values.
+func (s Spec) normalized() Spec {
+	if s.Class == "" {
+		s.Class = ClassBE
+	}
+	if s.Weight <= 0 {
+		s.Weight = 1
+	}
+	if s.Quota.RatePerSec > 0 && s.Quota.Burst == 0 {
+		b := int(s.Quota.RatePerSec)
+		if float64(b) < s.Quota.RatePerSec {
+			b++
+		}
+		if b < 1 {
+			b = 1
+		}
+		s.Quota.Burst = b
+	}
+	return s
+}
+
+// sortedNames returns tenant names in deterministic order (used by
+// List and tests).
+func (c *Config) sortedNames() []string {
+	names := make([]string, 0, len(c.Tenants))
+	for _, t := range c.Tenants {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,118 @@
+package tenant
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleConfig = `{
+  "allow_anonymous": true,
+  "tenants": [
+    {"name": "web-lc", "token": "tok-lc", "class": "lc", "weight": 2, "admin": true,
+     "quota": {"max_queued": 8, "max_active": 2, "rate_per_s": 10}},
+    {"name": "batch-be", "token": "tok-be", "class": "be",
+     "quota": {"max_sweep_cells": 64, "max_pending_s": 120.5, "burst": 3, "rate_per_s": 1}}
+  ]
+}`
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig([]byte(sampleConfig))
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	if !cfg.AllowAnonymous || len(cfg.Tenants) != 2 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	lc := cfg.Tenants[0]
+	if lc.Name != "web-lc" || lc.Class != ClassLC || lc.Weight != 2 || !lc.Admin {
+		t.Errorf("lc tenant = %+v", lc)
+	}
+	if lc.Quota.MaxQueued != 8 || lc.Quota.MaxActive != 2 || lc.Quota.RatePerSec != 10 {
+		t.Errorf("lc quota = %+v", lc.Quota)
+	}
+	be := cfg.Tenants[1]
+	if be.Quota.MaxSweepCells != 64 || be.Quota.MaxPendingSeconds != 120.5 || be.Quota.Burst != 3 {
+		t.Errorf("be quota = %+v", be.Quota)
+	}
+}
+
+func TestParseConfigRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty tenants":    `{"tenants": []}`,
+		"unknown field":    `{"tenants": [{"name":"a","token":"t"}], "oops": 1}`,
+		"unknown quota":    `{"tenants": [{"name":"a","token":"t","quota":{"max_runz":1}}]}`,
+		"empty name":       `{"tenants": [{"name":"","token":"t"}]}`,
+		"reserved name":    `{"tenants": [{"name":"anonymous","token":"t"}]}`,
+		"bad name chars":   `{"tenants": [{"name":"A b","token":"t"}]}`,
+		"leading dash":     `{"tenants": [{"name":"-a","token":"t"}]}`,
+		"empty token":      `{"tenants": [{"name":"a","token":""}]}`,
+		"token whitespace": `{"tenants": [{"name":"a","token":"t t"}]}`,
+		"dup name":         `{"tenants": [{"name":"a","token":"t1"},{"name":"a","token":"t2"}]}`,
+		"dup token":        `{"tenants": [{"name":"a","token":"t"},{"name":"b","token":"t"}]}`,
+		"bad class":        `{"tenants": [{"name":"a","token":"t","class":"gold"}]}`,
+		"negative weight":  `{"tenants": [{"name":"a","token":"t","weight":-1}]}`,
+		"negative quota":   `{"tenants": [{"name":"a","token":"t","quota":{"max_queued":-1}}]}`,
+		"negative rate":    `{"tenants": [{"name":"a","token":"t","quota":{"rate_per_s":-0.5}}]}`,
+		"trailing data":    `{"tenants": [{"name":"a","token":"t"}]} {"x": 1}`,
+		"not json":         `nope`,
+	}
+	for name, in := range cases {
+		if _, err := ParseConfig([]byte(in)); err == nil {
+			t.Errorf("%s: ParseConfig accepted %s", name, in)
+		}
+	}
+}
+
+func TestSpecNormalized(t *testing.T) {
+	s := Spec{Name: "a", Token: "t", Quota: Quota{RatePerSec: 2.5}}.normalized()
+	if s.Class != ClassBE {
+		t.Errorf("default class = %q, want be", s.Class)
+	}
+	if s.Weight != 1 {
+		t.Errorf("default weight = %v, want 1", s.Weight)
+	}
+	if s.Quota.Burst != 3 {
+		t.Errorf("burst for rate 2.5 = %d, want ceil = 3", s.Quota.Burst)
+	}
+}
+
+func FuzzParseTenantConfig(f *testing.F) {
+	f.Add([]byte(sampleConfig))
+	f.Add([]byte(`{"tenants":[{"name":"a","token":"t"}]}`))
+	f.Add([]byte(`{"tenants":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"tenants":[{"name":"a","token":"t","class":"lc","weight":1e308}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must survive a marshal/re-parse round trip
+		// (the reload endpoint re-encodes configs) and re-validate.
+		out, merr := json.Marshal(cfg)
+		if merr != nil {
+			t.Fatalf("accepted config does not re-marshal: %v", merr)
+		}
+		cfg2, rerr := ParseConfig(out)
+		if rerr != nil {
+			t.Fatalf("round-tripped config rejected: %v\nfirst: %s\nsecond: %s", rerr, data, out)
+		}
+		if len(cfg2.Tenants) != len(cfg.Tenants) {
+			t.Fatalf("round trip changed tenant count %d -> %d", len(cfg.Tenants), len(cfg2.Tenants))
+		}
+		for i := range cfg.Tenants {
+			n := cfg.Tenants[i].normalized()
+			if n.Class != ClassLC && n.Class != ClassBE {
+				t.Fatalf("normalized class %q invalid", n.Class)
+			}
+			if n.Weight <= 0 {
+				t.Fatalf("normalized weight %v not positive", n.Weight)
+			}
+			if strings.ContainsAny(cfg.Tenants[i].Name, " \t\r\n\"{}") {
+				t.Fatalf("accepted name %q with unsafe characters", cfg.Tenants[i].Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package tenant
+
+import "sync"
+
+// Cost-model defaults, used until the first observation arrives.
+const (
+	// DefaultTicksPerSecond seeds the run cost estimator before any
+	// CoreStats have been observed; deliberately conservative (slow)
+	// so a cold daemon over- rather than under-charges.
+	DefaultTicksPerSecond = 500.0
+	// DefaultCellSeconds seeds the fleet's per-cell estimate.
+	DefaultCellSeconds = 10.0
+	// costAlpha is the EWMA smoothing factor: recent cells dominate,
+	// but one outlier cannot swing admission decisions.
+	costAlpha = 0.3
+)
+
+// CostModel estimates how many wall-seconds a submission will consume,
+// from EWMAs over recently completed work: mtatd feeds it per-run
+// sim.CoreStats tick rates (estimate = spec ticks / ticks-per-second),
+// mtatfleet feeds it per-cell wall times (estimate = cells × mean cell
+// seconds). Admission control charges these estimates against
+// Quota.MaxPendingSeconds.
+type CostModel struct {
+	mu          sync.Mutex
+	ticksPerSec float64
+	cellSeconds float64
+}
+
+// ObserveTickRate folds one completed run's CoreStats ticks/sec into
+// the EWMA. Non-positive samples are ignored.
+func (m *CostModel) ObserveTickRate(tps float64) {
+	if m == nil || tps <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ticksPerSec <= 0 {
+		m.ticksPerSec = tps
+		return
+	}
+	m.ticksPerSec = costAlpha*tps + (1-costAlpha)*m.ticksPerSec
+}
+
+// ObserveCellSeconds folds one settled cell's wall time into the EWMA.
+func (m *CostModel) ObserveCellSeconds(s float64) {
+	if m == nil || s <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cellSeconds <= 0 {
+		m.cellSeconds = s
+		return
+	}
+	m.cellSeconds = costAlpha*s + (1-costAlpha)*m.cellSeconds
+}
+
+// EstimateRunSeconds converts a run's simulated tick count into
+// estimated wall seconds.
+func (m *CostModel) EstimateRunSeconds(ticks float64) float64 {
+	if m == nil || ticks <= 0 {
+		return 0
+	}
+	m.mu.Lock()
+	tps := m.ticksPerSec
+	m.mu.Unlock()
+	if tps <= 0 {
+		tps = DefaultTicksPerSecond
+	}
+	return ticks / tps
+}
+
+// EstimateCellSeconds returns the current per-cell wall estimate.
+func (m *CostModel) EstimateCellSeconds() float64 {
+	if m == nil {
+		return DefaultCellSeconds
+	}
+	m.mu.Lock()
+	s := m.cellSeconds
+	m.mu.Unlock()
+	if s <= 0 {
+		return DefaultCellSeconds
+	}
+	return s
+}

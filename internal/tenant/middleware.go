@@ -1,0 +1,86 @@
+package tenant
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// OnBehalfOfHeader lets an admin tenant attribute work to another
+// tenant name. The fleet dispatcher sets it when forwarding cells to
+// nodes so node-side metering and journals carry the originating
+// tenant even when the node doesn't share the fleet's tenant file.
+const OnBehalfOfHeader = "X-Mtat-Tenant"
+
+// Middleware authenticates /api/v1/* requests against reg and stores
+// the resolved *Tenant in the request context. Probes, /metrics, and
+// the debug surfaces stay unauthenticated — they are operational
+// endpoints scraped by infrastructure, not tenant actions. In
+// permissive mode (no config) everything maps to the anonymous admin
+// tenant, so daemons without -tenants behave exactly as before.
+func Middleware(reg *Registry, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/api/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		token, malformed := bearerToken(r)
+		if malformed {
+			reg.MeterAuthFailure()
+			writeAuthError(w, http.StatusUnauthorized, "malformed Authorization header (want Bearer <token>)")
+			return
+		}
+		t, err := reg.Authenticate(token)
+		if err != nil {
+			reg.MeterAuthFailure()
+			msg := "missing bearer token"
+			if err == ErrBadToken {
+				msg = "unknown token"
+			}
+			writeAuthError(w, http.StatusUnauthorized, msg)
+			return
+		}
+		if obo := r.Header.Get(OnBehalfOfHeader); obo != "" && obo != t.Name() {
+			if !t.IsAdmin() {
+				reg.MeterAuthFailure()
+				writeAuthError(w, http.StatusForbidden, "on-behalf-of attribution requires an admin tenant")
+				return
+			}
+			t = reg.Attribution(obo)
+		}
+		next.ServeHTTP(w, r.WithContext(NewContext(r.Context(), t)))
+	})
+}
+
+// bearerToken extracts the token from the Authorization header. The
+// second result is true for a present-but-malformed header, which is
+// rejected rather than silently treated as anonymous.
+func bearerToken(r *http.Request) (token string, malformed bool) {
+	h := strings.TrimSpace(r.Header.Get("Authorization"))
+	if h == "" {
+		return "", false
+	}
+	const prefix = "bearer "
+	if len(h) <= len(prefix) || !strings.EqualFold(h[:len(prefix)], prefix) {
+		return "", true
+	}
+	tok := strings.TrimSpace(h[len(prefix):])
+	if tok == "" {
+		return "", true
+	}
+	return tok, false
+}
+
+// writeAuthError emits the same JSON error envelope the API handlers
+// use ({"error": ...}) so clients parse one shape everywhere.
+func writeAuthError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusUnauthorized {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="mtat"`)
+	}
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

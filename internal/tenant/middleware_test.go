@@ -1,0 +1,117 @@
+package tenant
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+func authProbe(reg *Registry) (http.Handler, *string) {
+	var seen string
+	h := Middleware(reg, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t := FromContext(r.Context()); t != nil {
+			seen = t.Name()
+		} else {
+			seen = "<none>"
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	return h, &seen
+}
+
+func doReq(h http.Handler, path, token, obo string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("GET", path, nil)
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	if obo != "" {
+		req.Header.Set(OnBehalfOfHeader, obo)
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+func TestMiddlewareAuth(t *testing.T) {
+	reg, err := New(&Config{Tenants: []Spec{
+		{Name: "alpha", Token: "tok-a", Admin: true},
+		{Name: "beta", Token: "tok-b"},
+	}}, telemetry.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, seen := authProbe(reg)
+
+	if rr := doReq(h, "/api/v1/runs", "tok-a", ""); rr.Code != 200 || *seen != "alpha" {
+		t.Fatalf("good token: code %d tenant %q", rr.Code, *seen)
+	}
+	rr := doReq(h, "/api/v1/runs", "bad", "")
+	if rr.Code != http.StatusUnauthorized {
+		t.Fatalf("bad token code = %d, want 401", rr.Code)
+	}
+	if rr.Header().Get("WWW-Authenticate") == "" {
+		t.Error("401 missing WWW-Authenticate")
+	}
+	var env map[string]string
+	if err := json.Unmarshal(rr.Body.Bytes(), &env); err != nil || env["error"] == "" {
+		t.Errorf("401 body %q not the {error} envelope", rr.Body.String())
+	}
+	if rr := doReq(h, "/api/v1/runs", "", ""); rr.Code != http.StatusUnauthorized {
+		t.Fatalf("missing token code = %d, want 401", rr.Code)
+	}
+
+	// Malformed Authorization header is 401, not silently anonymous.
+	req := httptest.NewRequest("GET", "/api/v1/runs", nil)
+	req.Header.Set("Authorization", "Basic dXNlcg==")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusUnauthorized {
+		t.Fatalf("malformed auth code = %d, want 401", rec.Code)
+	}
+
+	// Non-API paths (probes, metrics) bypass auth entirely.
+	if rr := doReq(h, "/healthz", "", ""); rr.Code != 200 || *seen != "<none>" {
+		t.Fatalf("probe path: code %d tenant %q", rr.Code, *seen)
+	}
+	if rr := doReq(h, "/metrics", "", ""); rr.Code != 200 {
+		t.Fatalf("/metrics code = %d, want 200 without auth", rr.Code)
+	}
+}
+
+func TestMiddlewareOnBehalfOf(t *testing.T) {
+	reg, err := New(&Config{Tenants: []Spec{
+		{Name: "fleet", Token: "tok-f", Admin: true},
+		{Name: "user", Token: "tok-u"},
+	}}, telemetry.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, seen := authProbe(reg)
+
+	if rr := doReq(h, "/api/v1/runs", "tok-f", "user"); rr.Code != 200 || *seen != "user" {
+		t.Fatalf("admin obo: code %d tenant %q, want 200/user", rr.Code, *seen)
+	}
+	if rr := doReq(h, "/api/v1/runs", "tok-f", "someone-new"); rr.Code != 200 || *seen != "someone-new" {
+		t.Fatalf("admin obo new name: code %d tenant %q", rr.Code, *seen)
+	}
+	if rr := doReq(h, "/api/v1/runs", "tok-u", "fleet"); rr.Code != http.StatusForbidden {
+		t.Fatalf("non-admin obo code = %d, want 403", rr.Code)
+	}
+	// Self-attribution is a no-op, allowed for non-admins.
+	if rr := doReq(h, "/api/v1/runs", "tok-u", "user"); rr.Code != 200 || *seen != "user" {
+		t.Fatalf("self obo: code %d tenant %q", rr.Code, *seen)
+	}
+}
+
+func TestMiddlewarePermissive(t *testing.T) {
+	h, seen := authProbe(Permissive(telemetry.New()))
+	if rr := doReq(h, "/api/v1/runs", "", ""); rr.Code != 200 || *seen != AnonymousName {
+		t.Fatalf("permissive no-token: code %d tenant %q", rr.Code, *seen)
+	}
+	if rr := doReq(h, "/api/v1/runs", "anything", ""); rr.Code != 200 || *seen != AnonymousName {
+		t.Fatalf("permissive with token: code %d tenant %q", rr.Code, *seen)
+	}
+}

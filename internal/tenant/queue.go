@@ -1,0 +1,243 @@
+package tenant
+
+import "sync"
+
+// FairQueue is the dispatch queue that replaces the server's FIFO
+// channel. Ordering rules, mirroring the paper's LC/BE fast-memory
+// partitioning at the control-plane layer:
+//
+//   - Strict class priority: any queued LC-tenant item dispatches
+//     before any BE-tenant item.
+//   - Deficit round robin within a class: each tenant accrues deficit
+//     proportional to its weight every scheduling pass and pays 1 per
+//     dispatched item, so same-class tenants share worker slots in
+//     weight ratio and none starves.
+//   - MaxActive gating: a tenant at its active limit is skipped (not
+//     dequeued), letting lower-priority tenants run; callers invoke
+//     Notify when active counts drop so blocked Pops re-evaluate.
+//
+// Pop blocks until an item is dispatchable or the queue is closed and
+// drained. The queue is unbounded — admission control (Tenant.Admit
+// plus the manager's global cap) bounds what gets in.
+type FairQueue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	size   int
+	// rings[0] holds LC tenants with queued items, rings[1] BE.
+	rings [2]ring[T]
+	subs  map[string]*subQueue[T]
+}
+
+type subQueue[T any] struct {
+	t       *Tenant
+	items   []T
+	head    int
+	deficit float64
+	ringed  bool
+}
+
+type ring[T any] struct {
+	subs   []*subQueue[T]
+	cursor int
+}
+
+// quantumFloor bounds how small a weight can make a tenant's
+// per-pass deficit accrual, bounding the DRR scan.
+const quantumFloor = 1.0 / 64
+
+// drrMaxPasses bounds one scheduling scan: enough full passes for the
+// smallest quantum to accrue a whole unit of deficit.
+const drrMaxPasses = int(1/quantumFloor) + 2
+
+// NewFairQueue returns an empty open queue.
+func NewFairQueue[T any]() *FairQueue[T] {
+	q := &FairQueue[T]{subs: make(map[string]*subQueue[T])}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func classIndex(c Class) int {
+	if c == ClassLC {
+		return 0
+	}
+	return 1
+}
+
+// Push enqueues item for tenant t. Pushing to a closed queue is a
+// no-op returning false (the caller has already failed the submission
+// path by then).
+func (q *FairQueue[T]) Push(t *Tenant, item T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	name := t.Name()
+	sub := q.subs[name]
+	if sub == nil {
+		sub = &subQueue[T]{t: t}
+		q.subs[name] = sub
+	}
+	sub.items = append(sub.items, item)
+	if !sub.ringed {
+		r := &q.rings[classIndex(sub.t.Class())]
+		r.subs = append(r.subs, sub)
+		sub.ringed = true
+	}
+	q.size++
+	q.cond.Broadcast()
+	return true
+}
+
+// Pop blocks until it can return the next dispatchable item. The
+// second result is false once the queue is closed and empty. Items
+// gated by MaxActive on a closed queue are still waited for — callers
+// Notify as active counts drop, so a draining server finishes its
+// backlog instead of stranding gated runs.
+func (q *FairQueue[T]) Pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if item, ok := q.popLocked(); ok {
+			return item, true
+		}
+		if q.closed && q.size == 0 {
+			var zero T
+			return zero, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// TryPop is Pop without blocking.
+func (q *FairQueue[T]) TryPop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.popLocked()
+}
+
+func (q *FairQueue[T]) popLocked() (T, bool) {
+	for class := range q.rings {
+		if item, ok := q.popClassLocked(&q.rings[class]); ok {
+			return item, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+func (q *FairQueue[T]) popClassLocked(r *ring[T]) (T, bool) {
+	var zero T
+	if len(r.subs) == 0 {
+		return zero, false
+	}
+	// Bounded DRR scan. Each iteration either serves an item, drops a
+	// drained sub from the ring, or advances the cursor (accruing
+	// deficit for eligible tenants); drrMaxPasses full passes guarantee
+	// any eligible tenant reaches a whole deficit unit.
+	steps := len(r.subs) * drrMaxPasses
+	for i := 0; i <= steps && len(r.subs) > 0; i++ {
+		if r.cursor >= len(r.subs) {
+			r.cursor = 0
+		}
+		sub := r.subs[r.cursor]
+		if sub.head >= len(sub.items) {
+			q.dropLocked(r, sub)
+			continue
+		}
+		if !sub.t.CanStart() {
+			// At MaxActive: hold without accruing deficit so the held
+			// backlog doesn't burst when the limit clears.
+			r.cursor++
+			continue
+		}
+		if sub.deficit < 1 {
+			quantum := sub.t.Weight()
+			if quantum < quantumFloor {
+				quantum = quantumFloor
+			}
+			sub.deficit += quantum
+			if sub.deficit > 1+quantum {
+				sub.deficit = 1 + quantum
+			}
+			r.cursor++
+			continue
+		}
+		sub.deficit--
+		item := sub.items[sub.head]
+		var zeroT T
+		sub.items[sub.head] = zeroT // release for GC
+		sub.head++
+		q.size--
+		if sub.head >= len(sub.items) {
+			q.dropLocked(r, sub)
+		}
+		return item, true
+	}
+	return zero, false
+}
+
+// dropLocked removes a drained sub from its ring (keeping the cursor
+// pointing at the next sub) and resets its backlog storage.
+func (q *FairQueue[T]) dropLocked(r *ring[T], sub *subQueue[T]) {
+	for i, s := range r.subs {
+		if s == sub {
+			r.subs = append(r.subs[:i], r.subs[i+1:]...)
+			if r.cursor > i {
+				r.cursor--
+			}
+			break
+		}
+	}
+	sub.ringed = false
+	sub.deficit = 0
+	sub.items = sub.items[:0]
+	sub.head = 0
+}
+
+// Len returns the number of queued items.
+func (q *FairQueue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// Notify wakes blocked Pops to re-evaluate MaxActive gating (call when
+// a tenant's active count drops or quotas were reloaded).
+func (q *FairQueue[T]) Notify() {
+	q.mu.Lock()
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Close stops the queue: Pops drain remaining dispatchable items then
+// return false; Pushes are rejected.
+func (q *FairQueue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Drain empties the queue, returning every still-queued item (used at
+// shutdown to cancel unstarted work). Order is arbitrary.
+func (q *FairQueue[T]) Drain() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []T
+	for _, sub := range q.subs {
+		for i := sub.head; i < len(sub.items); i++ {
+			out = append(out, sub.items[i])
+		}
+		sub.items = nil
+		sub.head = 0
+		sub.ringed = false
+		sub.deficit = 0
+	}
+	q.rings[0] = ring[T]{}
+	q.rings[1] = ring[T]{}
+	q.size = 0
+	q.cond.Broadcast()
+	return out
+}

@@ -1,0 +1,265 @@
+package tenant
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+func testRegistry(t *testing.T, cfg *Config) *Registry {
+	t.Helper()
+	r, err := New(cfg, telemetry.New())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return r
+}
+
+func TestFairQueueLCBeforeBE(t *testing.T) {
+	r := testRegistry(t, &Config{Tenants: []Spec{
+		{Name: "lc1", Token: "a", Class: ClassLC},
+		{Name: "be1", Token: "b", Class: ClassBE},
+	}})
+	q := NewFairQueue[int]()
+	lc, be := r.Resolve("lc1"), r.Resolve("be1")
+	// BE pushed first; LC must still come out first.
+	q.Push(be, 100)
+	q.Push(be, 101)
+	q.Push(lc, 1)
+	q.Push(lc, 2)
+	want := []int{1, 2, 100, 101}
+	for i, w := range want {
+		got, ok := q.TryPop()
+		if !ok || got != w {
+			t.Fatalf("pop %d = %d,%v want %d", i, got, ok, w)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func TestFairQueueDRRWeights(t *testing.T) {
+	r := testRegistry(t, &Config{Tenants: []Spec{
+		{Name: "heavy", Token: "a", Class: ClassBE, Weight: 2},
+		{Name: "light", Token: "b", Class: ClassBE, Weight: 1},
+	}})
+	q := NewFairQueue[string]()
+	heavy, light := r.Resolve("heavy"), r.Resolve("light")
+	for i := 0; i < 30; i++ {
+		q.Push(heavy, "h")
+		q.Push(light, "l")
+	}
+	// Over the first 18 dispatches the 2:1 weight ratio must show: the
+	// heavy tenant gets roughly twice the slots, and neither tenant is
+	// completely shut out (no starvation).
+	counts := map[string]int{}
+	for i := 0; i < 18; i++ {
+		v, ok := q.TryPop()
+		if !ok {
+			t.Fatalf("queue drained early at %d", i)
+		}
+		counts[v]++
+	}
+	if counts["h"] < 10 || counts["h"] > 14 {
+		t.Errorf("heavy got %d of 18 slots, want ~12 (2:1 weights)", counts["h"])
+	}
+	if counts["l"] < 4 {
+		t.Errorf("light got %d of 18 slots — starving under DRR", counts["l"])
+	}
+}
+
+func TestFairQueueInterleavesEqualWeights(t *testing.T) {
+	r := testRegistry(t, &Config{Tenants: []Spec{
+		{Name: "t-a", Token: "a", Class: ClassBE},
+		{Name: "t-b", Token: "b", Class: ClassBE},
+	}})
+	q := NewFairQueue[string]()
+	a, b := r.Resolve("t-a"), r.Resolve("t-b")
+	// All of a's items pushed before any of b's: FIFO would emit
+	// aaaa bbbb; DRR must alternate.
+	for i := 0; i < 4; i++ {
+		q.Push(a, "a")
+	}
+	for i := 0; i < 4; i++ {
+		q.Push(b, "b")
+	}
+	var seq []string
+	for {
+		v, ok := q.TryPop()
+		if !ok {
+			break
+		}
+		seq = append(seq, v)
+	}
+	if len(seq) != 8 {
+		t.Fatalf("drained %d items, want 8", len(seq))
+	}
+	maxRun, run := 1, 1
+	for i := 1; i < len(seq); i++ {
+		if seq[i] == seq[i-1] {
+			run++
+		} else {
+			run = 1
+		}
+		if run > maxRun {
+			maxRun = run
+		}
+	}
+	if maxRun > 2 {
+		t.Errorf("dispatch order %v has a same-tenant run of %d; DRR should interleave", seq, maxRun)
+	}
+}
+
+func TestFairQueueMaxActiveGating(t *testing.T) {
+	r := testRegistry(t, &Config{Tenants: []Spec{
+		{Name: "capped", Token: "a", Class: ClassLC, Quota: Quota{MaxActive: 1}},
+		{Name: "free", Token: "b", Class: ClassBE},
+	}})
+	q := NewFairQueue[string]()
+	capped, free := r.Resolve("capped"), r.Resolve("free")
+	q.Push(capped, "c1")
+	q.Push(capped, "c2")
+	q.Push(free, "f1")
+
+	v, ok := q.TryPop()
+	if !ok || v != "c1" {
+		t.Fatalf("first pop = %q,%v want c1", v, ok)
+	}
+	capped.NoteStarted(1) // capped now at MaxActive
+
+	// LC tenant is gated; BE must flow through instead of blocking.
+	v, ok = q.TryPop()
+	if !ok || v != "f1" {
+		t.Fatalf("gated pop = %q,%v want f1 (BE passes a gated LC)", v, ok)
+	}
+	if v, ok = q.TryPop(); ok {
+		t.Fatalf("pop returned %q while capped tenant at MaxActive", v)
+	}
+
+	capped.NoteDone(1, 0)
+	q.Notify()
+	v, ok = q.TryPop()
+	if !ok || v != "c2" {
+		t.Fatalf("post-release pop = %q,%v want c2", v, ok)
+	}
+}
+
+func TestFairQueueBlockingPopAndClose(t *testing.T) {
+	r := testRegistry(t, nil)
+	q := NewFairQueue[int]()
+	got := make(chan int, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, ok := q.Pop()
+		if ok {
+			got <- v
+		}
+		close(got)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Push(r.Anonymous(), 42)
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("Pop = %d, want 42", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Pop never woke on Push")
+	}
+	wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		if _, ok := q.Pop(); ok {
+			t.Error("Pop on closed empty queue returned ok")
+		}
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pop did not return after Close")
+	}
+	if q.Push(r.Anonymous(), 1) {
+		t.Error("Push accepted after Close")
+	}
+}
+
+func TestFairQueueDrain(t *testing.T) {
+	r := testRegistry(t, &Config{Tenants: []Spec{
+		{Name: "t-a", Token: "a", Class: ClassLC},
+		{Name: "t-b", Token: "b", Class: ClassBE},
+	}})
+	q := NewFairQueue[int]()
+	q.Push(r.Resolve("t-a"), 1)
+	q.Push(r.Resolve("t-b"), 2)
+	q.Push(r.Resolve("t-b"), 3)
+	out := q.Drain()
+	if len(out) != 3 || q.Len() != 0 {
+		t.Fatalf("Drain = %v (len now %d), want 3 items and empty queue", out, q.Len())
+	}
+	sum := 0
+	for _, v := range out {
+		sum += v
+	}
+	if sum != 6 {
+		t.Fatalf("Drain items %v, want {1,2,3}", out)
+	}
+}
+
+func TestFairQueueConcurrent(t *testing.T) {
+	r := testRegistry(t, &Config{Tenants: []Spec{
+		{Name: "lc1", Token: "a", Class: ClassLC, Weight: 3},
+		{Name: "be1", Token: "b", Class: ClassBE},
+		{Name: "be2", Token: "c", Class: ClassBE, Weight: 0.5},
+	}})
+	q := NewFairQueue[int]()
+	const perTenant = 200
+	var pushers sync.WaitGroup
+	for _, name := range []string{"lc1", "be1", "be2"} {
+		tn := r.Resolve(name)
+		pushers.Add(1)
+		go func() {
+			defer pushers.Done()
+			for i := 0; i < perTenant; i++ {
+				q.Push(tn, i)
+			}
+		}()
+	}
+	var popped sync.WaitGroup
+	total := 3 * perTenant
+	count := make(chan struct{}, total)
+	for w := 0; w < 4; w++ {
+		popped.Add(1)
+		go func() {
+			defer popped.Done()
+			for {
+				if _, ok := q.Pop(); !ok {
+					return
+				}
+				count <- struct{}{}
+			}
+		}()
+	}
+	pushers.Wait()
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < total; i++ {
+		select {
+		case <-count:
+		case <-deadline:
+			t.Fatalf("only %d of %d items popped before timeout", i, total)
+		}
+	}
+	q.Close()
+	popped.Wait()
+	if q.Len() != 0 {
+		t.Fatalf("queue length %d after full drain", q.Len())
+	}
+}

@@ -1,0 +1,266 @@
+package tenant
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+func TestPermissiveRegistry(t *testing.T) {
+	r := Permissive(telemetry.New())
+	if !r.IsPermissive() {
+		t.Fatal("Permissive registry not permissive")
+	}
+	anon, err := r.Authenticate("")
+	if err != nil || anon.Name() != AnonymousName {
+		t.Fatalf("empty-token auth = %v, %v", anon, err)
+	}
+	if !anon.IsAdmin() {
+		t.Error("permissive anonymous should be admin (single-operator mode)")
+	}
+	// Any token maps to anonymous in permissive mode so tokenized
+	// clients keep working against unconfigured daemons.
+	tok, err := r.Authenticate("whatever")
+	if err != nil || tok != anon {
+		t.Fatalf("token auth in permissive mode = %v, %v", tok, err)
+	}
+	if err := anon.Admit(AdmitRequest{Units: 1000, CostSeconds: 1e9}); err != nil {
+		t.Fatalf("permissive anonymous rejected a submission: %v", err)
+	}
+}
+
+func TestAuthenticate(t *testing.T) {
+	r := testRegistry(t, &Config{Tenants: []Spec{
+		{Name: "alpha", Token: "tok-a", Class: ClassLC},
+	}})
+	if got, err := r.Authenticate("tok-a"); err != nil || got.Name() != "alpha" {
+		t.Fatalf("Authenticate(tok-a) = %v, %v", got, err)
+	}
+	if _, err := r.Authenticate("nope"); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("unknown token err = %v, want ErrBadToken", err)
+	}
+	if _, err := r.Authenticate(""); !errors.Is(err, ErrNoToken) {
+		t.Fatalf("empty token err = %v, want ErrNoToken (AllowAnonymous off)", err)
+	}
+
+	anon := testRegistry(t, &Config{AllowAnonymous: true, Tenants: []Spec{
+		{Name: "alpha", Token: "tok-a"},
+	}})
+	got, err := anon.Authenticate("")
+	if err != nil || got.Name() != AnonymousName {
+		t.Fatalf("anonymous auth = %v, %v", got, err)
+	}
+	if got.IsAdmin() {
+		t.Error("configured anonymous tenant must not be admin")
+	}
+}
+
+func TestAdmitQuotas(t *testing.T) {
+	r := testRegistry(t, &Config{Tenants: []Spec{
+		{Name: "q", Token: "t", Quota: Quota{MaxQueued: 2, MaxSweepCells: 4, MaxPendingSeconds: 10}},
+	}})
+	tn := r.Resolve("q")
+
+	if err := tn.Admit(AdmitRequest{Units: 1, CostSeconds: 3}); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if err := tn.Admit(AdmitRequest{Units: 1, CostSeconds: 3}); err != nil {
+		t.Fatalf("second admit: %v", err)
+	}
+	var qe *QuotaError
+	err := tn.Admit(AdmitRequest{Units: 1})
+	if !errors.As(err, &qe) || qe.Reason != ReasonQueued {
+		t.Fatalf("over-queue admit = %v, want QuotaError{queued}", err)
+	}
+	if qe.RetryAfter <= 0 {
+		t.Error("QuotaError missing RetryAfter")
+	}
+
+	tn.NoteStarted(1)
+	tn.NoteDone(1, 3)
+	tn.NoteStarted(1)
+	tn.NoteDone(1, 3)
+
+	err = tn.Admit(AdmitRequest{Units: 8, Sweep: true})
+	if !errors.As(err, &qe) || qe.Reason != ReasonSweepCells {
+		t.Fatalf("over-cells admit = %v, want QuotaError{sweep_cells}", err)
+	}
+	err = tn.Admit(AdmitRequest{Units: 1, CostSeconds: 50})
+	if !errors.As(err, &qe) || qe.Reason != ReasonCost {
+		t.Fatalf("over-cost admit = %v, want QuotaError{cost}", err)
+	}
+
+	u := tn.Usage()
+	if u.Rejected != 3 {
+		t.Errorf("rejected = %d, want 3", u.Rejected)
+	}
+	if u.Runs != 2 {
+		t.Errorf("runs_total = %d, want 2", u.Runs)
+	}
+}
+
+func TestAdmitRateLimit(t *testing.T) {
+	r := testRegistry(t, &Config{Tenants: []Spec{
+		{Name: "rl", Token: "t", Quota: Quota{RatePerSec: 0.5, Burst: 2}},
+	}})
+	tn := r.Resolve("rl")
+	for i := 0; i < 2; i++ {
+		if err := tn.Admit(AdmitRequest{Units: 1}); err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+	}
+	var qe *QuotaError
+	err := tn.Admit(AdmitRequest{Units: 1})
+	if !errors.As(err, &qe) || qe.Reason != ReasonRate {
+		t.Fatalf("rate-limited admit = %v, want QuotaError{rate}", err)
+	}
+	// At 0.5 tokens/sec an empty bucket needs ~2s for the next token.
+	if qe.RetryAfter < time.Second || qe.RetryAfter > 3*time.Second {
+		t.Errorf("RetryAfter = %v, want ~2s", qe.RetryAfter)
+	}
+}
+
+func TestBucketRefill(t *testing.T) {
+	b := newBucket(10, 1)
+	now := time.Now()
+	if ok, _ := b.take(now); !ok {
+		t.Fatal("fresh bucket denied its burst")
+	}
+	if ok, wait := b.take(now); ok || wait <= 0 {
+		t.Fatalf("empty bucket admitted (wait=%v)", wait)
+	}
+	if ok, _ := b.take(now.Add(150 * time.Millisecond)); !ok {
+		t.Fatal("bucket did not refill at 10/s after 150ms")
+	}
+	var nilB *bucket
+	if ok, _ := nilB.take(now); !ok {
+		t.Fatal("nil bucket (unlimited) denied")
+	}
+}
+
+func TestReloadPreservesAccounting(t *testing.T) {
+	r := testRegistry(t, &Config{Tenants: []Spec{
+		{Name: "keep", Token: "tok-1", Class: ClassBE, Quota: Quota{MaxQueued: 10}},
+		{Name: "drop", Token: "tok-2"},
+	}})
+	keep := r.Resolve("keep")
+	if err := keep.Admit(AdmitRequest{Units: 3, CostSeconds: 7}); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+
+	err := r.Reload(Config{Tenants: []Spec{
+		{Name: "keep", Token: "tok-1-rotated", Class: ClassLC, Quota: Quota{MaxQueued: 5}},
+		{Name: "new", Token: "tok-3"},
+	}})
+	if err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+
+	if got := r.Resolve("keep"); got != keep {
+		t.Fatal("Reload replaced the tenant pointer; in-flight accounting would detach")
+	}
+	if keep.Class() != ClassLC {
+		t.Errorf("class after reload = %q, want lc", keep.Class())
+	}
+	u := keep.Usage()
+	if u.Queued != 3 || u.PendingSeconds != 7 {
+		t.Errorf("usage after reload = %+v, want queued 3 pending 7", u)
+	}
+	if _, err := r.Authenticate("tok-1"); !errors.Is(err, ErrBadToken) {
+		t.Error("rotated-out token still authenticates")
+	}
+	if got, err := r.Authenticate("tok-1-rotated"); err != nil || got != keep {
+		t.Errorf("rotated token auth = %v, %v", got, err)
+	}
+	if _, err := r.Authenticate("tok-2"); !errors.Is(err, ErrBadToken) {
+		t.Error("removed tenant's token still authenticates")
+	}
+	if r.Resolve("drop") != nil {
+		t.Error("removed tenant still resolvable")
+	}
+	if r.Generation() != 2 {
+		t.Errorf("generation = %d, want 2", r.Generation())
+	}
+
+	if err := r.Reload(Config{}); err == nil {
+		t.Error("Reload accepted an invalid (empty) config")
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	r := testRegistry(t, &Config{Tenants: []Spec{{Name: "real", Token: "t"}}})
+	if got := r.Attribution("real"); got != r.Resolve("real") {
+		t.Error("Attribution of a configured tenant should resolve it")
+	}
+	ghost := r.Attribution("ghost")
+	if ghost == nil || ghost.Name() != "ghost" || ghost.Class() != ClassBE {
+		t.Fatalf("Attribution(ghost) = %+v", ghost)
+	}
+	if ghost != r.Attribution("ghost") {
+		t.Error("Attribution not stable across calls")
+	}
+	if r.Attribution("") != r.Anonymous() || r.Attribution("Bad Name!") != r.Anonymous() {
+		t.Error("invalid attribution names should fall back to anonymous")
+	}
+	// Attribution tenants must not gain authentication.
+	if _, err := r.Authenticate("ghost"); !errors.Is(err, ErrBadToken) {
+		t.Error("attribution tenant leaked into token auth")
+	}
+}
+
+func TestMeteringSeries(t *testing.T) {
+	tel := telemetry.New()
+	r, err := New(&Config{Tenants: []Spec{
+		{Name: "m", Token: "t", Quota: Quota{MaxQueued: 1}},
+	}}, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := r.Resolve("m")
+	if err := tn.Admit(AdmitRequest{Units: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_ = tn.Admit(AdmitRequest{Units: 1}) // rejected: queued
+	tn.ObserveQueueWait(0.25)
+
+	snap := tel.Metrics().Snapshot()
+	if got := snap.Counters[`tenant_runs_total{tenant="m"}`]; got != 1 {
+		t.Errorf("tenant_runs_total = %d, want 1", got)
+	}
+	if got := snap.Counters[`tenant_rejected_total{reason="queued",tenant="m"}`] +
+		snap.Counters[`tenant_rejected_total{tenant="m",reason="queued"}`]; got != 1 {
+		for k := range snap.Counters {
+			if strings.HasPrefix(k, "tenant_rejected") {
+				t.Logf("series: %s", k)
+			}
+		}
+		t.Errorf("tenant_rejected_total{queued} = %d, want 1", got)
+	}
+	found := false
+	for k := range snap.Histograms {
+		if strings.HasPrefix(k, "tenant_queue_wait_seconds{") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("tenant_queue_wait_seconds histogram not registered")
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := map[time.Duration]string{
+		0:                       "1",
+		300 * time.Millisecond:  "1",
+		time.Second:             "1",
+		1100 * time.Millisecond: "2",
+		5 * time.Second:         "5",
+	}
+	for d, want := range cases {
+		if got := RetryAfterSeconds(d); got != want {
+			t.Errorf("RetryAfterSeconds(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
