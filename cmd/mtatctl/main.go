@@ -21,6 +21,7 @@
 //	mtatctl -token $ADMIN tenants apply -f tenants.json      # hot-reload the tenant config
 //
 //	mtatctl sweep submit -f sweep.json -wait                 # shard a sweep across the fleet
+//	mtatctl sweep run -f sweep.json -workers 8               # no fleet needed: parallel in-process cells
 //	mtatctl sweep status [s000001]                           # list sweeps / one sweep's JSON
 //	mtatctl sweep info                                       # fleet stats (nodes, recovered cells)
 //	mtatctl sweep wait -timeout 10m s000001
@@ -81,7 +82,7 @@ func usage(fs *flag.FlagSet) func() {
 			"  logs     stream a run's trace as JSONL\n"+
 			"  cancel   cancel a queued or running run\n"+
 			"  tenants  list tenant usage or hot-reload the tenant config (list|usage|apply)\n"+
-			"  sweep    drive a mtatfleet scheduler (submit|status|wait|results|nodes|cancel)\n"+
+			"  sweep    drive a mtatfleet scheduler (submit|run|status|wait|results|nodes|cancel)\n"+
 			"  experiment  run a hypothesis experiment to a statistical verdict (run|status|report)\n"+
 			"  trace    render a distributed trace tree (run ID, sweep ID, or 32-hex trace ID)\n"+
 			"  metrics  scrape a daemon's /metrics (-node URL, -format json|prom)\n"+

@@ -16,11 +16,13 @@ import (
 // cmdSweep dispatches the mtatfleet subcommand family.
 func cmdSweep(ctx context.Context, c *cluster.Client, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("sweep: missing subcommand (submit|status|info|wait|results|nodes|cancel)")
+		return fmt.Errorf("sweep: missing subcommand (submit|run|status|info|wait|results|nodes|cancel)")
 	}
 	switch args[0] {
 	case "submit":
 		return cmdSweepSubmit(ctx, c, args[1:])
+	case "run":
+		return cmdSweepRun(ctx, args[1:])
 	case "status":
 		return cmdSweepStatus(ctx, c, args[1:])
 	case "info":
@@ -34,8 +36,76 @@ func cmdSweep(ctx context.Context, c *cluster.Client, args []string) error {
 	case "cancel":
 		return cmdSweepCancel(ctx, c, args[1:])
 	default:
-		return fmt.Errorf("sweep: unknown subcommand %q (submit|status|info|wait|results|nodes|cancel)", args[0])
+		return fmt.Errorf("sweep: unknown subcommand %q (submit|run|status|info|wait|results|nodes|cancel)", args[0])
 	}
+}
+
+// cmdSweepRun expands a sweep spec and executes every cell locally,
+// in-process, on a bounded worker pool — no fleet or daemon required.
+// Cells are deterministic per seed, so -workers only changes wall-clock
+// time, never results.
+func cmdSweepRun(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("mtatctl sweep run", flag.ContinueOnError)
+	var (
+		specPath = fs.String("f", "", `sweep spec JSON file ("-" for stdin; required)`)
+		workers  = fs.Int("workers", 0, "parallel cells (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("sweep run: -f spec file required")
+	}
+	data, err := readSpecFile(*specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := sim.ParseSweepSpec(data)
+	if err != nil {
+		return err
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "running %d cells with %d workers\n", len(cells), *workers)
+	start := time.Now()
+	results := sim.RunCells(ctx, cells, *workers, false)
+	fmt.Fprintf(os.Stderr, "finished in %s\n", time.Since(start).Round(time.Millisecond))
+	type row struct {
+		Index         int     `json:"index"`
+		Label         string  `json:"label"`
+		Policy        string  `json:"policy,omitempty"`
+		ViolationRate float64 `json:"violation_rate"`
+		MeanP99       float64 `json:"mean_p99_s"`
+		SLOMet        bool    `json:"slo_met"`
+		BEFairness    float64 `json:"be_fairness"`
+		BEThroughput  float64 `json:"be_throughput"`
+		Error         string  `json:"error,omitempty"`
+	}
+	rows := make([]row, 0, len(results))
+	var firstErr error
+	for _, cr := range results {
+		r := row{Index: cr.Index, Label: cr.Label}
+		if cr.Err != nil {
+			r.Error = cr.Err.Error()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cell %d (%s): %w", cr.Index, cr.Label, cr.Err)
+			}
+		} else {
+			r.Policy = cr.Result.Policy
+			r.ViolationRate = cr.Result.LCViolationRate
+			r.MeanP99 = cr.Result.LCMeanP99
+			r.SLOMet = cr.Result.SLOMet
+			r.BEFairness = cr.Result.BEFairness
+			r.BEThroughput = cr.Result.BEThroughput
+		}
+		rows = append(rows, r)
+	}
+	if err := printJSON(rows); err != nil {
+		return err
+	}
+	return firstErr
 }
 
 // cmdSweepInfo prints the fleet's stats — node pool size, sweep counts,

@@ -38,6 +38,8 @@ type PPE struct {
 	builder hist.Builder
 	promote []mem.PageID
 	demote  []mem.PageID
+	hot     []mem.PageID // HotSplitInto scratch
+	cold    []mem.PageID
 	bePool  []mem.WorkloadID
 
 	// tel holds the observability handles (zero value = no-op); now is
@@ -295,17 +297,17 @@ func (e *PPE) enforce(ctx *policy.Context) {
 // refineWorkload keeps the hottest `target` pages of one workload resident.
 func (e *PPE) refineWorkload(sys *mem.System, id mem.WorkloadID, target int) {
 	_, _, unified := e.builder.Build(sys, id)
-	hot, cold := unified.HotSplit(target)
+	e.hot, e.cold = unified.HotSplitInto(e.hot, e.cold, target)
 	e.promote = e.promote[:0]
-	for _, pid := range hot {
-		if sys.Page(pid).Tier == mem.TierSMem {
+	for _, pid := range e.hot {
+		if !sys.PageInFMem(pid) {
 			e.promote = append(e.promote, pid)
 		}
 	}
 	e.demote = e.demote[:0]
-	for i := len(cold) - 1; i >= 0; i-- {
-		if sys.Page(cold[i]).Tier == mem.TierFMem {
-			e.demote = append(e.demote, cold[i])
+	for i := len(e.cold) - 1; i >= 0; i-- {
+		if sys.PageInFMem(e.cold[i]) {
+			e.demote = append(e.demote, e.cold[i])
 		}
 	}
 	promoted, demoted := sys.Exchange(e.promote, e.demote)
@@ -318,20 +320,20 @@ func (e *PPE) refinePool(sys *mem.System, ids []mem.WorkloadID, capacity int) {
 	e.h.Reset()
 	for _, id := range ids {
 		for _, pid := range sys.WorkloadPages(id) {
-			e.h.Add(pid, sys.Page(pid).Hotness)
+			e.h.Add(pid, sys.PageHotness(pid))
 		}
 	}
-	hot, cold := e.h.HotSplit(capacity)
+	e.hot, e.cold = e.h.HotSplitInto(e.hot, e.cold, capacity)
 	e.promote = e.promote[:0]
-	for _, pid := range hot {
-		if sys.Page(pid).Tier == mem.TierSMem {
+	for _, pid := range e.hot {
+		if !sys.PageInFMem(pid) {
 			e.promote = append(e.promote, pid)
 		}
 	}
 	e.demote = e.demote[:0]
-	for i := len(cold) - 1; i >= 0; i-- {
-		if sys.Page(cold[i]).Tier == mem.TierFMem {
-			e.demote = append(e.demote, cold[i])
+	for i := len(e.cold) - 1; i >= 0; i-- {
+		if sys.PageInFMem(e.cold[i]) {
+			e.demote = append(e.demote, e.cold[i])
 		}
 	}
 	promoted, demoted := sys.Exchange(e.promote, e.demote)
@@ -385,8 +387,8 @@ func (e *PPE) appendColdestFMemOf(sys *mem.System, ids []mem.WorkloadID, n int) 
 	e.h.Reset()
 	for _, id := range ids {
 		for _, pid := range sys.WorkloadPages(id) {
-			if sys.Page(pid).Tier == mem.TierFMem {
-				e.h.Add(pid, sys.Page(pid).Hotness)
+			if sys.PageInFMem(pid) {
+				e.h.Add(pid, sys.PageHotness(pid))
 			}
 		}
 	}

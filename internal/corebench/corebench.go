@@ -76,10 +76,16 @@ func Benches() []Bench {
 	return []Bench{
 		{"mem/migrate", benchMemMigrate},
 		{"mem/exchange", benchMemExchange},
+		{"mem/age", benchMemAge},
+		{"mem/age_ref", benchMemAgeRef},
 		{"hist/build", benchHistBuild},
 		{"hist/hotsplit", benchHistHotSplit},
 		{"pebs/record", benchPEBSRecord},
+		{"pebs/record_ref", benchPEBSRecordRef},
 		{"queue/tick", benchQueueTick},
+		{"queue/tick_ref", benchQueueTickRef},
+		{"queue/quantile", benchQueueQuantile},
+		{"queue/quantile_ref", benchQueueQuantileRef},
 		{"flight/record", benchFlightRecord},
 	}
 }
@@ -160,6 +166,31 @@ func benchMemExchange(b *testing.B) {
 	}
 }
 
+// benchMemAge measures one AgeHotness pass over the 2048-page workload on
+// the default lazy-epoch path: an O(1) epoch bump, with the halving folded
+// into later reads.
+func benchMemAge(b *testing.B) {
+	sys, _ := benchSystem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.AgeHotness()
+	}
+}
+
+// benchMemAgeRef measures the same pass on the retained reference path —
+// the seed core's eager O(pages) halving sweep. The mem/age vs
+// mem/age_ref gap is the headline win of the lazy-aging rewrite.
+func benchMemAgeRef(b *testing.B) {
+	sys, _ := benchSystem()
+	sys.SetEagerAging(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.AgeHotness()
+	}
+}
+
 // benchHistBuild rebuilds the three §3.3.2 histograms over the 2048-page
 // workload — the per-partition-interval classification scan.
 func benchHistBuild(b *testing.B) {
@@ -205,6 +236,28 @@ func benchPEBSRecord(b *testing.B) {
 	}
 }
 
+// benchPEBSRecordRef is benchPEBSRecord on the retained reference dedup
+// path (the seed core's per-tick map rebuild), for side-by-side evidence
+// in the report.
+func benchPEBSRecordRef(b *testing.B) {
+	sys, w := benchSystem()
+	sampler, err := pebs.NewSampler(sys, 0.01, benchSeed)
+	if err != nil {
+		panic(fmt.Sprintf("corebench: %v", err))
+	}
+	sampler.SetReferenceDedup(true)
+	d, err := dist.NewZipf(1<<20, 0.99)
+	if err != nil {
+		panic(fmt.Sprintf("corebench: %v", err))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sampler.BeginTick()
+		sampler.RecordAccesses(w, d, 10_000)
+	}
+}
+
 // benchQueueTick runs one M/G/c tick (Erlang-C + 2048 Monte Carlo sojourn
 // draws) at 80% utilization — the LC latency model's per-tick cost.
 func benchQueueTick(b *testing.B) {
@@ -221,6 +274,78 @@ func benchQueueTick(b *testing.B) {
 			panic(fmt.Sprintf("corebench: %v", err))
 		}
 		m.ResetBacklog()
+	}
+}
+
+// benchQueueTickRef is benchQueueTick on the retained reference quantile
+// path (per-tick draw allocation + full shell sort), for side-by-side
+// evidence in the report.
+func benchQueueTickRef(b *testing.B) {
+	m, err := queue.NewModel(16, benchSeed)
+	if err != nil {
+		panic(fmt.Sprintf("corebench: %v", err))
+	}
+	m.SetReferenceQuantiles(true)
+	svc := queue.ExponentialService(500e-6)
+	rate := 0.8 * 16 / 500e-6
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Tick(rate, 0.1, svc, 0.002); err != nil {
+			panic(fmt.Sprintf("corebench: %v", err))
+		}
+		m.ResetBacklog()
+	}
+}
+
+// benchQuantileDraws builds one tick's worth of deterministic sojourn
+// draws for the quantile-kernel benchmarks (2048, matching the Monte
+// Carlo buffer the queue model extracts quantiles from every tick).
+func benchQuantileDraws() []float64 {
+	draws := make([]float64, 2048)
+	x := uint64(benchSeed)
+	for i := range draws {
+		x = x*6364136223846793005 + 1442695040888963407
+		draws[i] = float64(x>>11) / (1 << 53)
+	}
+	return draws
+}
+
+// benchQueueQuantile measures the per-tick quantile kernel in isolation
+// (quickselect for P50 then P99). Tick-level numbers are dominated by
+// draw generation, which both quantile paths share; this pair isolates
+// the sort→select swap. The pristine buffer is re-copied each iteration
+// because the kernel reorders it in place.
+func benchQueueQuantile(b *testing.B) {
+	m, err := queue.NewModel(16, benchSeed)
+	if err != nil {
+		panic(fmt.Sprintf("corebench: %v", err))
+	}
+	pristine := benchQuantileDraws()
+	draws := make([]float64, len(pristine))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(draws, pristine)
+		m.Quantiles(draws)
+	}
+}
+
+// benchQueueQuantileRef is benchQueueQuantile on the retained reference
+// path (full shell sort), for side-by-side evidence in the report.
+func benchQueueQuantileRef(b *testing.B) {
+	m, err := queue.NewModel(16, benchSeed)
+	if err != nil {
+		panic(fmt.Sprintf("corebench: %v", err))
+	}
+	m.SetReferenceQuantiles(true)
+	pristine := benchQuantileDraws()
+	draws := make([]float64, len(pristine))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(draws, pristine)
+		m.Quantiles(draws)
 	}
 }
 

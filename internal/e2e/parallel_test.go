@@ -1,0 +1,60 @@
+package e2e
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"github.com/tieredmem/mtat/internal/sim"
+	"github.com/tieredmem/mtat/internal/simtest"
+)
+
+// TestParallelCellDeterminism runs the same 12-cell sweep twice — once on
+// a single worker, once on GOMAXPROCS workers — and asserts byte-identical
+// per-cell results. Each cell owns its memory system and RNG streams, so
+// scheduling order must not leak into outputs; run with -race, this also
+// proves the cells share no mutable state.
+func TestParallelCellDeterminism(t *testing.T) {
+	sweep := sim.SweepSpec{
+		Name: "determinism",
+		Base: sim.RunSpec{
+			LC:    "redis",
+			BEs:   []string{"sssp", "pr"},
+			Scale: 32,
+			Load:  &sim.LoadSpec{Kind: "steps", Fracs: []float64{0.3, 0.9, 0.5}, StepSeconds: 8},
+		},
+		Policies: []string{"memtis", "tpp", "vtmm"},
+		Seeds:    []int64{1, 2, 3, 4},
+	}
+	cells, err := sweep.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 {
+		t.Fatalf("sweep expanded to %d cells, want 12", len(cells))
+	}
+
+	fingerprints := func(workers int) []string {
+		results := sim.RunCells(context.Background(), cells, workers, false)
+		fps := make([]string, len(results))
+		for i, cr := range results {
+			if cr.Err != nil {
+				t.Fatalf("cell %d (%s) with %d workers: %v", cr.Index, cr.Label, workers, cr.Err)
+			}
+			if cr.Index != i {
+				t.Fatalf("cell order scrambled: result %d has index %d", i, cr.Index)
+			}
+			fps[i] = simtest.ResultFingerprint(cr.Result)
+		}
+		return fps
+	}
+
+	serial := fingerprints(1)
+	parallel := fingerprints(runtime.GOMAXPROCS(0))
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("cell %d (%s): serial fingerprint %s != parallel %s",
+				i, cells[i].Label, serial[i], parallel[i])
+		}
+	}
+}

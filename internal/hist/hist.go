@@ -48,7 +48,12 @@ type Histogram struct {
 
 // Add places a page with the given access count into the histogram.
 func (h *Histogram) Add(pid mem.PageID, count uint64) {
-	b := BinOf(count)
+	h.addBin(BinOf(count), pid)
+}
+
+// addBin places a page directly into bin b, for callers that already
+// computed the bin index.
+func (h *Histogram) addBin(b int, pid mem.PageID) {
 	h.bins[b] = append(h.bins[b], pid)
 	h.total++
 }
@@ -114,11 +119,18 @@ func (h *Histogram) Coldest(dst []mem.PageID, n int) []mem.PageID {
 // bins first. This implements the Fig. 4b refinement: pages are assigned
 // to FMem up to the workload's partition size, the rest stay in SMem.
 func (h *Histogram) HotSplit(capacity int) (hot, cold []mem.PageID) {
+	hot = make([]mem.PageID, 0, min(max(capacity, 0), h.total))
+	cold = make([]mem.PageID, 0, max(h.total-capacity, 0))
+	return h.HotSplitInto(hot, cold, capacity)
+}
+
+// HotSplitInto is HotSplit appending into caller-owned slices (truncated
+// to zero length first), so steady-state callers allocate nothing.
+func (h *Histogram) HotSplitInto(hot, cold []mem.PageID, capacity int) ([]mem.PageID, []mem.PageID) {
 	if capacity < 0 {
 		capacity = 0
 	}
-	hot = make([]mem.PageID, 0, min(capacity, h.total))
-	cold = make([]mem.PageID, 0, max(h.total-capacity, 0))
+	hot, cold = hot[:0], cold[:0]
 	for b := NumBins - 1; b >= 0; b-- {
 		for _, pid := range h.bins[b] {
 			if len(hot) < capacity {
@@ -172,13 +184,13 @@ func (b *Builder) Build(sys *mem.System, w mem.WorkloadID) (fmem, smem, unified 
 	b.unified.Reset()
 	b.builds++
 	for _, pid := range sys.WorkloadPages(w) {
-		p := sys.Page(pid)
-		if p.Tier == mem.TierFMem {
-			b.fmem.Add(pid, p.Hotness)
+		bin := BinOf(sys.PageHotness(pid))
+		if sys.PageInFMem(pid) {
+			b.fmem.addBin(bin, pid)
 		} else {
-			b.smem.Add(pid, p.Hotness)
+			b.smem.addBin(bin, pid)
 		}
-		b.unified.Add(pid, p.Hotness)
+		b.unified.addBin(bin, pid)
 	}
 	return &b.fmem, &b.smem, &b.unified
 }

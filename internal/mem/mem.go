@@ -118,13 +118,32 @@ type workloadAccount struct {
 
 // System is the tiered memory state. It is not safe for concurrent use;
 // the simulator drives it from a single goroutine.
+//
+// Per-page state lives in dense struct-of-arrays storage: an owner array,
+// a hotness array with per-page aging epochs, and a one-bit-per-page FMem
+// occupancy bitset. Pages are never freed (workloads stay attached for a
+// run's lifetime), so the dense arrays double as the allocator: PageIDs
+// are indices assigned in allocation order. Hotness aging is lazy — see
+// AgeHotness.
 type System struct {
-	cfg        Config
-	fmemCap    int // capacity in pages
-	smemCap    int
-	fmemUsed   int
-	smemUsed   int
-	pages      []Page
+	cfg      Config
+	fmemCap  int // capacity in pages
+	smemCap  int
+	fmemUsed int
+	smemUsed int
+	// Dense per-page state (kept parallel, indexed by PageID).
+	owners   []WorkloadID
+	hot      []uint64 // hotness counters, decayed to epoch hotEpoch[i]
+	hotEpoch []uint32 // aging epoch at which hot[i] was last folded
+	fmemBits []uint64 // occupancy bitset: bit set == FMem-resident
+	// epoch is the global aging epoch; a page's effective hotness is
+	// hot[i] >> (epoch - hotEpoch[i]).
+	epoch uint32
+	// eagerAging selects the reference aging mode: a full O(pages) sweep
+	// per AgeHotness, as the seed implementation did. The differential
+	// harness (internal/simtest) runs scenarios in both modes and
+	// asserts identical results.
+	eagerAging bool
 	accounts   []workloadAccount
 	byOwner    [][]PageID // page IDs per workload, allocation order
 	tickLeft   int64      // migration bytes remaining this tick
@@ -149,6 +168,16 @@ func NewSystem(cfg Config) (*System, error) {
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// SetEagerAging switches the system to the reference aging mode: each
+// AgeHotness call halves every counter in a full sweep instead of bumping
+// the lazy-aging epoch. Both modes produce identical hotness values; the
+// eager path is retained as the differential-testing reference and as the
+// baseline the corebench suite measures speedups against. Call it before
+// the first AgeHotness; switching is safe at any point (the sweep folds
+// outstanding epochs first), but mid-run switches make perf numbers
+// meaningless.
+func (s *System) SetEagerAging(eager bool) { s.eagerAging = eager }
 
 // FMemCapacityPages returns the FMem capacity in pages.
 func (s *System) FMemCapacityPages() int { return s.fmemCap }
@@ -201,10 +230,16 @@ func (s *System) AddWorkload(rssBytes int64, preferred Tier) (WorkloadID, error)
 		if tier == TierSMem && s.smemUsed >= s.smemCap {
 			tier = TierFMem // SMem exhausted; spill to FMem
 		}
-		pid := PageID(len(s.pages))
-		s.pages = append(s.pages, Page{Owner: id, Tier: tier})
+		pid := PageID(len(s.owners))
+		s.owners = append(s.owners, id)
+		s.hot = append(s.hot, 0)
+		s.hotEpoch = append(s.hotEpoch, s.epoch)
+		if w := int(uint(pid) >> 6); w >= len(s.fmemBits) {
+			s.fmemBits = append(s.fmemBits, 0)
+		}
 		s.byOwner[id] = append(s.byOwner[id], pid)
 		if tier == TierFMem {
+			s.setFMemBit(pid)
 			s.fmemUsed++
 			s.accounts[id].fmem++
 		} else {
@@ -215,14 +250,52 @@ func (s *System) AddWorkload(rssBytes int64, preferred Tier) (WorkloadID, error)
 	return id, nil
 }
 
+// setFMemBit / clearFMemBit / inFMem manipulate the occupancy bitset.
+func (s *System) setFMemBit(pid PageID)   { s.fmemBits[uint(pid)>>6] |= 1 << (uint(pid) & 63) }
+func (s *System) clearFMemBit(pid PageID) { s.fmemBits[uint(pid)>>6] &^= 1 << (uint(pid) & 63) }
+func (s *System) inFMem(pid PageID) bool {
+	return s.fmemBits[uint(pid)>>6]&(1<<(uint(pid)&63)) != 0
+}
+
 // NumWorkloads returns the number of registered workloads.
 func (s *System) NumWorkloads() int { return len(s.accounts) }
 
 // NumPages returns the total number of allocated pages.
-func (s *System) NumPages() int { return len(s.pages) }
+func (s *System) NumPages() int { return len(s.owners) }
 
-// Page returns a copy of the page record for pid.
-func (s *System) Page(pid PageID) Page { return s.pages[pid] }
+// Page returns a copy of the page record for pid, with the hotness
+// counter decayed to the current aging epoch.
+func (s *System) Page(pid PageID) Page {
+	return Page{Owner: s.owners[pid], Tier: s.PageTier(pid), Hotness: s.PageHotness(pid)}
+}
+
+// PageTier returns pid's resident tier. It is the cheap accessor hot
+// paths use instead of Page when only the tier matters.
+func (s *System) PageTier(pid PageID) Tier {
+	if s.inFMem(pid) {
+		return TierFMem
+	}
+	return TierSMem
+}
+
+// PageInFMem reports whether pid is FMem-resident (a single bitset probe).
+func (s *System) PageInFMem(pid PageID) bool { return s.inFMem(pid) }
+
+// PageOwner returns the workload owning pid.
+func (s *System) PageOwner(pid PageID) WorkloadID { return s.owners[pid] }
+
+// PageHotness returns pid's access counter decayed to the current aging
+// epoch — the value an eager aging sweep would have left in place.
+func (s *System) PageHotness(pid PageID) uint64 {
+	v := s.hot[pid]
+	if d := s.epoch - s.hotEpoch[pid]; d != 0 {
+		if d >= 64 {
+			return 0
+		}
+		v >>= d
+	}
+	return v
+}
 
 // WorkloadPages returns the page IDs owned by w in allocation order. The
 // returned slice is owned by the System and must not be mutated.
@@ -244,16 +317,41 @@ func (s *System) FMemUsageRatio(w WorkloadID) float64 {
 	return float64(a.fmem) / float64(a.total)
 }
 
-// AddHotness adds delta to a page's access counter.
+// AddHotness adds delta to a page's access counter, first folding any
+// aging epochs the page has not yet absorbed.
 func (s *System) AddHotness(pid PageID, delta uint64) {
-	s.pages[pid].Hotness += delta
+	if d := s.epoch - s.hotEpoch[pid]; d != 0 {
+		if d >= 64 {
+			s.hot[pid] = 0
+		} else {
+			s.hot[pid] >>= d
+		}
+		s.hotEpoch[pid] = s.epoch
+	}
+	s.hot[pid] += delta
 }
 
 // AgeHotness halves every page's access counter — the per-interval aging
-// step of §3.3.2.
+// step of §3.3.2. The default implementation is lazy: it bumps a global
+// epoch in O(1) and pages fold the outstanding halvings on their next
+// touch or read (right shifts compose, so folding later is exact). The
+// reference mode (SetEagerAging) performs the seed implementation's full
+// O(pages) sweep instead; both yield identical hotness values.
 func (s *System) AgeHotness() {
-	for i := range s.pages {
-		s.pages[i].Hotness >>= 1
+	if s.eagerAging {
+		for i := range s.hot {
+			if d := s.epoch - s.hotEpoch[i]; d != 0 {
+				if d >= 64 {
+					s.hot[i] = 0
+				} else {
+					s.hot[i] >>= d
+				}
+				s.hotEpoch[i] = s.epoch
+			}
+			s.hot[i] >>= 1
+		}
+	} else {
+		s.epoch++
 	}
 	s.agings++
 }
@@ -296,31 +394,33 @@ func (s *System) Migrate(pid PageID, to Tier) error {
 	if to != TierFMem && to != TierSMem {
 		return fmt.Errorf("mem: invalid destination tier %v", to)
 	}
-	p := &s.pages[pid]
-	if p.Tier == to {
+	inF := s.inFMem(pid)
+	if (to == TierFMem) == inF {
 		return nil
 	}
 	if s.tickLeft < s.cfg.PageSize {
 		return ErrBandwidthExhausted
 	}
+	owner := s.owners[pid]
 	if to == TierFMem {
 		if s.fmemUsed >= s.fmemCap {
 			return ErrTierFull
 		}
 		s.fmemUsed++
 		s.smemUsed--
-		s.accounts[p.Owner].fmem++
+		s.accounts[owner].fmem++
 		s.promotions++
+		s.setFMemBit(pid)
 	} else {
 		if s.smemUsed >= s.smemCap {
 			return ErrTierFull
 		}
 		s.smemUsed++
 		s.fmemUsed--
-		s.accounts[p.Owner].fmem--
+		s.accounts[owner].fmem--
 		s.demotions++
+		s.clearFMemBit(pid)
 	}
-	p.Tier = to
 	s.tickLeft -= s.cfg.PageSize
 	s.migrated += s.cfg.PageSize
 	s.migrations++
@@ -336,7 +436,7 @@ func (s *System) Exchange(promote, demote []PageID) (promoted, demoted int) {
 	for pi < len(promote) || di < len(demote) {
 		progressed := false
 		if di < len(demote) {
-			if pid := demote[di]; s.pages[pid].Tier != TierSMem {
+			if pid := demote[di]; s.inFMem(pid) {
 				if err := s.Migrate(pid, TierSMem); err == nil {
 					demoted++
 					progressed = true
@@ -345,7 +445,7 @@ func (s *System) Exchange(promote, demote []PageID) (promoted, demoted int) {
 			di++
 		}
 		if pi < len(promote) {
-			if pid := promote[pi]; s.pages[pid].Tier == TierFMem {
+			if pid := promote[pi]; s.inFMem(pid) {
 				pi++ // already resident; skip without consuming budget
 			} else if err := s.Migrate(pid, TierFMem); err == nil {
 				promoted++

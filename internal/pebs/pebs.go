@@ -28,8 +28,17 @@ type Sampler struct {
 	smemTick []uint64
 	// Per-tick sampled pages per workload (unique, in first-sample
 	// order). Fault-driven policies like TPP promote on these.
-	tickPages   [][]mem.PageID
+	tickPages [][]mem.PageID
+	// Per-page generation stamps: seen[pid] == gen means pid was already
+	// sampled this tick. BeginTick bumps gen, so resetting the set is O(1)
+	// instead of clearing a map.
+	seen []uint32
+	gen  uint32
+	// Reference (seed) dedup path for the differential harness.
+	refDedup    bool
 	tickPageSet map[mem.PageID]struct{}
+	// Scratch buffer for batched distribution draws.
+	draws []int
 	// Cumulative sampled counts (never reset; used by overhead accounting).
 	totalSamples uint64
 }
@@ -45,10 +54,10 @@ func NewSampler(sys *mem.System, rate float64, seed int64) (*Sampler, error) {
 		return nil, fmt.Errorf("pebs: rate must be in (0,1], got %g", rate)
 	}
 	return &Sampler{
-		sys:         sys,
-		rate:        rate,
-		rng:         rand.New(rand.NewSource(seed)),
-		tickPageSet: make(map[mem.PageID]struct{}),
+		sys:  sys,
+		rate: rate,
+		rng:  rand.New(rand.NewSource(seed)),
+		gen:  1,
 	}, nil
 }
 
@@ -57,6 +66,16 @@ func (s *Sampler) Rate() float64 { return s.rate }
 
 // TotalSamples returns the cumulative number of sampled accesses.
 func (s *Sampler) TotalSamples() uint64 { return s.totalSamples }
+
+// SetReferenceDedup switches per-tick page dedup to the original
+// map-backed implementation. Output is identical either way; the
+// differential harness uses this as the retained reference path.
+func (s *Sampler) SetReferenceDedup(ref bool) {
+	s.refDedup = ref
+	if ref && s.tickPageSet == nil {
+		s.tickPageSet = make(map[mem.PageID]struct{})
+	}
+}
 
 // BeginTick resets the per-tick tier counters. Call once per simulation
 // tick before recording accesses.
@@ -74,7 +93,20 @@ func (s *Sampler) BeginTick() {
 		s.smemTick[i] = 0
 		s.tickPages[i] = s.tickPages[i][:0]
 	}
-	clear(s.tickPageSet)
+	if s.refDedup {
+		clear(s.tickPageSet)
+		return
+	}
+	if np := s.sys.NumPages(); len(s.seen) < np {
+		grown := make([]uint32, np)
+		copy(grown, s.seen)
+		s.seen = grown
+	}
+	s.gen++
+	if s.gen == 0 { // wrapped: stamps from 4B ticks ago are stale
+		clear(s.seen)
+		s.gen = 1
+	}
 }
 
 // RecordAccesses samples from n logical accesses by workload w, whose
@@ -94,24 +126,40 @@ func (s *Sampler) RecordAccesses(w mem.WorkloadID, d dist.Distribution, n uint64
 	if itemsPerPage <= 0 {
 		itemsPerPage = 1
 	}
-	for i := uint64(0); i < k; i++ {
-		item := d.Sample(s.rng)
+	// Batch all RNG draws up front into the scratch buffer. Processing
+	// below consumes no randomness, so the RNG stream is identical to
+	// drawing one sample per loop iteration.
+	if uint64(cap(s.draws)) < k {
+		s.draws = make([]int, k)
+	}
+	s.draws = s.draws[:k]
+	for i := range s.draws {
+		s.draws[i] = d.Sample(s.rng)
+	}
+	fmemN, smemN := s.fmemTick[w], s.smemTick[w]
+	for _, item := range s.draws {
 		pageIdx := int(float64(item) / itemsPerPage)
 		if pageIdx >= len(pages) {
 			pageIdx = len(pages) - 1
 		}
 		pid := pages[pageIdx]
 		s.sys.AddHotness(pid, 1)
-		if s.sys.Page(pid).Tier == mem.TierFMem {
-			s.fmemTick[w]++
+		if s.sys.PageInFMem(pid) {
+			fmemN++
 		} else {
-			s.smemTick[w]++
+			smemN++
 		}
-		if _, seen := s.tickPageSet[pid]; !seen {
-			s.tickPageSet[pid] = struct{}{}
+		if s.refDedup {
+			if _, dup := s.tickPageSet[pid]; !dup {
+				s.tickPageSet[pid] = struct{}{}
+				s.tickPages[w] = append(s.tickPages[w], pid)
+			}
+		} else if s.seen[pid] != s.gen {
+			s.seen[pid] = s.gen
 			s.tickPages[w] = append(s.tickPages[w], pid)
 		}
 	}
+	s.fmemTick[w], s.smemTick[w] = fmemN, smemN
 	s.totalSamples += k
 }
 

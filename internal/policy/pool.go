@@ -15,6 +15,8 @@ type pool struct {
 	h       hist.Histogram
 	promote []mem.PageID
 	demote  []mem.PageID
+	hot     []mem.PageID // HotSplitInto scratch
+	cold    []mem.PageID
 
 	// Migration traffic counters shared by every pool-based baseline
 	// (nil-safe no-ops until attach).
@@ -45,22 +47,22 @@ func (p *pool) manage(sys *mem.System, ids []mem.WorkloadID, capacity int) (int,
 	p.h.Reset()
 	for _, id := range ids {
 		for _, pid := range sys.WorkloadPages(id) {
-			p.h.Add(pid, sys.Page(pid).Hotness)
+			p.h.Add(pid, sys.PageHotness(pid))
 		}
 	}
-	hot, cold := p.h.HotSplit(capacity)
+	p.hot, p.cold = p.h.HotSplitInto(p.hot, p.cold, capacity)
 	p.promote = p.promote[:0]
-	for _, pid := range hot {
-		if sys.Page(pid).Tier == mem.TierSMem {
+	for _, pid := range p.hot {
+		if !sys.PageInFMem(pid) {
 			p.promote = append(p.promote, pid)
 		}
 	}
 	// cold is ordered hottest-first; demote coldest first so the cheapest
 	// pages leave FMem ahead of warmer ones when bandwidth runs out.
 	p.demote = p.demote[:0]
-	for i := len(cold) - 1; i >= 0; i-- {
-		if sys.Page(cold[i]).Tier == mem.TierFMem {
-			p.demote = append(p.demote, cold[i])
+	for i := len(p.cold) - 1; i >= 0; i-- {
+		if sys.PageInFMem(p.cold[i]) {
+			p.demote = append(p.demote, p.cold[i])
 		}
 	}
 	return p.record(sys.Exchange(p.promote, p.demote))
@@ -77,8 +79,8 @@ func (p *pool) pin(sys *mem.System, id mem.WorkloadID, target int, victims ...me
 	case cur < target:
 		p.h.Reset()
 		for _, pid := range sys.WorkloadPages(id) {
-			if sys.Page(pid).Tier == mem.TierSMem {
-				p.h.Add(pid, sys.Page(pid).Hotness)
+			if !sys.PageInFMem(pid) {
+				p.h.Add(pid, sys.PageHotness(pid))
 			}
 		}
 		p.promote = p.h.Hottest(p.promote[:0], target-cur)
@@ -87,8 +89,8 @@ func (p *pool) pin(sys *mem.System, id mem.WorkloadID, target int, victims ...me
 			p.h.Reset()
 			for _, vid := range victims {
 				for _, pid := range sys.WorkloadPages(vid) {
-					if sys.Page(pid).Tier == mem.TierFMem {
-						p.h.Add(pid, sys.Page(pid).Hotness)
+					if sys.PageInFMem(pid) {
+						p.h.Add(pid, sys.PageHotness(pid))
 					}
 				}
 			}
@@ -98,8 +100,8 @@ func (p *pool) pin(sys *mem.System, id mem.WorkloadID, target int, victims ...me
 	case cur > target:
 		p.h.Reset()
 		for _, pid := range sys.WorkloadPages(id) {
-			if sys.Page(pid).Tier == mem.TierFMem {
-				p.h.Add(pid, sys.Page(pid).Hotness)
+			if sys.PageInFMem(pid) {
+				p.h.Add(pid, sys.PageHotness(pid))
 			}
 		}
 		p.demote = p.h.Coldest(p.demote[:0], cur-target)

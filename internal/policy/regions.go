@@ -109,11 +109,11 @@ func (p *RegionMEMTIS) Tick(ctx *Context) error {
 	for _, r := range regions {
 		for pid := r.start; pid < r.end; pid++ {
 			if filled < capacity {
-				if sys.Page(pid).Tier == mem.TierSMem {
+				if !sys.PageInFMem(pid) {
 					p.promote = append(p.promote, pid)
 				}
 				filled++
-			} else if sys.Page(pid).Tier == mem.TierFMem {
+			} else if sys.PageInFMem(pid) {
 				p.demote = append(p.demote, pid)
 			}
 		}

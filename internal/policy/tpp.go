@@ -69,7 +69,7 @@ func (t *TPP) Tick(ctx *Context) error {
 	for _, id := range ids {
 		for _, pid := range ctx.Sampler.TickPages(id) {
 			t.active[pid] = struct{}{}
-			if sys.Page(pid).Tier == mem.TierSMem {
+			if !sys.PageInFMem(pid) {
 				t.promote = append(t.promote, pid)
 			}
 		}
@@ -89,13 +89,13 @@ func (t *TPP) Tick(ctx *Context) error {
 		t.h.Reset()
 		for _, id := range ids {
 			for _, pid := range sys.WorkloadPages(id) {
-				if sys.Page(pid).Tier != mem.TierFMem {
+				if !sys.PageInFMem(pid) {
 					continue
 				}
 				if _, isActive := t.active[pid]; isActive {
 					continue // recently touched: on the active list
 				}
-				t.h.Add(pid, sys.Page(pid).Hotness)
+				t.h.Add(pid, sys.PageHotness(pid))
 			}
 		}
 		t.demote = t.h.Coldest(t.demote, deficit)

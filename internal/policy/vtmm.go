@@ -31,6 +31,8 @@ type VTMM struct {
 	builder      hist.Builder
 	promote      []mem.PageID
 	demote       []mem.PageID
+	hot          []mem.PageID // HotSplitInto scratch
+	cold         []mem.PageID
 }
 
 var _ Policy = (*VTMM)(nil)
@@ -91,7 +93,7 @@ func (v *VTMM) repartition(sys *mem.System, ids []mem.WorkloadID) {
 	for i, id := range ids {
 		n := 0
 		for _, pid := range sys.WorkloadPages(id) {
-			if sys.Page(pid).Hotness >= v.HotThreshold {
+			if sys.PageHotness(pid) >= v.HotThreshold {
 				n++
 			}
 		}
@@ -140,17 +142,17 @@ func (v *VTMM) repartition(sys *mem.System, ids []mem.WorkloadID) {
 // refine keeps the hottest `target` pages of one workload resident.
 func (v *VTMM) refine(sys *mem.System, id mem.WorkloadID, target int) {
 	_, _, unified := v.builder.Build(sys, id)
-	hot, cold := unified.HotSplit(target)
+	v.hot, v.cold = unified.HotSplitInto(v.hot, v.cold, target)
 	v.promote = v.promote[:0]
-	for _, pid := range hot {
-		if sys.Page(pid).Tier == mem.TierSMem {
+	for _, pid := range v.hot {
+		if !sys.PageInFMem(pid) {
 			v.promote = append(v.promote, pid)
 		}
 	}
 	v.demote = v.demote[:0]
-	for i := len(cold) - 1; i >= 0; i-- {
-		if sys.Page(cold[i]).Tier == mem.TierFMem {
-			v.demote = append(v.demote, cold[i])
+	for i := len(v.cold) - 1; i >= 0; i-- {
+		if sys.PageInFMem(v.cold[i]) {
+			v.demote = append(v.demote, v.cold[i])
 		}
 	}
 	sys.Exchange(v.promote, v.demote)

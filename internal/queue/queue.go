@@ -25,7 +25,17 @@ type Model struct {
 	maxDelay float64 // client timeout bound on queueing delay; 0 = none
 	ticks    int64   // cumulative Tick calls
 	draws    int64   // cumulative Monte Carlo sojourn draws
+	scratch  []float64
+	// refQuantiles selects the original full-sort quantile path; the
+	// default quickselect path returns the same order statistics.
+	refQuantiles bool
 }
+
+// SetReferenceQuantiles switches per-tick quantile extraction to the
+// original full-sort implementation. Both paths return the identical
+// order statistics; the differential harness uses this as the retained
+// reference path.
+func (m *Model) SetReferenceQuantiles(ref bool) { m.refQuantiles = ref }
 
 // NewModel returns a queue with the given number of servers (the cores or
 // threads serving the LC workload), seeded deterministically.
@@ -163,7 +173,10 @@ func (m *Model) Tick(arrivalRate, dt float64, svc ServiceDist, slo float64) (Tic
 
 	var sum float64
 	var violations int
-	draws := make([]float64, mcDraws)
+	if cap(m.scratch) < mcDraws {
+		m.scratch = make([]float64, mcDraws)
+	}
+	draws := m.scratch[:mcDraws]
 	for i := range draws {
 		tau := m.rng.Float64() // arrival position within the tick
 		s := svc.Sample(m.rng)
@@ -177,12 +190,12 @@ func (m *Model) Tick(arrivalRate, dt float64, svc ServiceDist, slo float64) (Tic
 			violations++
 		}
 	}
-	sortFloats(draws)
+	p50, p99 := m.Quantiles(draws)
 	res := TickResult{
 		Completed:   completed,
 		Offered:     offered,
-		P50:         quantileSorted(draws, 0.50),
-		P99:         quantileSorted(draws, 0.99),
+		P50:         p50,
+		P99:         p99,
 		Mean:        sum / mcDraws,
 		Utilization: rho,
 		Backlog:     newBacklog,
@@ -199,6 +212,20 @@ func (m *Model) Tick(arrivalRate, dt float64, svc ServiceDist, slo float64) (Tic
 	m.ticks++
 	m.draws += mcDraws
 	return res, nil
+}
+
+// Quantiles extracts the P50 and P99 order statistics from one tick's
+// sojourn draws, reordering the slice in place. This is the per-tick
+// quantile kernel: quickselect by default, the original full sort under
+// SetReferenceQuantiles. Both return identical values; it is exported so
+// the perf baseline can measure the kernel apart from draw generation.
+func (m *Model) Quantiles(draws []float64) (p50, p99 float64) {
+	if m.refQuantiles {
+		sortFloats(draws)
+		return quantileSorted(draws, 0.50), quantileSorted(draws, 0.99)
+	}
+	return selectKth(draws, quantileIndex(len(draws), 0.50)),
+		selectKth(draws, quantileIndex(len(draws), 0.99))
 }
 
 // StationaryP99 returns the analytic steady-state P99 sojourn time for the
@@ -269,12 +296,63 @@ func quantileSorted(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	return sorted[quantileIndex(len(sorted), q)]
+}
+
+// quantileIndex returns the order-statistic index quantileSorted reads for
+// quantile q over n elements.
+func quantileIndex(n int, q float64) int {
+	idx := int(math.Ceil(q*float64(n))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if idx >= n {
+		idx = n - 1
 	}
-	return sorted[idx]
+	return idx
+}
+
+// selectKth partitions a in place until a[k] holds the k-th smallest
+// element and returns it — the same value quantileSorted would read at
+// index k after a full sort, without the O(n log n) sort. The
+// median-of-three pivot keeps selection deterministic (no RNG use, so the
+// Monte Carlo stream is untouched).
+func selectKth(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return a[k]
+		}
+	}
+	return a[k]
 }

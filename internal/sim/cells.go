@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// CellResult pairs one sweep cell with its run outcome. Exactly one of
+// Result/Err is set.
+type CellResult struct {
+	Index  int
+	Label  string
+	Result *Result
+	Err    error
+}
+
+// RunCells executes sweep cells locally on a bounded worker pool and
+// returns results in cell order. workers <= 0 uses GOMAXPROCS. Each cell
+// builds its own memory system, policy, and RNG streams from its spec's
+// seed, so results are byte-identical regardless of worker count or
+// scheduling order — the in-node parallelism the allocation-light core
+// makes practical (cells no longer fight over the allocator or GC).
+//
+// referenceCore routes every cell through the retained reference core
+// (Scenario.ReferenceCore); the differential harness uses this to compare
+// whole sweeps. Cancellation via ctx marks unfinished cells with ctx's
+// error.
+func RunCells(ctx context.Context, cells []Cell, workers int, referenceCore bool) []CellResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	results := make([]CellResult, len(cells))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = runCell(ctx, cells[i], referenceCore)
+			}
+		}()
+	}
+	for i := range cells {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+func runCell(ctx context.Context, cell Cell, referenceCore bool) CellResult {
+	out := CellResult{Index: cell.Index, Label: cell.Label}
+	if err := ctx.Err(); err != nil {
+		out.Err = err
+		return out
+	}
+	scn, err := cell.Spec.Scenario()
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	scn.ReferenceCore = referenceCore
+	pol, err := NewPolicy(ctx, cell.Spec.PolicyName(), scn, cell.Spec.Episodes)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Result, out.Err = RunScenarioContext(ctx, scn, pol)
+	return out
+}

@@ -63,6 +63,13 @@ type Scenario struct {
 	// switches, load shifts) for postmortems. Nil (the default) records
 	// nothing and costs nothing.
 	Flight *flight.Recorder
+	// ReferenceCore runs the scenario on the retained reference (seed)
+	// implementations of the core hot paths — eager hotness aging, the
+	// map-backed PEBS tick dedup, and full-sort queue quantiles — instead
+	// of the optimized ones. Both cores are behaviorally identical; the
+	// internal/simtest differential harness runs every scenario both ways
+	// and asserts matching results. Not part of the RunSpec wire format.
+	ReferenceCore bool
 }
 
 // withDefaults fills unset fields.
@@ -202,6 +209,13 @@ func NewRunner(scn Scenario, pol policy.Policy) (*Runner, error) {
 		return nil, err
 	}
 	r.sampler = sampler
+	if scn.ReferenceCore {
+		sys.SetEagerAging(true)
+		sampler.SetReferenceDedup(true)
+		if r.lc != nil {
+			r.lc.Queue().SetReferenceQuantiles(true)
+		}
+	}
 	r.ctx = &policy.Context{
 		Sys:       sys,
 		Sampler:   sampler,

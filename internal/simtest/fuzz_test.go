@@ -1,0 +1,74 @@
+package simtest
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/tieredmem/mtat/internal/sim"
+)
+
+// FuzzCoreEquivalence fuzzes small RunSpec geometries through the
+// reference core and the fast core and fails on any divergence. The
+// inputs are deliberately coarse — policy index, workload toggles, scale,
+// load level, seed — so the fuzzer explores scenario structure, not the
+// float space; every generated spec is clamped to a sub-second-runtime
+// geometry.
+func FuzzCoreEquivalence(f *testing.F) {
+	f.Add(uint8(2), true, uint8(3), uint8(0), int64(1), uint8(5), uint8(10))
+	f.Add(uint8(0), true, uint8(1), uint8(1), int64(42), uint8(9), uint8(6))
+	f.Add(uint8(4), false, uint8(2), uint8(0), int64(7), uint8(3), uint8(8))
+	f.Add(uint8(6), true, uint8(0), uint8(1), int64(99), uint8(7), uint8(12))
+	f.Fuzz(func(t *testing.T, polIdx uint8, hasLC bool, beMask, scaleSel uint8, seed int64, loadTenths, durTicks uint8) {
+		// Cheap (non-RL) policies only: pretraining inside a fuzz body
+		// would dominate the runtime without adding core-path coverage
+		// (TestDifferentialMTAT covers the RL tick path).
+		policies := []string{"fmem-all", "smem-all", "memtis", "tpp", "vtmm", "heuristic", "memtis-region"}
+		spec := sim.RunSpec{
+			Policy: policies[int(polIdx)%len(policies)],
+			Seed:   seed,
+		}
+		if hasLC {
+			spec.LC = "redis"
+		}
+		allBEs := []string{"sssp", "pr", "bfs", "xsbench"}
+		spec.BEs = []string{}
+		for i, name := range allBEs {
+			if beMask&(1<<i) != 0 {
+				spec.BEs = append(spec.BEs, name)
+			}
+		}
+		if !hasLC && len(spec.BEs) == 0 {
+			t.Skip("empty scenario")
+		}
+		// Scale 32 or 64 keeps page counts (and runtime) small.
+		spec.Scale = 32 << (scaleSel % 2)
+		frac := 0.1 + float64(loadTenths%10)*0.1
+		dur := 2 + float64(durTicks%29) // 2..30 simulated seconds
+		spec.Load = &sim.LoadSpec{Kind: "constant", Frac: frac, DurationSeconds: dur}
+		if !hasLC {
+			spec.Load = nil
+			spec.DurationSeconds = dur
+		}
+		if err := spec.Validate(); err != nil {
+			t.Skip(err)
+		}
+		// Some policy/scenario combinations fail at Init (e.g. fmem-all
+		// without an LC) — legitimate, but both cores must agree on it.
+		ref, refErr := RunSpec(context.Background(), spec, true)
+		fast, fastErr := RunSpec(context.Background(), spec, false)
+		if refErr != nil || fastErr != nil {
+			if (refErr == nil) != (fastErr == nil) {
+				t.Fatalf("spec %+v: error divergence: ref=%v fast=%v", spec, refErr, fastErr)
+			}
+			if refErr.Error() != fastErr.Error() {
+				t.Fatalf("spec %+v: different errors: ref=%v fast=%v", spec, refErr, fastErr)
+			}
+			t.Skip("both cores reject the spec identically")
+		}
+		if ref.Fingerprint() != fast.Fingerprint() {
+			t.Errorf("core divergence for spec %+v:\n  %s",
+				spec, strings.Join(Diff(ref, fast), "\n  "))
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package simtest
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "re-pin testdata/golden.json fingerprints")
+
+const goldenPath = "testdata/golden.json"
+
+// TestGoldenHypothesesFingerprints pins the fast core's fingerprint for
+// every committed hypotheses/ experiment arm (first seed). Any change to
+// simulator output — intended or not — fails here first; after an
+// intended behavior change, re-pin with:
+//
+//	go test ./internal/simtest -run TestGolden -update
+//
+// The sub-tests run in parallel and CI runs them under -race, so the
+// fixtures double as determinism checks: a scheduling-dependent result
+// would produce a fingerprint that does not reproduce.
+func TestGoldenHypothesesFingerprints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment arms are slow; run without -short")
+	}
+	specs := hypothesisArmSpecs(t)
+
+	var mu sync.Mutex
+	got := make(map[string]string)
+	t.Run("arms", func(t *testing.T) {
+		for name, spec := range specs {
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				run, err := RunSpec(context.Background(), spec, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mu.Lock()
+				got[name] = run.Fingerprint()
+				mu.Unlock()
+			})
+		}
+	})
+
+	if *update {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]string, len(got))
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		data, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("pinned %d fingerprints to %s", len(got), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read goldens (re-pin with -update): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, fp := range got {
+		pinned, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no pinned fingerprint (re-pin with -update)", name)
+			continue
+		}
+		if fp != pinned {
+			t.Errorf("%s: fingerprint %s != pinned %s (intended change? re-pin with -update)",
+				name, fp, pinned)
+		}
+	}
+	// Stale goldens only matter when the full arm set ran; with first-seed
+	// trimming most pinned entries are intentionally not recomputed.
+	if os.Getenv("MTAT_FULL_EQUIVALENCE") != "" {
+		for name := range want {
+			if _, ok := got[name]; !ok {
+				t.Errorf("%s: pinned but no longer produced (re-pin with -update)", name)
+			}
+		}
+	}
+}

@@ -107,7 +107,7 @@ func pageProbs(d dist.Distribution, numPages int) []float64 {
 func hitRatio(sys *mem.System, id mem.WorkloadID, probs []float64) float64 {
 	var h float64
 	for i, pid := range sys.WorkloadPages(id) {
-		if sys.Page(pid).Tier == mem.TierFMem {
+		if sys.PageInFMem(pid) {
 			h += probs[i]
 		}
 	}
