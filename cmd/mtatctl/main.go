@@ -14,6 +14,9 @@
 //	mtatctl info                                             # daemon stats (queue, recovered runs)
 //	mtatctl wait -timeout 2m r000001                         # block until terminal
 //	mtatctl logs r000001                                     # stream trace JSONL
+//	mtatctl watch run r000001                                # live SSE view (stats, flight events)
+//	mtatctl watch sweep s000001                              # live sweep progress with ETA
+//	mtatctl watch experiment -f spec.json                    # live experiment arm progress
 //	mtatctl cancel r000001
 //
 //	mtatctl -token $TOKEN tenants list                       # per-tenant usage table
@@ -40,6 +43,7 @@
 //	mtatctl metrics -format prom                             # scrape a daemon's /metrics
 //	mtatctl profile cpu -seconds 10                          # fetch a pprof profile (daemon needs -pprof)
 //	mtatctl flight r000001                                   # dump a run's flight recorder JSON
+//	mtatctl flight -follow r000001                           # poll new flight events via ?after cursor
 //
 // The mtatd address comes from -addr, then $MTATD_ADDR, then
 // 127.0.0.1:7070. Sweep subcommands talk to the fleet daemon instead:
@@ -79,6 +83,7 @@ func usage(fs *flag.FlagSet) func() {
 			"  status   list runs, or show one run's status JSON\n"+
 			"  info     show the daemon's stats JSON (queue depth, recovered runs, ...)\n"+
 			"  wait     block until a run reaches a terminal state\n"+
+			"  watch    follow a run, sweep, or experiment live over SSE (run|sweep|experiment)\n"+
 			"  logs     stream a run's trace as JSONL\n"+
 			"  cancel   cancel a queued or running run\n"+
 			"  tenants  list tenant usage or hot-reload the tenant config (list|usage|apply)\n"+
@@ -135,6 +140,8 @@ func run(args []string) error {
 		return cmdInfo(ctx, c)
 	case "wait":
 		return cmdWait(ctx, c, rest[1:])
+	case "watch":
+		return cmdWatch(ctx, c, rest[1:])
 	case "logs":
 		return cmdLogs(ctx, c, rest[1:])
 	case "cancel":

@@ -2,10 +2,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/tieredmem/mtat/internal/server"
 )
@@ -78,10 +80,13 @@ func cmdProfile(ctx context.Context, c *server.Client, args []string) error {
 // cmdFlight dumps a run's flight recorder — the bounded ring of recent
 // core events (promotions, demotions, SLO violations, policy switches,
 // load shifts) — as JSON on stdout. Works on live runs too, for peeking
-// at a slow cell mid-flight.
+// at a slow cell mid-flight. -follow keeps polling with the ?after=
+// cursor, printing only events newer than the last poll (JSONL).
 func cmdFlight(ctx context.Context, c *server.Client, args []string) error {
 	fs := flag.NewFlagSet("mtatctl flight", flag.ContinueOnError)
 	node := fs.String("node", "", "daemon address to query instead of the default mtatd")
+	follow := fs.Bool("follow", false, "poll for new events (JSONL; stops when the run is terminal)")
+	poll := fs.Duration("poll", time.Second, "poll interval with -follow")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,5 +96,37 @@ func cmdFlight(ctx context.Context, c *server.Client, args []string) error {
 	if *node != "" {
 		c = server.NewClient(*node)
 	}
-	return c.Flight(ctx, fs.Arg(0), os.Stdout)
+	id := fs.Arg(0)
+	if !*follow {
+		return c.Flight(ctx, id, os.Stdout)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	var after uint64
+	haveCursor := false
+	for {
+		dump, err := c.FlightAfter(ctx, id, after, haveCursor)
+		if err != nil {
+			return err
+		}
+		for _, ev := range dump.Events {
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+			after, haveCursor = ev.Seq, true
+		}
+		// Check for the terminal state after draining, so the tail of
+		// events recorded just before the run finished still prints.
+		st, err := c.Run(ctx, id)
+		if err != nil {
+			return err
+		}
+		if st.State.Terminal() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(*poll):
+		}
+	}
 }

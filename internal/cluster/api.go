@@ -44,6 +44,8 @@ func NewHandler(f *Fleet, tel *telemetry.Telemetry) http.Handler {
 //	GET    /api/v1/sweeps               list retained sweeps
 //	GET    /api/v1/sweeps/{id}          one sweep's status with per-cell states
 //	GET    /api/v1/sweeps/{id}/results  settled cell summaries (?format=json|jsonl|csv)
+//	GET    /api/v1/sweeps/{id}/events   live SSE stream of sweep state + cell settlements
+//	GET    /api/v1/events               SSE firehose across all sweeps (tenant-scoped)
 //	DELETE /api/v1/sweeps/{id}          cancel a running sweep
 //	GET    /api/v1/status               fleet stats (nodes, sweeps, recovery counts)
 //	GET    /api/v1/nodes                node pool with health and load
@@ -122,6 +124,24 @@ func NewHandlerWith(f *Fleet, tel *telemetry.Telemetry, cfg HandlerConfig) http.
 			writeError(w, http.StatusBadRequest,
 				fmt.Errorf("cluster: unknown format %q (valid: json, jsonl, csv)", format))
 		}
+	})
+
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, err := f.Get(id); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		telemetry.ServeSSE(w, r, f.Bus(), sweepTopic(id), nil)
+		f.SyncBusMetrics()
+	})
+
+	// Firehose: every bus event across all sweeps, tenant-scoped. A
+	// non-admin tenant on a tenancy-enabled fleet sees only its own
+	// sweeps' events.
+	mux.HandleFunc("GET /api/v1/events", func(w http.ResponseWriter, r *http.Request) {
+		telemetry.ServeSSE(w, r, f.Bus(), "", fleetEventFilter(f, r))
+		f.SyncBusMetrics()
 	})
 
 	mux.HandleFunc("DELETE /api/v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -223,6 +243,10 @@ func NewHandlerWith(f *Fleet, tel *telemetry.Telemetry, cfg HandlerConfig) http.
 
 	th := tel.Handler()
 	mux.Handle("/metrics", th)
+	// Federated scrape: one exposition covering every registered mtatd
+	// plus the fleet itself. Outside the /api/v1 tenant guard, like
+	// /metrics.
+	mux.Handle("GET /metrics/federate", f.Federator())
 	mux.Handle("/trace", th)
 	if cfg.Pprof {
 		mux.Handle("/debug/", th)
@@ -238,6 +262,8 @@ func NewHandlerWith(f *Fleet, tel *telemetry.Telemetry, cfg HandlerConfig) http.
 			"GET    /api/v1/sweeps\n"+
 			"GET    /api/v1/sweeps/{id}\n"+
 			"GET    /api/v1/sweeps/{id}/results?format=json|jsonl|csv\n"+
+			"GET    /api/v1/sweeps/{id}/events  (SSE)\n"+
+			"GET    /api/v1/events  (SSE firehose)\n"+
 			"DELETE /api/v1/sweeps/{id}\n"+
 			"GET    /api/v1/status\n"+
 			"GET    /api/v1/nodes\n"+
@@ -250,6 +276,7 @@ func NewHandlerWith(f *Fleet, tel *telemetry.Telemetry, cfg HandlerConfig) http.
 			"GET    /healthz\n"+
 			"GET    /readyz\n"+
 			"GET    /metrics  (?format=prom for Prometheus text)\n"+
+			"GET    /metrics/federate  (merged fleet-wide Prometheus exposition)\n"+
 			"GET    /trace\n"+
 			"GET    /debug/pprof/  (with -pprof)\n")
 	})
@@ -261,6 +288,19 @@ func NewHandlerWith(f *Fleet, tel *telemetry.Telemetry, cfg HandlerConfig) http.
 	// telemetry middleware runs outermost so 401s are metered and logged
 	// like any other response.
 	return telemetry.Middleware(tel, slog.Default())(tenant.Middleware(f.Tenants(), mux))
+}
+
+// fleetEventFilter scopes the firehose to the caller's tenant. Nil (no
+// filtering) for admin tenants, anonymous callers, or a fleet with
+// tenancy disabled — matching the visibility rules of the list
+// endpoints.
+func fleetEventFilter(f *Fleet, r *http.Request) func(telemetry.BusEvent) bool {
+	t := tenant.FromContext(r.Context())
+	if t == nil || t.IsAdmin() || f.Tenants().Count() == 0 {
+		return nil
+	}
+	name := t.Name()
+	return func(ev telemetry.BusEvent) bool { return ev.Tenant == name }
 }
 
 // apiError is the JSON error envelope (same shape as mtatd's).

@@ -262,6 +262,36 @@ func (c *Client) ReloadTenants(ctx context.Context, cfg tenant.Config) (tenant.R
 	return res, err
 }
 
+// StreamEvents opens the fleet's live SSE stream — a sweep's topic when
+// id is set, the tenant-scoped firehose when id is "". lastEventID
+// resumes after a previous stream's cursor (sent as Last-Event-ID).
+// The caller owns the returned stream and must Close it.
+func (c *Client) StreamEvents(ctx context.Context, id, lastEventID string) (*telemetry.SSEStream, error) {
+	path := "/api/v1/events"
+	if id != "" {
+		path = "/api/v1/sweeps/" + id + "/events"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", telemetry.SSEContentType)
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	c.applyAuth(req)
+	telemetry.Inject(ctx, req.Header)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return telemetry.NewSSEStream(resp.Body), nil
+}
+
 // WaitSweep polls the sweep until it reaches a terminal state or ctx is
 // done. Like server.Client.Wait, polling starts fast and backs off with
 // jitter up to poll (<= 0 selects server.DefaultPollInterval).

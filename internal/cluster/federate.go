@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/tieredmem/mtat/internal/server"
+	"github.com/tieredmem/mtat/internal/telemetry"
+)
+
+// Federator serves GET /metrics/federate on mtatfleet: one fleet-wide
+// Prometheus exposition assembled by concurrently scraping every
+// registered mtatd's /metrics?format=prom, tagging each sample with a
+// node="<name>" label, and merging the families. The fleet's own
+// registry joins the merge as node="fleet", so a single scrape covers
+// the whole deployment.
+//
+// Availability discipline: a node that fails its scrape never fails the
+// federated response. Its last successful exposition is served from
+// cache instead, marked stale via federate_node_up{node}=0,
+// federate_node_stale{node}=1, and federate_scrape_age_seconds{node} —
+// one SIGKILLed node degrades to slightly old numbers rather than
+// blinding the whole fleet's monitoring.
+type Federator struct {
+	reg *Registry
+	tel *telemetry.Telemetry
+	// Timeout bounds each per-node scrape (DefaultFederateTimeout when
+	// zero).
+	Timeout time.Duration
+
+	mu    sync.Mutex
+	cache map[string]*nodeScrape
+}
+
+// DefaultFederateTimeout bounds one node scrape.
+const DefaultFederateTimeout = 2 * time.Second
+
+// FleetNodeName labels the fleet's own registry in the federated
+// exposition.
+const FleetNodeName = "fleet"
+
+// Federation self-metric families.
+const (
+	metricFederateUp    = "federate_node_up"
+	metricFederateStale = "federate_node_stale"
+	metricFederateAge   = "federate_scrape_age_seconds"
+)
+
+// nodeScrape is one node's cached scrape state: the last good
+// exposition and when it was taken, plus the latest error while the
+// node is unreachable.
+type nodeScrape struct {
+	text    []byte
+	goodAt  time.Time
+	lastErr string
+}
+
+// federatedNode is one node's contribution to a merge round.
+type federatedNode struct {
+	name string
+	text []byte // last good exposition (nil if never scraped)
+	up   bool   // this round's scrape succeeded
+	age  float64
+	err  string
+	self bool // the fleet's own registry (no up/stale rows)
+}
+
+// NewFederator builds a federator over the registry's nodes; tel (may
+// be nil) contributes the fleet's own metrics as node="fleet".
+func NewFederator(reg *Registry, tel *telemetry.Telemetry) *Federator {
+	return &Federator{reg: reg, tel: tel, cache: make(map[string]*nodeScrape)}
+}
+
+// ServeHTTP renders the federated exposition. Always 200: node failures
+// degrade to cached text plus staleness markers.
+func (f *Federator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	nodes := f.scrapeAll(r.Context())
+	w.Header().Set("Content-Type", telemetry.PromContentType)
+	bw := bufio.NewWriter(w)
+	for _, n := range nodes {
+		if n.err != "" {
+			fmt.Fprintf(bw, "# federate: node %s stale (last good scrape %.1fs ago): %s\n",
+				n.name, n.age, strings.ReplaceAll(n.err, "\n", " "))
+		}
+	}
+	writeFederateSelf(bw, nodes)
+	mergeExpositions(bw, nodes)
+	_ = bw.Flush()
+}
+
+// scrapeAll concurrently scrapes every registered node, refreshes the
+// cache, and returns the per-node views to merge (cached text for down
+// nodes), sorted by node name, with the fleet's own registry appended.
+func (f *Federator) scrapeAll(ctx context.Context) []federatedNode {
+	timeout := f.Timeout
+	if timeout <= 0 {
+		timeout = DefaultFederateTimeout
+	}
+	clients := f.reg.clients()
+
+	type result struct {
+		name string
+		text []byte
+		err  error
+	}
+	results := make([]result, 0, len(clients))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for name, c := range clients {
+		wg.Add(1)
+		go func(name string, c *server.Client) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			var buf bytes.Buffer
+			err := c.Metrics(sctx, "prom", &buf)
+			mu.Lock()
+			results = append(results, result{name: name, text: buf.Bytes(), err: err})
+			mu.Unlock()
+		}(name, c)
+	}
+	wg.Wait()
+
+	now := time.Now()
+	f.mu.Lock()
+	// Drop cache entries for nodes that left the registry.
+	for name := range f.cache {
+		if _, ok := clients[name]; !ok {
+			delete(f.cache, name)
+		}
+	}
+	out := make([]federatedNode, 0, len(results)+1)
+	for _, res := range results {
+		sc := f.cache[res.name]
+		if sc == nil {
+			sc = &nodeScrape{}
+			f.cache[res.name] = sc
+		}
+		if res.err == nil {
+			sc.text, sc.goodAt, sc.lastErr = res.text, now, ""
+		} else {
+			sc.lastErr = res.err.Error()
+		}
+		fn := federatedNode{name: res.name, text: sc.text, up: res.err == nil, err: sc.lastErr}
+		if !sc.goodAt.IsZero() {
+			fn.age = now.Sub(sc.goodAt).Seconds()
+		}
+		out = append(out, fn)
+	}
+	f.mu.Unlock()
+
+	// The fleet's own registry joins as a synthetic always-up node.
+	if f.tel != nil {
+		var self bytes.Buffer
+		if err := f.tel.Metrics().WriteProm(&self); err == nil {
+			out = append(out, federatedNode{
+				name: FleetNodeName, text: self.Bytes(), up: true, self: true,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// writeFederateSelf emits the federation health families: per-node
+// up/stale flags and scrape age. The fleet's own registry gets no rows
+// — it cannot be down from its own point of view.
+func writeFederateSelf(bw *bufio.Writer, nodes []federatedNode) {
+	scraped := nodes[:0:0]
+	for _, n := range nodes {
+		if !n.self {
+			scraped = append(scraped, n)
+		}
+	}
+	if len(scraped) == 0 {
+		return
+	}
+	fmt.Fprintf(bw, "# TYPE %s gauge\n", metricFederateUp)
+	for _, n := range scraped {
+		fmt.Fprintf(bw, "%s{node=%q} %d\n", metricFederateUp, n.name, boolTo01(n.up))
+	}
+	fmt.Fprintf(bw, "# TYPE %s gauge\n", metricFederateStale)
+	for _, n := range scraped {
+		fmt.Fprintf(bw, "%s{node=%q} %d\n", metricFederateStale, n.name, boolTo01(!n.up))
+	}
+	fmt.Fprintf(bw, "# TYPE %s gauge\n", metricFederateAge)
+	for _, n := range scraped {
+		fmt.Fprintf(bw, "%s{node=%q} %g\n", metricFederateAge, n.name, n.age)
+	}
+}
+
+func boolTo01(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// promFamily is one merged metric family: its type and each node's
+// sample lines in original per-node order (histogram buckets must stay
+// consecutive per series, which per-node ordered blocks guarantee).
+type promFamily struct {
+	name  string
+	kind  string
+	lines []string
+}
+
+// mergeExpositions merges every node's exposition, node labels
+// injected, families sorted by name. The first TYPE declaration for a
+// family wins; later conflicting declarations are ignored (same-name
+// families across mtatd builds are the same metric in practice).
+func mergeExpositions(bw *bufio.Writer, nodes []federatedNode) {
+	fams := make(map[string]*promFamily)
+	var order []string
+	family := func(name, kind string) *promFamily {
+		fam := fams[name]
+		if fam == nil {
+			fam = &promFamily{name: name, kind: kind}
+			fams[name] = fam
+			order = append(order, name)
+		}
+		return fam
+	}
+	for _, n := range nodes {
+		curKind := ""   // kind of the TYPE block being read
+		curFamily := "" // family name of that block
+		sc := bufio.NewScanner(bytes.NewReader(n.text))
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				continue
+			case strings.HasPrefix(line, "# TYPE "):
+				fields := strings.Fields(line)
+				if len(fields) >= 4 {
+					curFamily, curKind = fields[2], fields[3]
+					family(curFamily, curKind)
+				}
+				continue
+			case strings.HasPrefix(line, "#"):
+				continue // HELP and other comments
+			}
+			name, labels, rest, ok := splitPromSample(line)
+			if !ok {
+				continue
+			}
+			// Samples belong to the family of the TYPE block they follow
+			// (histogram _bucket/_sum/_count share their family's block);
+			// samples with no preceding TYPE form an untyped family of
+			// their own name.
+			famName := curFamily
+			if famName == "" || !belongsTo(name, curFamily, curKind) {
+				famName, curKind = name, "untyped"
+			}
+			fam := family(famName, curKind)
+			var b strings.Builder
+			b.WriteString(name)
+			b.WriteString(`{node="`)
+			b.WriteString(n.name)
+			b.WriteByte('"')
+			if labels != "" {
+				b.WriteByte(',')
+				b.WriteString(labels)
+			}
+			b.WriteByte('}')
+			b.WriteString(rest)
+			fam.lines = append(fam.lines, b.String())
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		fam := fams[name]
+		if len(fam.lines) == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.name, fam.kind)
+		for _, line := range fam.lines {
+			bw.WriteString(line)
+			bw.WriteByte('\n')
+		}
+	}
+}
+
+// belongsTo reports whether a sample name is part of the family's TYPE
+// block (exact match, or the histogram/summary component suffixes).
+func belongsTo(sample, family, kind string) bool {
+	if family == "" {
+		return false
+	}
+	if sample == family {
+		return true
+	}
+	if kind == "histogram" || kind == "summary" {
+		rest, ok := strings.CutPrefix(sample, family)
+		if !ok {
+			return false
+		}
+		return rest == "_bucket" || rest == "_sum" || rest == "_count"
+	}
+	return false
+}
+
+// splitPromSample splits one exposition sample line into metric name,
+// raw label block (without braces, "" when unlabelled), and the rest of
+// the line (leading space + value + optional exemplar suffix). Label
+// values may contain braces and escaped quotes (route="GET /runs/{id}"),
+// so the label block is scanned quote-aware rather than by IndexByte.
+func splitPromSample(line string) (name, labels, rest string, ok bool) {
+	if line == "" || line[0] == '#' || line[0] == '{' {
+		return "", "", "", false
+	}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	if i == 0 || i == len(line) {
+		return "", "", "", false
+	}
+	name = line[:i]
+	if line[i] == ' ' {
+		return name, "", line[i:], true
+	}
+	// Scan the label block: braces and spaces inside quoted values are
+	// data; the first unquoted '}' closes the block.
+	j := i + 1
+	inQuote := false
+	for j < len(line) {
+		switch line[j] {
+		case '\\':
+			if inQuote {
+				j++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return name, line[i+1 : j], line[j+1:], true
+			}
+		}
+		j++
+	}
+	return "", "", "", false
+}

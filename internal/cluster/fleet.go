@@ -71,6 +71,10 @@ type FleetConfig struct {
 	// Telemetry is the fleet-level sink, shared with the registry and
 	// dispatcher when theirs are nil. Nil disables fleet metrics.
 	Telemetry *telemetry.Telemetry
+	// Bus carries live sweep events (lifecycle, cell settlements) to SSE
+	// subscribers. Nil selects a default-sized bus; publishing is free
+	// while nobody subscribes either way.
+	Bus *telemetry.EventBus
 	// DataDir enables crash-safe persistence: accepted sweeps and
 	// per-cell completions are journaled there, and a restarted fleet
 	// resumes the unfinished cells. Empty keeps state in memory only.
@@ -161,6 +165,8 @@ type Fleet struct {
 	cfg     FleetConfig
 	tel     *telemetry.Telemetry
 	tenants *tenant.Registry
+	bus     *telemetry.EventBus
+	fed     *Federator
 
 	jn   *journal.Journal
 	logf func(format string, args ...any)
@@ -228,9 +234,14 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		cfg:     cfg,
 		tel:     cfg.Telemetry,
 		tenants: cfg.Tenants,
+		bus:     cfg.Bus,
 		logf:    cfg.Logf,
 		sweeps:  make(map[string]*sweep),
 	}
+	if f.bus == nil {
+		f.bus = telemetry.NewEventBus(telemetry.BusConfig{})
+	}
+	f.fed = NewFederator(reg, cfg.Telemetry)
 	m := f.tel.Metrics()
 	f.mSweeps = m.Counter("fleet_sweeps_submitted_total")
 	f.mSweepsDone = m.Counter("fleet_sweeps_done_total")
@@ -276,6 +287,7 @@ func (f *Fleet) Resume() []SweepStatus {
 	for _, sw := range resumed {
 		f.gSweepsRunning.Set(f.gSweepsRunning.Value() + 1)
 		out = append(out, f.statusLocked(sw))
+		f.publishSweepLocked(sw)
 	}
 	f.mu.Unlock()
 	for _, sw := range resumed {
@@ -375,6 +387,7 @@ func (f *Fleet) SubmitCtx(ctx context.Context, spec sim.SweepSpec) (SweepStatus,
 	f.mSweeps.Inc()
 	f.gSweepsRunning.Set(f.gSweepsRunning.Value() + 1)
 	st := f.statusLocked(sw)
+	f.publishSweepLocked(sw)
 	f.mu.Unlock()
 
 	f.tel.Tracer().EmitMsg(f.Reg.now(), "fleet.sweep.start", telemetry.WLNone, sw.id,
@@ -446,6 +459,7 @@ func (f *Fleet) runSweep(sw *sweep) {
 	f.maybeCompactLocked()
 	f.mSweepsDone.Inc()
 	f.gSweepsRunning.Set(f.gSweepsRunning.Value() - 1)
+	f.publishSweepLocked(sw)
 	f.finished = append(f.finished, sw.id)
 	for len(f.finished) > f.cfg.MaxSweeps {
 		evict := f.finished[0]
@@ -457,6 +471,7 @@ func (f *Fleet) runSweep(sw *sweep) {
 				break
 			}
 		}
+		f.bus.DropTopic(sweepTopic(evict))
 	}
 	f.mu.Unlock()
 	f.tel.Tracer().EmitMsg(f.Reg.now(), "fleet.sweep.end", telemetry.WLNone, sw.id)
@@ -499,7 +514,9 @@ func (f *Fleet) runCell(ctx context.Context, sw *sweep, cr *cellRun) {
 		f.mCellsRetried.Inc()
 	}
 	wall := cr.finished.Sub(cr.started).Seconds()
-	f.hCellWall.Observe(wall)
+	// The cell-wall histogram carries the sweep's trace as its exemplar,
+	// so a slow bucket on /metrics links straight to the trace tree.
+	f.hCellWall.ObserveExemplar(wall, fleetTraceOrEmpty(sw.trace))
 	sw.tn.NoteDone(1, sw.cellCost)
 	if err != nil {
 		cr.state = CellFailed
@@ -511,6 +528,7 @@ func (f *Fleet) runCell(ctx context.Context, sw *sweep, cr *cellRun) {
 		f.journalLocked(recCellSettled, cellSettledRec{
 			SweepID: sw.id, Index: cr.cell.Index, Summary: s,
 		})
+		f.publishCellLocked(sw, s)
 		return
 	}
 	cr.state = CellDone
@@ -525,6 +543,7 @@ func (f *Fleet) runCell(ctx context.Context, sw *sweep, cr *cellRun) {
 	f.journalLocked(recCellSettled, cellSettledRec{
 		SweepID: sw.id, Index: cr.cell.Index, Summary: s,
 	})
+	f.publishCellLocked(sw, s)
 }
 
 // flagSlowCellLocked compares a completed cell's wall time against the

@@ -452,6 +452,19 @@ func (r *Registry) noteFailed(name string) {
 	}
 }
 
+// clients snapshots each registered node's name → API client. The
+// federator scrapes through these so node auth and URL normalization
+// stay in one place.
+func (r *Registry) clients() map[string]*server.Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*server.Client, len(r.nodes))
+	for name, n := range r.nodes {
+		out[name] = n.client
+	}
+	return out
+}
+
 // metricName sanitizes a node name for use inside a metric name.
 func metricName(s string) string {
 	return strings.Map(func(r rune) rune {

@@ -67,6 +67,14 @@ const WLNone = -1
 // DefaultCapacity is the ring size selected by New(0).
 const DefaultCapacity = 512
 
+// Sink receives every recorded event (with Seq assigned) as it lands
+// in the ring. Sinks are invoked synchronously under the recorder lock
+// — delivery order matches Seq order — so they must be fast and must
+// never call back into the recorder. The live event pipeline installs
+// one that forwards onto the daemon's EventBus when someone is
+// watching.
+type Sink func(Event)
+
 // Recorder is a bounded ring of Events. All methods are safe for
 // concurrent use and are no-ops on a nil receiver, so a dump can be
 // taken while the run is still ticking.
@@ -77,6 +85,7 @@ type Recorder struct {
 	length  int    // occupied slots
 	seq     uint64 // next sequence number
 	dropped uint64 // events overwritten
+	sink    Sink
 }
 
 // New returns a recorder retaining up to capacity events (<= 0 selects
@@ -86,6 +95,16 @@ func New(capacity int) *Recorder {
 		capacity = DefaultCapacity
 	}
 	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// SetSink installs (or clears, with nil) the live forwarding sink.
+func (r *Recorder) SetSink(s Sink) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sink = s
+	r.mu.Unlock()
 }
 
 // Record appends an event, overwriting the oldest entry when the ring
@@ -103,6 +122,10 @@ func (r *Recorder) Record(ev Event) {
 		r.length++
 	} else {
 		r.dropped++
+	}
+	sink := r.sink
+	if sink != nil {
+		sink(ev)
 	}
 	r.mu.Unlock()
 }
@@ -135,13 +158,34 @@ func (r *Recorder) Events() []Event {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.eventsAfterLocked(0, true)
+}
+
+// EventsAfter returns retained events with Seq > after, oldest-first —
+// the cursor behind `GET .../flight?after=` so pollers fetch only what
+// is new instead of the whole ring every time.
+func (r *Recorder) EventsAfter(after uint64) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eventsAfterLocked(after, false)
+}
+
+// eventsAfterLocked collects retained events with Seq > after (all of
+// them when all is true). Callers hold r.mu.
+func (r *Recorder) eventsAfterLocked(after uint64, all bool) []Event {
 	out := make([]Event, 0, r.length)
 	start := r.next - r.length
 	if start < 0 {
 		start += len(r.buf)
 	}
 	for i := 0; i < r.length; i++ {
-		out = append(out, r.buf[(start+i)%len(r.buf)])
+		ev := r.buf[(start+i)%len(r.buf)]
+		if all || ev.Seq > after {
+			out = append(out, ev)
+		}
 	}
 	return out
 }
@@ -162,10 +206,27 @@ func (r *Recorder) Snapshot() Dump {
 		return Dump{Events: []Event{}}
 	}
 	r.mu.Lock()
-	capacity := len(r.buf)
-	dropped := r.dropped
-	r.mu.Unlock()
-	return Dump{Capacity: capacity, Dropped: dropped, Events: r.Events()}
+	defer r.mu.Unlock()
+	return Dump{
+		Capacity: len(r.buf),
+		Dropped:  r.dropped,
+		Events:   r.eventsAfterLocked(0, true),
+	}
+}
+
+// SnapshotAfter captures a Dump holding only events with Seq > after.
+// Capacity and Dropped still describe the whole ring.
+func (r *Recorder) SnapshotAfter(after uint64) Dump {
+	if r == nil {
+		return Dump{Events: []Event{}}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Dump{
+		Capacity: len(r.buf),
+		Dropped:  r.dropped,
+		Events:   r.eventsAfterLocked(after, false),
+	}
 }
 
 // WriteJSON renders the recorder's snapshot as indented JSON.
@@ -173,4 +234,11 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Snapshot())
+}
+
+// WriteJSONAfter renders SnapshotAfter(after) as indented JSON.
+func (r *Recorder) WriteJSONAfter(w io.Writer, after uint64) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.SnapshotAfter(after))
 }

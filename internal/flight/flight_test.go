@@ -124,3 +124,61 @@ func TestConcurrentRecordAndDump(t *testing.T) {
 		}
 	}
 }
+
+func TestEventsAfterCursor(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 5; i++ { // seqs 0..4
+		r.Record(Event{T: float64(i), Kind: KindPromotion, WL: WLNone})
+	}
+	// Cursor at seq 2: only 3 and 4 are newer.
+	evs := r.EventsAfter(2)
+	if len(evs) != 2 || evs[0].Seq != 3 || evs[1].Seq != 4 {
+		t.Fatalf("EventsAfter(2) = %+v, want seqs 3,4", evs)
+	}
+	if evs := r.EventsAfter(4); len(evs) != 0 {
+		t.Fatalf("EventsAfter(newest) = %+v, want empty", evs)
+	}
+	// Seq starts at 0, so Events must include the first event while
+	// EventsAfter(0) must not.
+	if len(r.Events()) != 5 {
+		t.Fatalf("Events() = %d events, want 5", len(r.Events()))
+	}
+	if evs := r.EventsAfter(0); len(evs) != 4 || evs[0].Seq != 1 {
+		t.Fatalf("EventsAfter(0) = %+v, want seqs 1..4", evs)
+	}
+
+	d := r.SnapshotAfter(2)
+	if len(d.Events) != 2 || d.Capacity != 8 || d.Dropped != 0 {
+		t.Fatalf("SnapshotAfter(2) = %+v", d)
+	}
+
+	var nilRec *Recorder
+	if nilRec.EventsAfter(0) != nil {
+		t.Fatal("nil recorder EventsAfter returned events")
+	}
+}
+
+func TestSinkSeesEveryEventInOrder(t *testing.T) {
+	r := New(4) // smaller than the event count: sink must outlive drops
+	var got []uint64
+	r.SetSink(func(ev Event) { got = append(got, ev.Seq) })
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: KindPromotion, WL: WLNone})
+	}
+	if len(got) != 10 {
+		t.Fatalf("sink saw %d events, want 10", len(got))
+	}
+	for i, seq := range got {
+		if seq != uint64(i) {
+			t.Fatalf("sink out of order at %d: %v", i, got)
+		}
+	}
+	// Detach: no further deliveries.
+	r.SetSink(nil)
+	r.Record(Event{Kind: KindPromotion, WL: WLNone})
+	if len(got) != 10 {
+		t.Fatal("sink called after detach")
+	}
+	var nilRec *Recorder
+	nilRec.SetSink(func(Event) {}) // must not panic
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"github.com/tieredmem/mtat/internal/sim"
@@ -47,8 +48,12 @@ func NewHandler(m *Manager, tel *telemetry.Telemetry) http.Handler {
 //	POST   /api/v1/runs             submit a RunSpec (202; 400 invalid, 429 queue full, 503 draining)
 //	GET    /api/v1/runs             list retained runs
 //	GET    /api/v1/runs/{id}        one run's status and result summary
-//	GET    /api/v1/runs/{id}/events the run's private trace as JSONL
-//	GET    /api/v1/runs/{id}/flight the run's flight-recorder dump (JSON)
+//	GET    /api/v1/runs/{id}/events the run's private trace as JSONL — or, with
+//	                                Accept: text/event-stream, a live SSE feed of
+//	                                lifecycle/flight/stats events (Last-Event-ID resume)
+//	GET    /api/v1/events           SSE firehose of every topic, tenant-scoped
+//	GET    /api/v1/runs/{id}/flight the run's flight-recorder dump (JSON; ?after=<seq>
+//	                                returns only events newer than the cursor)
 //	DELETE /api/v1/runs/{id}        cancel a queued or running run
 //	GET    /api/v1/status           node load signal (queue depth, active runs, store occupancy)
 //	GET    /api/v1/meta             valid workload/policy/load names
@@ -110,7 +115,21 @@ func NewHandlerWith(m *Manager, tel *telemetry.Telemetry, cfg HandlerConfig) htt
 	})
 
 	mux.HandleFunc("GET /api/v1/runs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
-		tr, err := m.Events(r.PathValue("id"))
+		id := r.PathValue("id")
+		// Content negotiation keeps one URL for both shapes: an SSE
+		// Accept header gets the live event stream (lifecycle, flight,
+		// stats deltas); everything else gets the historical JSONL
+		// trace dump that `mtatctl logs` and scripted consumers expect.
+		if wantsSSE(r) {
+			if _, err := m.Get(id); err != nil {
+				writeError(w, http.StatusNotFound, err)
+				return
+			}
+			telemetry.ServeSSE(w, r, m.Bus(), runTopic(id), nil)
+			m.SyncBusMetrics()
+			return
+		}
+		tr, err := m.Events(id)
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
 			return
@@ -122,13 +141,32 @@ func NewHandlerWith(m *Manager, tel *telemetry.Telemetry, cfg HandlerConfig) htt
 		}
 	})
 
+	// Firehose: every topic on this daemon, scoped to the caller's
+	// tenant unless it is an admin (or the daemon runs permissive).
+	mux.HandleFunc("GET /api/v1/events", func(w http.ResponseWriter, r *http.Request) {
+		telemetry.ServeSSE(w, r, m.Bus(), "", tenantEventFilter(m, r))
+		m.SyncBusMetrics()
+	})
+
 	mux.HandleFunc("GET /api/v1/runs/{id}/flight", func(w http.ResponseWriter, r *http.Request) {
 		fl, err := m.Flight(r.PathValue("id"))
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
 			return
 		}
+		m.SyncFlightDrops(r.PathValue("id"))
 		w.Header().Set("Content-Type", "application/json")
+		// The ?after cursor lets pollers fetch only events newer than
+		// the last sequence number they saw instead of the whole ring.
+		if v := r.URL.Query().Get("after"); v != "" {
+			after, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad after cursor %q: %w", v, err))
+				return
+			}
+			_ = fl.WriteJSONAfter(w, after)
+			return
+		}
 		_ = fl.WriteJSON(w)
 	})
 
@@ -226,8 +264,9 @@ func NewHandlerWith(m *Manager, tel *telemetry.Telemetry, cfg HandlerConfig) htt
 			"POST   /api/v1/runs\n"+
 			"GET    /api/v1/runs\n"+
 			"GET    /api/v1/runs/{id}\n"+
-			"GET    /api/v1/runs/{id}/events\n"+
-			"GET    /api/v1/runs/{id}/flight\n"+
+			"GET    /api/v1/runs/{id}/events  (Accept: text/event-stream for live SSE)\n"+
+			"GET    /api/v1/runs/{id}/flight  (?after=<seq> cursor)\n"+
+			"GET    /api/v1/events  (SSE firehose)\n"+
 			"DELETE /api/v1/runs/{id}\n"+
 			"GET    /api/v1/status\n"+
 			"GET    /api/v1/meta\n"+
@@ -249,6 +288,23 @@ func NewHandlerWith(m *Manager, tel *telemetry.Telemetry, cfg HandlerConfig) htt
 	// telemetry middleware runs outermost so 401s are metered and
 	// logged like any other response.
 	return telemetry.Middleware(tel, slog.Default())(tenant.Middleware(m.Tenants(), mux))
+}
+
+// wantsSSE reports whether the request negotiated a live event stream.
+func wantsSSE(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), telemetry.SSEContentType)
+}
+
+// tenantEventFilter scopes the firehose to the caller's own events: a
+// named non-admin tenant sees only its own topics; admins — and every
+// caller on a permissive daemon (no tenant config) — see everything.
+func tenantEventFilter(m *Manager, r *http.Request) func(telemetry.BusEvent) bool {
+	t := tenant.FromContext(r.Context())
+	if t == nil || t.IsAdmin() || m.Tenants().Count() == 0 {
+		return nil
+	}
+	name := tenantName(t)
+	return func(ev telemetry.BusEvent) bool { return ev.Tenant == name }
 }
 
 // apiError is the JSON error envelope.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/tieredmem/mtat/internal/backoff"
+	"github.com/tieredmem/mtat/internal/flight"
 	"github.com/tieredmem/mtat/internal/sim"
 	"github.com/tieredmem/mtat/internal/telemetry"
 	"github.com/tieredmem/mtat/internal/tenant"
@@ -194,6 +195,50 @@ func (c *Client) Events(ctx context.Context, id string, w io.Writer) error {
 // Flight streams the run's flight-recorder dump (JSON) into w.
 func (c *Client) Flight(ctx context.Context, id string, w io.Writer) error {
 	return c.stream(ctx, "/api/v1/runs/"+id+"/flight", w)
+}
+
+// FlightAfter fetches the run's flight events newer than the `after`
+// sequence cursor (pass 0 with haveCursor=false for the full ring) —
+// the incremental fetch behind `mtatctl flight -follow`.
+func (c *Client) FlightAfter(ctx context.Context, id string, after uint64, haveCursor bool) (flight.Dump, error) {
+	path := "/api/v1/runs/" + id + "/flight"
+	if haveCursor {
+		path += "?after=" + strconv.FormatUint(after, 10)
+	}
+	var d flight.Dump
+	err := c.do(ctx, http.MethodGet, path, nil, &d)
+	return d, err
+}
+
+// StreamEvents opens the live SSE event stream for one run (or the
+// daemon-wide firehose when id is ""). lastEventID, when non-empty, is
+// sent as the Last-Event-ID resume cursor; the caller owns closing the
+// returned stream. Reconnect policy lives in the caller (mtatctl watch
+// mirrors WaitDurable's outage budget).
+func (c *Client) StreamEvents(ctx context.Context, id, lastEventID string) (*telemetry.SSEStream, error) {
+	path := "/api/v1/events"
+	if id != "" {
+		path = "/api/v1/runs/" + id + "/events"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", telemetry.SSEContentType)
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	c.applyAuth(req)
+	telemetry.Inject(ctx, req.Header)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return telemetry.NewSSEStream(resp.Body), nil
 }
 
 // DefaultProfileSeconds is the CPU profile duration Profile uses when

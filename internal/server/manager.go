@@ -82,6 +82,13 @@ type Config struct {
 	// Telemetry is the daemon-level sink for the manager's own metrics
 	// (submissions, completions, queue depth). Nil disables them.
 	Telemetry *telemetry.Telemetry
+	// Bus carries live run events (lifecycle, flight, stats deltas) to
+	// SSE subscribers. Nil selects a default-sized bus; publishing is
+	// free while nobody subscribes either way.
+	Bus *telemetry.EventBus
+	// StatsInterval is the mid-run stats sampling period for `run.stats`
+	// events (<= 0 selects DefaultStatsInterval).
+	StatsInterval time.Duration
 	// DataDir enables crash-safe persistence: accepted specs, state
 	// transitions, and result summaries are journaled there, and a
 	// restarted manager replays the journal, re-enqueueing every run the
@@ -166,6 +173,7 @@ type Manager struct {
 	jn      *journal.Journal // nil without a DataDir
 	logf    func(format string, args ...any)
 	tenants *tenant.Registry
+	bus     *telemetry.EventBus
 
 	mu        sync.Mutex
 	runs      map[string]*run
@@ -217,6 +225,10 @@ func NewManager(cfg Config) (*Manager, error) {
 		runs:    make(map[string]*run),
 		tenants: cfg.Tenants,
 		queue:   tenant.NewFairQueue[*run](),
+		bus:     cfg.Bus,
+	}
+	if m.bus == nil {
+		m.bus = telemetry.NewEventBus(telemetry.BusConfig{})
 	}
 	if m.logf == nil {
 		m.logf = log.Printf
@@ -425,11 +437,13 @@ func (m *Manager) SubmitCtx(ctx context.Context, spec sim.RunSpec) (RunStatus, e
 		}
 		jspan.End(nil)
 	}
+	r.flight.SetSink(m.flightSink(r.id, tenantName(tn)))
 	m.queue.Push(tn, r)
 	m.runs[r.id] = r
 	m.order = append(m.order, r.id)
 	m.mSubmitted.Inc()
 	m.gQueued.Set(float64(m.queue.Len()))
+	m.publishRunLocked(r)
 	return r.status(), nil
 }
 
@@ -623,7 +637,13 @@ func (m *Manager) runOne(r *run) {
 	m.journalLocked(recRunStarted, runStartedRec{ID: r.id, StartedAt: r.started})
 	m.gQueued.Set(float64(m.queue.Len()))
 	m.gRunning.Set(m.gRunning.Value() + 1)
+	m.publishRunLocked(r)
 	m.mu.Unlock()
+
+	// Stream periodic stats deltas for watchers while the run executes.
+	statsStop := make(chan struct{})
+	go m.sampleRunStats(r, statsStop)
+	defer close(statsStop)
 
 	// When the submission carried a span context, the execution becomes a
 	// child span in the submitter's trace: mtatctl submit → fleet dispatch
@@ -695,6 +715,9 @@ func (m *Manager) finishLocked(r *run, st State, msg string, res *sim.Result) {
 		ID: r.id, State: st, Error: msg, FinishedAt: r.finished,
 		Result: summarizeOrNil(res), Tenant: tenantName(r.tn),
 	})
+	m.syncFlightDropsLocked(r)
+	m.publishRunLocked(r)
+	m.SyncBusMetrics()
 	m.evictLocked()
 	m.maybeCompactLocked()
 }
@@ -714,6 +737,7 @@ func (m *Manager) evictLocked() {
 				break
 			}
 		}
+		m.bus.DropTopic(runTopic(evict))
 		m.mEvicted.Inc()
 		m.logf("server: result store full (max %d): evicted oldest finished run %s",
 			m.cfg.MaxRuns, evict)

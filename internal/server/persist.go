@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/tieredmem/mtat/internal/flight"
 	"github.com/tieredmem/mtat/internal/journal"
 	"github.com/tieredmem/mtat/internal/sim"
 	"github.com/tieredmem/mtat/internal/telemetry"
@@ -195,6 +196,8 @@ func (m *Manager) restore(rs *replayState) []*run {
 		} else {
 			r.state = StateQueued
 			r.tel = newRunTelemetry(m.cfg)
+			r.flight = flight.New(m.cfg.FlightCapacity)
+			r.flight.SetSink(m.flightSink(r.id, tenantName(r.tn)))
 			r.ctx, r.cancel = newRunContext()
 			r.done = make(chan struct{})
 			pending = append(pending, r)

@@ -1,0 +1,272 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func busEvent(topic, kind string) BusEvent {
+	return BusEvent{Topic: topic, Kind: kind}
+}
+
+func drain(s *Subscriber) []BusEvent {
+	var out []BusEvent
+	for {
+		ev, ok := s.TryNext()
+		if !ok {
+			return out
+		}
+		out = append(out, ev)
+	}
+}
+
+func TestBusPublishSubscribe(t *testing.T) {
+	b := NewEventBus(BusConfig{})
+	if b.Active("run/r1") {
+		t.Fatal("idle bus reports active")
+	}
+	if id := b.Publish(busEvent("run/r1", "x")); id != 0 {
+		t.Fatalf("idle publish accepted with id %d", id)
+	}
+
+	sub := b.Subscribe("run/r1", 0, nil)
+	defer sub.Close()
+	if !b.Active("run/r1") {
+		t.Fatal("bus inactive with a live subscriber")
+	}
+	if b.Active("run/other") {
+		t.Fatal("unrelated topic active")
+	}
+
+	for i := 0; i < 3; i++ {
+		if id := b.Publish(busEvent("run/r1", fmt.Sprintf("k%d", i))); id == 0 {
+			t.Fatalf("publish %d rejected", i)
+		}
+	}
+	b.Publish(busEvent("run/other", "ignored")) // no ring, no subscriber
+
+	got := drain(sub)
+	if len(got) != 3 {
+		t.Fatalf("got %d events, want 3: %+v", len(got), got)
+	}
+	for i, ev := range got {
+		if ev.Kind != fmt.Sprintf("k%d", i) || ev.ID != uint64(i+1) {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	if got := b.Published(); got != 3 {
+		t.Fatalf("Published = %d, want 3", got)
+	}
+}
+
+func TestBusReplayAfter(t *testing.T) {
+	b := NewEventBus(BusConfig{})
+	// First subscriber creates the retention ring, then detaches.
+	b.Subscribe("run/r1", 0, nil).Close()
+	for i := 0; i < 5; i++ {
+		b.Publish(busEvent("run/r1", fmt.Sprintf("k%d", i)))
+	}
+	// Resume after ID 2: replay must be exactly 3,4,5 with no gap.
+	sub := b.Subscribe("run/r1", 2, nil)
+	defer sub.Close()
+	if gap := sub.Gap(); gap != 0 {
+		t.Fatalf("Gap = %d, want 0", gap)
+	}
+	got := drain(sub)
+	if len(got) != 3 || got[0].ID != 3 || got[2].ID != 5 {
+		t.Fatalf("replay = %+v, want IDs 3..5", got)
+	}
+}
+
+func TestBusGapExactness(t *testing.T) {
+	b := NewEventBus(BusConfig{RingCapacity: 4})
+	b.Subscribe("run/r1", 0, nil).Close()
+	for i := 0; i < 10; i++ { // ring keeps IDs 7..10
+		b.Publish(busEvent("run/r1", "k"))
+	}
+	sub := b.Subscribe("run/r1", 2, nil)
+	defer sub.Close()
+	// Oldest retained is 7; resuming after 2 misses 3,4,5,6 — exactly 4.
+	if gap := sub.Gap(); gap != 4 {
+		t.Fatalf("Gap = %d, want 4", gap)
+	}
+	got := drain(sub)
+	if len(got) != 4 || got[0].ID != 7 || got[3].ID != 10 {
+		t.Fatalf("replay = %+v, want IDs 7..10", got)
+	}
+
+	// Resuming from before the ring existed but with full coverage
+	// (afterID+1 == oldest) is not a gap.
+	sub2 := b.Subscribe("run/r1", 6, nil)
+	defer sub2.Close()
+	if gap := sub2.Gap(); gap != 0 {
+		t.Fatalf("complete-coverage Gap = %d, want 0", gap)
+	}
+}
+
+func TestBusSubscriberDropOldest(t *testing.T) {
+	b := NewEventBus(BusConfig{SubCapacity: 4})
+	sub := b.Subscribe("run/r1", 0, nil)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		b.Publish(busEvent("run/r1", "k"))
+	}
+	if d := sub.Dropped(); d != 6 {
+		t.Fatalf("Dropped = %d, want 6", d)
+	}
+	if d := b.Dropped(); d != 6 {
+		t.Fatalf("bus Dropped = %d, want 6", d)
+	}
+	got := drain(sub)
+	if len(got) != 4 || got[0].ID != 7 || got[3].ID != 10 {
+		t.Fatalf("kept = %+v, want newest IDs 7..10", got)
+	}
+}
+
+func TestBusFirehoseMergesTopics(t *testing.T) {
+	b := NewEventBus(BusConfig{})
+	b.Subscribe("run/a", 0, nil).Close()
+	b.Subscribe("run/b", 0, nil).Close()
+	b.Publish(busEvent("run/a", "k"))
+	b.Publish(busEvent("run/b", "k"))
+	b.Publish(busEvent("run/a", "k"))
+
+	fire := b.Subscribe("", 0, nil)
+	defer fire.Close()
+	got := drain(fire)
+	if len(got) != 3 {
+		t.Fatalf("firehose replay = %d events, want 3", len(got))
+	}
+	for i, ev := range got {
+		if ev.ID != uint64(i+1) {
+			t.Fatalf("firehose replay out of ID order: %+v", got)
+		}
+	}
+
+	// Live: the firehose sees publishes to any topic, filtered.
+	filtered := b.Subscribe("", 3, func(ev BusEvent) bool { return ev.Tenant == "acme" })
+	defer filtered.Close()
+	b.Publish(BusEvent{Topic: "run/a", Kind: "k", Tenant: "acme"})
+	b.Publish(BusEvent{Topic: "run/b", Kind: "k", Tenant: "rival"})
+	got = drain(filtered)
+	if len(got) != 1 || got[0].Tenant != "acme" {
+		t.Fatalf("filtered firehose = %+v, want one acme event", got)
+	}
+}
+
+func TestBusDropTopicReleasesHistory(t *testing.T) {
+	b := NewEventBus(BusConfig{})
+	b.Subscribe("run/r1", 0, nil).Close()
+	b.Publish(busEvent("run/r1", "k"))
+	b.DropTopic("run/r1")
+	if b.Active("run/r1") {
+		t.Fatal("dropped topic still active")
+	}
+	sub := b.Subscribe("run/r1", 0, nil)
+	defer sub.Close()
+	if got := drain(sub); len(got) != 0 {
+		t.Fatalf("dropped topic replayed %d events", len(got))
+	}
+}
+
+func TestBusNilSafe(t *testing.T) {
+	var b *EventBus
+	if b.Active("x") || b.Publish(busEvent("x", "k")) != 0 {
+		t.Fatal("nil bus accepted work")
+	}
+	if b.Subscribe("x", 0, nil) != nil {
+		t.Fatal("nil bus returned a subscriber")
+	}
+	b.DropTopic("x")
+	if b.Epoch() != "" || b.Dropped() != 0 || b.Published() != 0 || b.Subscribers() != 0 {
+		t.Fatal("nil bus accessors non-zero")
+	}
+}
+
+func TestBusEpochNonEmptyAndStable(t *testing.T) {
+	b := NewEventBus(BusConfig{})
+	if b.Epoch() == "" {
+		t.Fatal("empty epoch")
+	}
+	if b.Epoch() != b.Epoch() {
+		t.Fatal("epoch not stable")
+	}
+	if NewEventBus(BusConfig{}).Epoch() == b.Epoch() {
+		t.Fatal("two buses share an epoch")
+	}
+}
+
+func TestBusConcurrentPublishSubscribe(t *testing.T) {
+	b := NewEventBus(BusConfig{})
+	const n = 200
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			topic := fmt.Sprintf("run/r%d", g%2)
+			for i := 0; i < n; i++ {
+				b.Publish(busEvent(topic, "k"))
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	sub := b.Subscribe("", 0, nil)
+	var received int
+	go func() {
+		defer close(done)
+		for {
+			if _, ok := sub.Next(nil); !ok {
+				return
+			}
+			received++
+		}
+	}()
+	wg.Wait()
+	sub.Close()
+	<-done
+	if uint64(received)+sub.Dropped() != b.Published() {
+		t.Fatalf("received %d + dropped %d != published %d",
+			received, sub.Dropped(), b.Published())
+	}
+}
+
+// TestBusIdleZeroAlloc gates the acceptance criterion: with no
+// subscriber and no retained topic, the publish guard must not allocate
+// — daemons call Active on every potential event.
+func TestBusIdleZeroAlloc(t *testing.T) {
+	b := NewEventBus(BusConfig{})
+	allocs := testing.AllocsPerRun(1000, func() {
+		if b.Active("run/r1") {
+			t.Fatal("idle bus active")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Active on idle bus allocates %.1f/op, want 0", allocs)
+	}
+	var nilBus *EventBus
+	allocs = testing.AllocsPerRun(1000, func() {
+		if nilBus.Active("run/r1") {
+			t.Fatal("nil bus active")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Active on nil bus allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestBusMaxTopicsEviction(t *testing.T) {
+	b := NewEventBus(BusConfig{MaxTopics: 2})
+	b.Subscribe("run/a", 0, nil).Close()
+	b.Publish(busEvent("run/a", "k"))
+	b.Subscribe("run/b", 0, nil).Close()
+	b.Publish(busEvent("run/b", "k"))
+	b.Subscribe("run/c", 0, nil).Close() // evicts the stalest ring (run/a)
+	if b.Active("run/a") {
+		t.Fatal("evicted topic run/a still retained")
+	}
+	if !b.Active("run/b") || !b.Active("run/c") {
+		t.Fatal("recent topics evicted")
+	}
+}

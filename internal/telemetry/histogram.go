@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Histogram is a sliding-window sample reservoir: it retains the most
@@ -24,6 +25,20 @@ type Histogram struct {
 	// (non-cumulative per cell; cumulated at export). Observations above
 	// the last bound land only in count — the implicit +Inf bucket.
 	buckets [len(DefBuckets)]uint64
+	// exemplars holds the most recent traced observation per bucket
+	// (index len(DefBuckets) is the implicit +Inf bucket), closing the
+	// metrics→trace loop on /metrics: a slow bucket links straight to a
+	// trace ID that landed in it. Only ObserveExemplar writes them.
+	exemplars [len(DefBuckets) + 1]Exemplar
+}
+
+// Exemplar is the most recent traced observation in one histogram
+// bucket, rendered as an OpenMetrics `# {trace_id="…"}` suffix on that
+// bucket's sample line.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	TS      time.Time
 }
 
 // DefBuckets are the fixed upper bounds of the histogram's all-time
@@ -44,6 +59,16 @@ func NewHistogram(window int) *Histogram {
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
+	h.observe(v, "")
+}
+
+// ObserveExemplar records one sample and, when traceID is non-empty,
+// remembers it as the bucket's exemplar (last writer wins).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.observe(v, traceID)
+}
+
+func (h *Histogram) observe(v float64, traceID string) {
 	if h == nil {
 		return
 	}
@@ -58,13 +83,30 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	bucket := len(DefBuckets) // implicit +Inf
 	for i, bound := range DefBuckets {
 		if v <= bound {
 			h.buckets[i]++
+			bucket = i
 			break
 		}
 	}
+	if traceID != "" {
+		h.exemplars[bucket] = Exemplar{TraceID: traceID, Value: v, TS: time.Now()}
+	}
 	h.mu.Unlock()
+}
+
+// Exemplars returns the per-bucket exemplars aligned with DefBuckets
+// plus the implicit +Inf bucket last. Buckets that never saw a traced
+// observation have a zero Exemplar. A nil histogram returns zeros.
+func (h *Histogram) Exemplars() (ex [len(DefBuckets) + 1]Exemplar) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.exemplars
 }
 
 // Buckets returns the all-time cumulative bucket counts aligned with

@@ -49,8 +49,12 @@ func Middleware(t *Telemetry, logger *slog.Logger) func(http.Handler) http.Handl
 			inflight.Add(-1)
 			span.SetAttr("status", strconv.Itoa(rec.code))
 			span.End(statusErr(rec.code))
+			trace := ""
+			if sc := span.Context(); sc.Valid() {
+				trace = sc.Trace.String()
+			}
 			reg.Histogram(SeriesName(MetricHTTPDuration, "route", route)).
-				Observe(elapsed.Seconds())
+				ObserveExemplar(elapsed.Seconds(), trace)
 			reg.Counter(SeriesName(MetricHTTPRequests,
 				"route", route, "code", statusClass(rec.code))).Inc()
 
@@ -95,6 +99,17 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	r.written = true
 	return r.ResponseWriter.Write(b)
 }
+
+// Flush forwards to the wrapped writer so SSE streaming survives the
+// middleware (embedding alone would hide the Flusher interface).
+func (r *statusRecorder) Flush() {
+	if fl, ok := r.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// Unwrap lets http.NewResponseController reach the underlying writer.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // statusErr maps a 5xx status onto a span error (client errors are the
 // caller's problem — the span stays ok).

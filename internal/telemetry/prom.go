@@ -179,11 +179,13 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			writePromSample(bw, s.family, s.labels, "", s.value)
 		case "histogram":
 			counts, sum, count := s.hist.Buckets()
+			exemplars := s.hist.Exemplars()
 			for i, bound := range DefBuckets {
-				writePromSample(bw, s.family+"_bucket", s.labels,
-					`le="`+formatPromValue(bound)+`"`, float64(counts[i]))
+				writePromSampleExemplar(bw, s.family+"_bucket", s.labels,
+					`le="`+formatPromValue(bound)+`"`, float64(counts[i]), exemplars[i])
 			}
-			writePromSample(bw, s.family+"_bucket", s.labels, `le="+Inf"`, float64(count))
+			writePromSampleExemplar(bw, s.family+"_bucket", s.labels,
+				`le="+Inf"`, float64(count), exemplars[len(DefBuckets)])
 			writePromSample(bw, s.family+"_sum", s.labels, "", sum)
 			writePromSample(bw, s.family+"_count", s.labels, "", float64(count))
 		}
@@ -194,6 +196,18 @@ func (r *Registry) WriteProm(w io.Writer) error {
 // writePromSample writes one sample line, merging the series' label
 // block with an extra label (the histogram le).
 func writePromSample(bw *bufio.Writer, name, labels, extra string, v float64) {
+	writePromSampleExemplar(bw, name, labels, extra, v, Exemplar{})
+}
+
+// writePromSampleExemplar writes one sample line with an optional
+// OpenMetrics exemplar suffix:
+//
+//	name{le="0.1"} 5 # {trace_id="ab12..."} 0.043 1715000000.000
+//
+// Plain Prometheus text parsers treat everything after '#' as a
+// comment, so exemplar-bearing output stays valid 0.0.4 exposition;
+// OpenMetrics-aware scrapers pick the exemplar up.
+func writePromSampleExemplar(bw *bufio.Writer, name, labels, extra string, v float64, ex Exemplar) {
 	bw.WriteString(name)
 	if labels != "" || extra != "" {
 		bw.WriteByte('{')
@@ -206,5 +220,15 @@ func writePromSample(bw *bufio.Writer, name, labels, extra string, v float64) {
 	}
 	bw.WriteByte(' ')
 	bw.WriteString(formatPromValue(v))
+	if ex.TraceID != "" {
+		bw.WriteString(` # {trace_id="`)
+		bw.WriteString(escapeLabelValue(ex.TraceID))
+		bw.WriteString(`"} `)
+		bw.WriteString(formatPromValue(ex.Value))
+		if !ex.TS.IsZero() {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatFloat(float64(ex.TS.UnixNano())/1e9, 'f', 3, 64))
+		}
+	}
 	bw.WriteByte('\n')
 }

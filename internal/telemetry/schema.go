@@ -132,4 +132,12 @@ const (
 	MetricTenantCells     = "tenant_cells_total"
 	MetricTenantQueueWait = "tenant_queue_wait_seconds"
 	MetricTenantRejected  = "tenant_rejected_total"
+
+	// Live event pipeline: flight-recorder ring loss per run (SeriesName
+	// with a `run` label; only exported once a run actually dropped, so
+	// the registry doesn't accumulate zero series per run), and the
+	// EventBus's publish/overflow accounting.
+	MetricFlightDropped = "flight_events_dropped_total"
+	MetricBusPublished  = "telemetry_bus_events_total"
+	MetricBusDropped    = "telemetry_bus_dropped_total"
 )

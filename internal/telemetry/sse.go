@@ -1,0 +1,311 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Server-sent-events transport for the EventBus.
+//
+// Wire format (text/event-stream):
+//
+//	: hb                            <- heartbeat comment, defeats idle proxies
+//	event: stream.hello             <- first frame, carries the bus epoch
+//	data: {"epoch":"ab12..."}
+//
+//	id: ab12...-42                  <- "<epoch>-<busID>"; clients echo it back
+//	event: flight                   <- BusEvent.Kind
+//	data: {"id":42,"topic":...}     <- the full BusEvent, JSON-encoded
+//
+// Control frames (stream.hello, stream.gap, stream.reset) carry no id
+// line so they never disturb the client's Last-Event-ID resume cursor.
+// Resume: the client sends its last seen id via the standard
+// `Last-Event-ID` header (or `?after=` for curl-style consumers). If the
+// epoch matches, retained events after that bus ID are replayed —
+// gap-free as long as the topic ring still holds them, with an exact
+// `stream.gap` frame when it does not. An epoch mismatch means the
+// daemon restarted: the server replays from the start of retention and
+// says so with `stream.reset` instead of fabricating continuity.
+const (
+	// SSEContentType is the content type for event streams.
+	SSEContentType = "text/event-stream"
+
+	// Stream-control event kinds (no id line; not bus events).
+	EvStreamHello = "stream.hello"
+	EvStreamGap   = "stream.gap"
+	EvStreamReset = "stream.reset"
+
+	// DefaultSSEHeartbeat is the idle heartbeat period; override per
+	// request with `?heartbeat=` (clamped to [1s, 60s]).
+	DefaultSSEHeartbeat = 15 * time.Second
+)
+
+// SSEEventID renders a bus event ID for the wire: "<epoch>-<id>".
+func SSEEventID(epoch string, id uint64) string {
+	return epoch + "-" + strconv.FormatUint(id, 10)
+}
+
+// ParseSSEEventID splits a wire event ID back into epoch and bus ID.
+// A bare integer (no epoch) parses with epoch "". Returns ok=false for
+// anything else malformed.
+func ParseSSEEventID(s string) (epoch string, id uint64, ok bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", 0, false
+	}
+	if i := strings.LastIndexByte(s, '-'); i >= 0 {
+		n, err := strconv.ParseUint(s[i+1:], 10, 64)
+		if err != nil {
+			return "", 0, false
+		}
+		return s[:i], n, true
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return "", n, true
+}
+
+// sseResumePoint extracts the resume cursor from a request:
+// `Last-Event-ID` header first (what reconnecting SSE clients send),
+// then `?after=` (curl-friendly).
+func sseResumePoint(r *http.Request) (epoch string, id uint64, ok bool) {
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		return ParseSSEEventID(v)
+	}
+	if v := r.URL.Query().Get("after"); v != "" {
+		return ParseSSEEventID(v)
+	}
+	return "", 0, false
+}
+
+// sseHeartbeat returns the heartbeat period for a request.
+func sseHeartbeat(r *http.Request) time.Duration {
+	hb := DefaultSSEHeartbeat
+	if v := r.URL.Query().Get("heartbeat"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			hb = d
+		}
+	}
+	if hb < time.Second {
+		hb = time.Second
+	}
+	if hb > time.Minute {
+		hb = time.Minute
+	}
+	return hb
+}
+
+// writeSSEFrame emits one frame. id and event may be empty (their lines
+// are omitted); data must be a single JSON value (no raw newlines).
+func writeSSEFrame(w io.Writer, id, event string, data []byte) error {
+	var b bytes.Buffer
+	if id != "" {
+		b.WriteString("id: ")
+		b.WriteString(id)
+		b.WriteByte('\n')
+	}
+	if event != "" {
+		b.WriteString("event: ")
+		b.WriteString(event)
+		b.WriteByte('\n')
+	}
+	b.WriteString("data: ")
+	b.Write(data)
+	b.WriteString("\n\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// ServeSSE streams bus events for topic ("" = firehose) to the client
+// until it disconnects. filter, when non-nil, scopes which events the
+// subscriber sees (tenant scoping on the firehose).
+func ServeSSE(w http.ResponseWriter, r *http.Request, bus *EventBus, topic string, filter func(BusEvent) bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok || bus == nil {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	epoch, after, haveCursor := sseResumePoint(r)
+	reset := false
+	if haveCursor && epoch != "" && epoch != bus.Epoch() {
+		// Client is resuming against a different bus incarnation (daemon
+		// restart). Its IDs mean nothing here: replay from the start of
+		// retention and announce the discontinuity.
+		after = 0
+		reset = true
+	}
+
+	w.Header().Set("Content-Type", SSEContentType)
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	sub := bus.Subscribe(topic, after, filter)
+	defer sub.Close()
+
+	hello, _ := json.Marshal(map[string]string{"epoch": bus.Epoch(), "topic": topic})
+	if err := writeSSEFrame(w, "", EvStreamHello, hello); err != nil {
+		return
+	}
+	if reset {
+		msg, _ := json.Marshal(map[string]string{"reason": "epoch changed", "epoch": bus.Epoch()})
+		if err := writeSSEFrame(w, "", EvStreamReset, msg); err != nil {
+			return
+		}
+	}
+	if gap := sub.Gap(); gap > 0 {
+		msg, _ := json.Marshal(map[string]uint64{"missed": gap})
+		if err := writeSSEFrame(w, "", EvStreamGap, msg); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+
+	hb := time.NewTicker(sseHeartbeat(r))
+	defer hb.Stop()
+	done := r.Context().Done()
+	// The pump is the subscriber's only consumer: it batches whatever is
+	// already buffered behind each event so a burst costs one channel
+	// send and one flush, and ID order is preserved end to end.
+	batches := make(chan []BusEvent)
+	go func() {
+		defer close(batches)
+		for {
+			ev, ok := sub.Next(done)
+			if !ok {
+				return
+			}
+			batch := []BusEvent{ev}
+			for {
+				next, more := sub.TryNext()
+				if !more {
+					break
+				}
+				batch = append(batch, next)
+			}
+			select {
+			case batches <- batch:
+			case <-done:
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		case <-hb.C:
+			if _, err := io.WriteString(w, ": hb\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case batch, ok := <-batches:
+			if !ok {
+				return
+			}
+			for _, ev := range batch {
+				data, err := json.Marshal(ev)
+				if err != nil {
+					data = []byte(fmt.Sprintf(`{"id":%d,"kind":%q,"error":"marshal failed"}`, ev.ID, ev.Kind))
+				}
+				if err := writeSSEFrame(w, SSEEventID(bus.Epoch(), ev.ID), ev.Kind, data); err != nil {
+					return
+				}
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// SSEEvent is one decoded frame on the client side.
+type SSEEvent struct {
+	// ID is the wire event id ("" for control frames and heartbeats).
+	ID string
+	// Event is the event name ("" defaults to "message" per spec; this
+	// codebase always names events).
+	Event string
+	// Data is the frame payload (multi-line data fields joined by \n).
+	Data []byte
+}
+
+// SSEStream couples a live event-stream body with its scanner — what
+// the daemon clients hand back from their Watch methods. Close
+// releases the underlying connection.
+type SSEStream struct {
+	body io.Closer
+	*SSEScanner
+}
+
+// NewSSEStream wraps an open response body for frame-at-a-time reads.
+func NewSSEStream(body io.ReadCloser) *SSEStream {
+	return &SSEStream{body: body, SSEScanner: NewSSEScanner(body)}
+}
+
+// Close releases the stream's connection.
+func (s *SSEStream) Close() error { return s.body.Close() }
+
+// SSEScanner incrementally decodes an event stream. Comment lines
+// (heartbeats) are counted but not surfaced as events.
+type SSEScanner struct {
+	br         *bufio.Reader
+	heartbeats int
+}
+
+// NewSSEScanner wraps r for frame-at-a-time decoding.
+func NewSSEScanner(r io.Reader) *SSEScanner {
+	return &SSEScanner{br: bufio.NewReader(r)}
+}
+
+// Heartbeats returns how many comment lines have been consumed.
+func (s *SSEScanner) Heartbeats() int { return s.heartbeats }
+
+// Next decodes the next frame. Returns io.EOF at clean end of stream;
+// a partial frame at EOF is discarded (SSE semantics: frames are only
+// dispatched on their terminating blank line).
+func (s *SSEScanner) Next() (SSEEvent, error) {
+	var ev SSEEvent
+	var dataLines [][]byte
+	seenField := false
+	for {
+		line, err := s.br.ReadString('\n')
+		if err != nil {
+			return SSEEvent{}, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if !seenField {
+				continue // stray blank line between frames
+			}
+			ev.Data = bytes.Join(dataLines, []byte("\n"))
+			return ev, nil
+		case strings.HasPrefix(line, ":"):
+			s.heartbeats++
+		default:
+			field, val := line, ""
+			if i := strings.IndexByte(line, ':'); i >= 0 {
+				field, val = line[:i], strings.TrimPrefix(line[i+1:], " ")
+			}
+			switch field {
+			case "id":
+				ev.ID = val
+				seenField = true
+			case "event":
+				ev.Event = val
+				seenField = true
+			case "data":
+				dataLines = append(dataLines, []byte(val))
+				seenField = true
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSSEEventIDRoundTrip(t *testing.T) {
+	cases := []struct {
+		in    string
+		epoch string
+		id    uint64
+		ok    bool
+	}{
+		{SSEEventID("ab12", 42), "ab12", 42, true},
+		{"42", "", 42, true},
+		{" ab12-7 ", "ab12", 7, true},
+		{"", "", 0, false},
+		{"ab12-", "", 0, false},
+		{"ab12-x", "", 0, false},
+		{"nonsense", "", 0, false},
+	}
+	for _, c := range cases {
+		epoch, id, ok := ParseSSEEventID(c.in)
+		if epoch != c.epoch || id != c.id || ok != c.ok {
+			t.Errorf("ParseSSEEventID(%q) = (%q, %d, %v), want (%q, %d, %v)",
+				c.in, epoch, id, ok, c.epoch, c.id, c.ok)
+		}
+	}
+}
+
+func TestSSEFrameScanRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeSSEFrame(&buf, "", EvStreamHello, []byte(`{"epoch":"e1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(&buf, ": hb\n\n")
+	if err := writeSSEFrame(&buf, "e1-3", "flight", []byte(`{"id":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-rolled multi-line data frame: the scanner must join with \n.
+	io.WriteString(&buf, "event: raw\ndata: line1\ndata: line2\n\n")
+
+	sc := NewSSEScanner(&buf)
+	ev, err := sc.Next()
+	if err != nil || ev.Event != EvStreamHello || ev.ID != "" {
+		t.Fatalf("hello frame = %+v, %v", ev, err)
+	}
+	ev, err = sc.Next()
+	if err != nil || ev.ID != "e1-3" || ev.Event != "flight" || string(ev.Data) != `{"id":3}` {
+		t.Fatalf("data frame = %+v, %v", ev, err)
+	}
+	if sc.Heartbeats() != 1 {
+		t.Fatalf("Heartbeats = %d, want 1", sc.Heartbeats())
+	}
+	ev, err = sc.Next()
+	if err != nil || string(ev.Data) != "line1\nline2" {
+		t.Fatalf("multi-line frame = %+v, %v", ev, err)
+	}
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+}
+
+// serveSSEOnce runs ServeSSE against a recorder with a context that is
+// canceled by the caller, returning the decoded frames.
+func collectSSE(t *testing.T, bus *EventBus, topic, lastEventID string,
+	publish func()) []SSEEvent {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/events?heartbeat=1s", nil)
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req = req.WithContext(ctx)
+	rec := httptest.NewRecorder()
+	before := bus.Subscribers()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ServeSSE(rec, req, bus, topic, nil)
+	}()
+	// ServeSSE subscribes on its own goroutine; wait for the attach so
+	// the publishes below can't race ahead of it.
+	for i := 0; i < 1000 && bus.Subscribers() <= before; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	publish()
+	// Give the pump a moment to drain, then disconnect the client.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	<-done
+
+	if ct := rec.Header().Get("Content-Type"); ct != SSEContentType {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := NewSSEScanner(rec.Body)
+	var frames []SSEEvent
+	for {
+		ev, err := sc.Next()
+		if err != nil {
+			return frames
+		}
+		frames = append(frames, ev)
+	}
+}
+
+func TestServeSSELiveAndResume(t *testing.T) {
+	bus := NewEventBus(BusConfig{})
+	frames := collectSSE(t, bus, "run/r1", "", func() {
+		for i := 0; i < 3; i++ {
+			bus.Publish(BusEvent{Topic: "run/r1", Kind: "flight"})
+		}
+	})
+	if len(frames) < 4 || frames[0].Event != EvStreamHello {
+		t.Fatalf("frames = %+v, want hello + 3 events", frames)
+	}
+	for i, f := range frames[1:] {
+		wantID := SSEEventID(bus.Epoch(), uint64(i+1))
+		if f.ID != wantID || f.Event != "flight" {
+			t.Fatalf("frame %d = %+v, want id %s", i, f, wantID)
+		}
+	}
+
+	// Resume after ID 2 replays only ID 3, no gap frame.
+	frames = collectSSE(t, bus, "run/r1", SSEEventID(bus.Epoch(), 2), func() {})
+	if len(frames) != 2 || frames[0].Event != EvStreamHello ||
+		frames[1].ID != SSEEventID(bus.Epoch(), 3) {
+		t.Fatalf("resume frames = %+v, want hello + event 3", frames)
+	}
+	var ev BusEvent
+	if err := json.Unmarshal(frames[1].Data, &ev); err != nil || ev.ID != 3 {
+		t.Fatalf("resume payload = %s (%v)", frames[1].Data, err)
+	}
+}
+
+func TestServeSSEEpochMismatchResets(t *testing.T) {
+	bus := NewEventBus(BusConfig{})
+	bus.Subscribe("run/r1", 0, nil).Close()
+	bus.Publish(BusEvent{Topic: "run/r1", Kind: "flight"})
+
+	// A cursor from a previous daemon incarnation: full replay + reset.
+	frames := collectSSE(t, bus, "run/r1", "dead-beef-99", func() {})
+	if len(frames) < 3 {
+		t.Fatalf("frames = %+v, want hello + reset + replay", frames)
+	}
+	if frames[0].Event != EvStreamHello || frames[1].Event != EvStreamReset {
+		t.Fatalf("control frames = %s, %s", frames[0].Event, frames[1].Event)
+	}
+	if frames[1].ID != "" {
+		t.Fatal("control frame carries an id; it would clobber the client cursor")
+	}
+	if frames[2].ID != SSEEventID(bus.Epoch(), 1) {
+		t.Fatalf("replay frame = %+v", frames[2])
+	}
+}
+
+func TestServeSSEGapFrame(t *testing.T) {
+	bus := NewEventBus(BusConfig{RingCapacity: 2})
+	bus.Subscribe("run/r1", 0, nil).Close()
+	for i := 0; i < 6; i++ { // ring retains 5,6
+		bus.Publish(BusEvent{Topic: "run/r1", Kind: "flight"})
+	}
+	frames := collectSSE(t, bus, "run/r1", SSEEventID(bus.Epoch(), 1), func() {})
+	if len(frames) < 2 || frames[1].Event != EvStreamGap {
+		t.Fatalf("frames = %+v, want gap frame second", frames)
+	}
+	var gap struct {
+		Missed uint64 `json:"missed"`
+	}
+	if err := json.Unmarshal(frames[1].Data, &gap); err != nil || gap.Missed != 3 {
+		t.Fatalf("gap payload = %s, want missed=3", frames[1].Data)
+	}
+}
+
+func TestSSEHeartbeatClamp(t *testing.T) {
+	for q, want := range map[string]time.Duration{
+		"":               DefaultSSEHeartbeat,
+		"heartbeat=1ms":  time.Second,
+		"heartbeat=5s":   5 * time.Second,
+		"heartbeat=10m":  time.Minute,
+		"heartbeat=junk": DefaultSSEHeartbeat,
+	} {
+		req := httptest.NewRequest("GET", "/events?"+q, nil)
+		if got := sseHeartbeat(req); got != want {
+			t.Errorf("heartbeat %q = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestSSEHeartbeatOnIdleStream(t *testing.T) {
+	bus := NewEventBus(BusConfig{})
+	req := httptest.NewRequest("GET", "/events?heartbeat=1s", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	req = req.WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ServeSSE(rec, req, bus, "run/r1", nil)
+	}()
+	time.Sleep(1200 * time.Millisecond) // > one heartbeat period
+	cancel()
+	<-done
+	if !strings.Contains(rec.Body.String(), ": hb") {
+		t.Fatalf("no heartbeat on idle stream: %q", rec.Body.String())
+	}
+}
